@@ -1,0 +1,49 @@
+(* Benchmark harness entry point: regenerates every table and figure
+   of the paper's evaluation (Sections 5-7). Run
+   [dune exec bench/main.exe -- --list] for the index, or pass
+   experiment ids ("fig5c", "all", "micro", ...). *)
+
+open Cmdliner
+
+let run_bench ids full list_only =
+  if list_only then begin
+    print_endline "Available experiments:";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-10s %s\n" e.Tm2c_harness.Harness.id
+          e.Tm2c_harness.Harness.description)
+      Tm2c_harness.Harness.all;
+    print_endline "  micro      Bechamel micro-benchmarks of core primitives"
+  end
+  else begin
+    let scale = if full then Tm2c_harness.Exp.full else Tm2c_harness.Exp.quick in
+    Printf.printf "TM2C benchmark harness (scale: %s)\n%!" scale.Tm2c_harness.Exp.label;
+    let ids = if ids = [] then [ "all"; "micro" ] else ids in
+    let micro = List.mem "micro" ids in
+    let ids = List.filter (fun id -> id <> "micro") ids in
+    if ids <> [] then Tm2c_harness.Harness.run_ids ids scale;
+    if micro then Micro.run ()
+  end
+
+let ids_arg =
+  let doc =
+    "Experiment ids to run (e.g. fig5a). Default: all + micro. 'micro' runs \
+     the Bechamel micro-benchmarks."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let full_arg =
+  let doc = "Run at paper scale (longer windows, bigger structures)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let list_arg =
+  let doc = "List available experiments and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let cmd =
+  let doc = "Regenerate the tables and figures of the TM2C paper (EuroSys 2012)" in
+  Cmd.v
+    (Cmd.info "tm2c-bench" ~doc)
+    Term.(const run_bench $ ids_arg $ full_arg $ list_arg)
+
+let () = exit (Cmd.eval cmd)

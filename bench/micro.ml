@@ -1,0 +1,103 @@
+(* Bechamel micro-benchmarks of the host-side primitives underlying
+   the simulator and the TM2C protocol: event heap, PRNG, lock table,
+   contention-manager decisions, and a small end-to-end simulation. *)
+
+open Bechamel
+open Toolkit
+open Tm2c_engine
+open Tm2c_core
+
+let bench_heap =
+  Test.make ~name:"heap-push-pop-256" (Staged.stage (fun () ->
+      let h = Heap.create () in
+      for i = 0 to 255 do
+        Heap.push h (float_of_int ((i * 7919) mod 997)) i
+      done;
+      let rec drain () = match Heap.pop_min h with Some _ -> drain () | None -> () in
+      drain ()))
+
+let bench_prng =
+  let prng = Prng.create ~seed:1 in
+  Test.make ~name:"prng-next" (Staged.stage (fun () -> ignore (Prng.next prng)))
+
+let mk_holder core =
+  {
+    Types.h_core = core;
+    h_attempt = core * 3;
+    h_est_start_ns = float_of_int (core * 17);
+    h_committed = core;
+    h_effective_ns = float_of_int (core * 29);
+  }
+
+let bench_locktable =
+  Test.make ~name:"locktable-acquire-release" (Staged.stage (fun () ->
+      let lt = Locktable.create () in
+      for a = 0 to 63 do
+        Locktable.add_reader lt a (mk_holder (a mod 8))
+      done;
+      for a = 0 to 63 do
+        Locktable.remove_reader lt a ~core:(a mod 8) ~attempt:((a mod 8) * 3)
+      done))
+
+let bench_cm =
+  let requester = mk_holder 1 in
+  let enemies = List.init 4 (fun i -> mk_holder (i + 2)) in
+  Test.make ~name:"faircm-decide" (Staged.stage (fun () ->
+      ignore (Cm.decide Cm.Fair_cm ~requester ~enemies)))
+
+let bench_sim =
+  Test.make ~name:"sim-1k-events" (Staged.stage (fun () ->
+      let sim = Sim.create () in
+      for _ = 1 to 10 do
+        Sim.spawn sim (fun () ->
+            for _ = 1 to 50 do
+              Sim.delay 10.0
+            done)
+      done;
+      ignore (Sim.run sim ())))
+
+let bench_tm2c =
+  Test.make ~name:"tm2c-100-counter-txs" (Staged.stage (fun () ->
+      let cfg = { Runtime.default_config with total_cores = 4; service_cores = 2 } in
+      let t = Runtime.create cfg in
+      let counter = Tm2c_memory.Alloc.alloc (Runtime.alloc t) ~words:1 in
+      Runtime.start_services t;
+      Array.iter
+        (fun core ->
+          let ctx = Runtime.app_ctx t core in
+          Runtime.spawn_app t core (fun () ->
+              for _ = 1 to 50 do
+                Tx.atomic ctx (fun () ->
+                    Tx.write ctx counter (Tx.read ctx counter + 1))
+              done))
+        (Runtime.app_cores t);
+      ignore (Runtime.run t ())))
+
+let tests =
+  Test.make_grouped ~name:"tm2c"
+    [ bench_heap; bench_prng; bench_locktable; bench_cm; bench_sim; bench_tm2c ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  print_endline "\nMicro-benchmarks (ns per run, OLS estimate):";
+  Hashtbl.iter
+    (fun measure tbl ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.printf "  %-32s %12.1f %s\n" name est measure
+          | Some [] | None -> Printf.printf "  %-32s (no estimate)\n" name)
+        tbl)
+    merged;
+  flush stdout

@@ -1,0 +1,240 @@
+(* tm2c-sim: run a single TM2C workload on the simulated many-core
+   with every knob exposed — platform, core counts, deployment,
+   contention manager, write-acquisition mode, benchmark and mix.
+
+   Examples:
+     tm2c-sim --bench bank --cores 48 --cm faircm --balance 20
+     tm2c-sim --bench hashtable --cores 32 --buckets 64 --updates 30
+     tm2c-sim --bench list --elastic read --cores 16
+     tm2c-sim --bench mapreduce --input-kb 2048 --chunk-kb 8 *)
+
+open Cmdliner
+open Tm2c_core
+open Tm2c_apps
+
+type bench = Bank | Hashtable | List_bench | Mapreduce | Counter
+
+let bench_conv =
+  let parse = function
+    | "bank" -> Ok Bank
+    | "hashtable" | "ht" -> Ok Hashtable
+    | "list" | "linkedlist" -> Ok List_bench
+    | "mapreduce" | "mr" -> Ok Mapreduce
+    | "counter" -> Ok Counter
+    | s -> Error (`Msg (Printf.sprintf "unknown benchmark %S" s))
+  in
+  Arg.conv (parse, fun fmt b ->
+      Format.pp_print_string fmt
+        (match b with
+        | Bank -> "bank"
+        | Hashtable -> "hashtable"
+        | List_bench -> "list"
+        | Mapreduce -> "mapreduce"
+        | Counter -> "counter"))
+
+let platform_conv =
+  let parse = function
+    | "scc" -> Ok Tm2c_noc.Platform.scc
+    | "scc800" -> Ok Tm2c_noc.Platform.scc800
+    | "opteron" | "multicore" -> Ok Tm2c_noc.Platform.opteron
+    | s -> (
+        match int_of_string_opt s with
+        | Some i when i >= 0 && i <= 4 -> Ok (Tm2c_noc.Platform.scc_setting i)
+        | Some _ | None -> Error (`Msg (Printf.sprintf "unknown platform %S" s)))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt p.Tm2c_noc.Platform.name)
+
+let cm_conv =
+  let parse s =
+    match Cm.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown contention manager %S" s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Cm.name p))
+
+let elastic_conv =
+  let parse = function
+    | "none" | "normal" -> Ok `Normal
+    | "early" -> Ok `Elastic_early
+    | "read" -> Ok `Elastic_read
+    | s -> Error (`Msg (Printf.sprintf "unknown elastic mode %S" s))
+  in
+  Arg.conv (parse, fun fmt m ->
+      Format.pp_print_string fmt
+        (match m with
+        | `Normal -> "normal"
+        | `Elastic_early -> "early"
+        | `Elastic_read -> "read"))
+
+let report (r : Workload.result) =
+  Printf.printf "duration      %10.2f ms (virtual)\n" r.Workload.duration_ms;
+  Printf.printf "operations    %10d\n" r.Workload.ops;
+  Printf.printf "throughput    %10.2f ops/ms\n" r.Workload.throughput_ops_ms;
+  Printf.printf "commits       %10d\n" r.Workload.commits;
+  Printf.printf "aborts        %10d\n" r.Workload.aborts;
+  Printf.printf "commit rate   %10.2f %%\n" r.Workload.commit_rate;
+  Printf.printf "worst attempts%10d\n" r.Workload.worst_attempts;
+  Printf.printf "messages      %10d\n" r.Workload.messages;
+  Printf.printf "sim events    %10d\n" r.Workload.events
+
+let run bench platform cm cores service multitask eager duration_ms seed balance
+    accounts buckets updates elastic size input_kb chunk_kb =
+  let deployment = if multitask then Runtime.Multitask else Runtime.Dedicated in
+  let service = match service with Some s -> s | None -> max 1 (cores / 2) in
+  let cfg =
+    {
+      Runtime.platform;
+      total_cores = cores;
+      service_cores = (if multitask then cores else service);
+      deployment;
+      policy = cm;
+      wmode = (if eager then Tx.Eager else Tx.Lazy);
+      batching = true;
+      max_skew_ns = 3_000.0;
+      seed;
+      mem_words = 1 lsl 20;
+    }
+  in
+  let duration_ns = duration_ms *. 1e6 in
+  let t = Runtime.create cfg in
+  Printf.printf "TM2C on %s: %d cores (%d app / %d DTM, %s), %s, %s writes\n\n"
+    platform.Tm2c_noc.Platform.name cores
+    (Array.length (Runtime.app_cores t))
+    (Array.length (Runtime.dtm_cores t))
+    (if multitask then "multitasked" else "dedicated")
+    (Cm.name cm)
+    (if eager then "eager" else "lazy");
+  let r =
+    match bench with
+    | Bank ->
+        let bank = Bank.create t ~accounts ~initial:1000 in
+        let r =
+          Workload.drive t ~duration_ns (fun _core ctx prng () ->
+              if Tm2c_engine.Prng.int prng 100 < balance then
+                ignore (Bank.tx_balance ctx bank)
+              else begin
+                let src = Tm2c_engine.Prng.int prng accounts
+                and dst = Tm2c_engine.Prng.int prng accounts in
+                Bank.tx_transfer ctx bank ~src ~dst ~amount:1
+              end)
+        in
+        Printf.printf "total balance %10d (conserved: %b)\n" (Bank.total bank)
+          (Bank.total bank = accounts * 1000);
+        r
+    | Hashtable ->
+        let ht = Hashtable.create t ~n_buckets:buckets in
+        Hashtable.populate ht (Runtime.fork_prng t) ~n:size ~key_range:(2 * size);
+        let r =
+          Workload.drive t ~duration_ns (fun _core ctx prng () ->
+              let k = Tm2c_engine.Prng.int prng (2 * size) in
+              let p = Tm2c_engine.Prng.int prng 100 in
+              if p < updates then
+                if p land 1 = 0 then ignore (Hashtable.tx_add ctx ht k)
+                else ignore (Hashtable.tx_remove ctx ht k)
+              else ignore (Hashtable.tx_contains ctx ht k))
+        in
+        Hashtable.check_invariants ht;
+        Printf.printf "final size    %10d\n" (Hashtable.size ht);
+        r
+    | List_bench ->
+        let l = Linkedlist.create t in
+        Linkedlist.populate l (Runtime.fork_prng t) ~n:size ~key_range:(2 * size);
+        let r =
+          Workload.drive t ~duration_ns (fun _core ctx prng () ->
+              let k = Tm2c_engine.Prng.int prng (2 * size) in
+              let p = Tm2c_engine.Prng.int prng 100 in
+              if p < updates then
+                if p land 1 = 0 then ignore (Linkedlist.tx_add ~mode:elastic ctx l k)
+                else ignore (Linkedlist.tx_remove ~mode:elastic ctx l k)
+              else ignore (Linkedlist.tx_contains ~mode:elastic ctx l k))
+        in
+        Linkedlist.check_invariants l;
+        Printf.printf "final size    %10d\n" (Linkedlist.size l);
+        r
+    | Mapreduce ->
+        let mr =
+          Mapreduce.create t ~seed ~input_bytes:(input_kb * 1024)
+            ~chunk_bytes:(chunk_kb * 1024)
+        in
+        let r =
+          Workload.run_to_completion t (fun _core ctx _prng -> Mapreduce.worker ctx mr)
+        in
+        Printf.printf "histogram ok  %10b\n"
+          (Mapreduce.histogram mr = Mapreduce.expected_histogram mr);
+        r
+    | Counter ->
+        let counter = Tm2c_memory.Alloc.alloc (Runtime.alloc t) ~words:1 in
+        let r =
+          Workload.drive t ~duration_ns (fun _core ctx _prng () ->
+              Tx.atomic ctx (fun () -> Tx.write ctx counter (Tx.read ctx counter + 1)))
+        in
+        Printf.printf "counter       %10d\n"
+          (Tm2c_memory.Shmem.peek (Runtime.shmem t) counter);
+        r
+  in
+  report r
+
+let cmd =
+  let bench =
+    Arg.(value & opt bench_conv Bank
+         & info [ "bench"; "b" ] ~docv:"BENCH"
+             ~doc:"Benchmark: bank, hashtable, list, mapreduce, counter.")
+  in
+  let platform =
+    Arg.(value & opt platform_conv Tm2c_noc.Platform.scc
+         & info [ "platform"; "p" ] ~docv:"PLATFORM"
+             ~doc:"Platform: scc, scc800, opteron, or an SCC setting 0-4.")
+  in
+  let cm =
+    Arg.(value & opt cm_conv Cm.Fair_cm
+         & info [ "cm" ] ~docv:"CM"
+             ~doc:"Contention manager: nocm, backoff, offset-greedy, wholly, faircm.")
+  in
+  let cores = Arg.(value & opt int 48 & info [ "cores"; "n" ] ~doc:"Total cores.") in
+  let service =
+    Arg.(value & opt (some int) None
+         & info [ "service" ] ~doc:"DTM service cores (default: half).")
+  in
+  let multitask =
+    Arg.(value & flag & info [ "multitask" ] ~doc:"Multitasked deployment.")
+  in
+  let eager =
+    Arg.(value & flag & info [ "eager" ] ~doc:"Eager write-lock acquisition.")
+  in
+  let duration =
+    Arg.(value & opt float 50.0 & info [ "duration" ] ~doc:"Virtual milliseconds.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let balance =
+    Arg.(value & opt int 20 & info [ "balance" ] ~doc:"Bank: percent balance ops.")
+  in
+  let accounts =
+    Arg.(value & opt int 1024 & info [ "accounts" ] ~doc:"Bank: number of accounts.")
+  in
+  let buckets =
+    Arg.(value & opt int 64 & info [ "buckets" ] ~doc:"Hash table: buckets.")
+  in
+  let updates =
+    Arg.(value & opt int 20 & info [ "updates" ] ~doc:"Percent update operations.")
+  in
+  let elastic =
+    Arg.(value & opt elastic_conv `Normal
+         & info [ "elastic" ] ~doc:"List: elastic mode (normal, early, read).")
+  in
+  let size =
+    Arg.(value & opt int 512 & info [ "size" ] ~doc:"Initial structure size.")
+  in
+  let input_kb =
+    Arg.(value & opt int 1024 & info [ "input-kb" ] ~doc:"MapReduce: input KB.")
+  in
+  let chunk_kb =
+    Arg.(value & opt int 8 & info [ "chunk-kb" ] ~doc:"MapReduce: chunk KB.")
+  in
+  let doc = "Run a TM2C workload on the simulated many-core" in
+  Cmd.v (Cmd.info "tm2c-sim" ~doc)
+    Term.(
+      const run $ bench $ platform $ cm $ cores $ service $ multitask $ eager
+      $ duration $ seed $ balance $ accounts $ buckets $ updates $ elastic $ size
+      $ input_kb $ chunk_kb)
+
+let () = exit (Cmd.eval cmd)

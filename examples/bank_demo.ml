@@ -1,0 +1,48 @@
+(* Bank demo (the Section 5.3 motivating application).
+
+   A 48-core SCC runs a bank: most cores stream small transfer
+   transactions, one core repeatedly computes the full balance — the
+   long, conflict-prone transaction that livelocks naive contention
+   management. The demo runs the same workload under no-CM and under
+   FairCM, showing the livelock collapse and its resolution, and
+   checks that the total balance is conserved in both cases (aborted
+   transactions leave no trace).
+
+     dune exec examples/bank_demo.exe *)
+
+open Tm2c_core
+open Tm2c_apps
+
+let accounts = 512
+
+let run policy =
+  let cfg = { Runtime.default_config with policy; seed = 7 } in
+  let t = Runtime.create cfg in
+  let bank = Bank.create t ~accounts ~initial:1000 in
+  let reader = (Runtime.app_cores t).(0) in
+  let balances = ref 0 in
+  let r =
+    Workload.drive t ~duration_ns:40e6 (fun core ctx prng ->
+        if core = reader then (fun () ->
+          (* The long transaction: reads every account. *)
+          ignore (Bank.tx_balance ctx bank);
+          incr balances)
+        else fun () ->
+          let src = Tm2c_engine.Prng.int prng accounts
+          and dst = Tm2c_engine.Prng.int prng accounts in
+          Bank.tx_transfer ctx bank ~src ~dst ~amount:1)
+  in
+  Printf.printf "%-15s %10.1f ops/ms %8.1f%% commit rate %6d balances %s\n"
+    (Cm.name policy) r.Workload.throughput_ops_ms r.Workload.commit_rate !balances
+    (if Bank.total bank = accounts * 1000 then "(total conserved)"
+     else "(TOTAL VIOLATED!)");
+  assert (Bank.total bank = accounts * 1000)
+
+let () =
+  Printf.printf
+    "Bank: 23 transfer cores vs 1 balance core on the 48-core SCC (24 DTM cores)\n\n";
+  List.iter run [ Cm.No_cm; Cm.Backoff_retry; Cm.Offset_greedy; Cm.Wholly; Cm.Fair_cm ];
+  print_endline
+    "\nFairCM sustains the transfer throughput by deprioritizing the long\n\
+     balance transactions (they pay with retries; nobody starves: every\n\
+     transaction that keeps retrying eventually wins on cumulative time)."

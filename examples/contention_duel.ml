@@ -1,0 +1,50 @@
+(* Contention-manager duel: starvation in action (Section 4).
+
+   Every application core increments the same shared counter — the
+   worst case for any TM. The demo races all five contention managers
+   on identical hardware and seeds, reporting throughput, commit rate
+   and the worst number of attempts any single transaction needed
+   (the empirical starvation witness).
+
+   Under no-CM the workload livelocks: the run is cut by the horizon
+   with (almost) nothing committed. The two starvation-free managers,
+   Wholly and FairCM (Properties 2 and 3), keep the worst-case number
+   of attempts bounded.
+
+     dune exec examples/contention_duel.exe *)
+
+open Tm2c_core
+
+let run policy =
+  let cfg =
+    {
+      Runtime.default_config with
+      total_cores = 16;
+      service_cores = 8;
+      policy;
+      seed = 5;
+    }
+  in
+  let t = Runtime.create cfg in
+  let counter = Tm2c_memory.Alloc.alloc (Runtime.alloc t) ~words:1 in
+  let r =
+    Tm2c_apps.Workload.drive t ~duration_ns:20e6 (fun _core ctx _prng () ->
+        Tx.atomic ctx (fun () -> Tx.write ctx counter (Tx.read ctx counter + 1)))
+  in
+  Printf.printf "%-15s %8.1f ops/ms %8.1f%% commits %8d worst-attempts %6d  %s\n"
+    (Cm.name policy) r.Tm2c_apps.Workload.throughput_ops_ms
+    r.Tm2c_apps.Workload.commit_rate r.Tm2c_apps.Workload.commits
+    r.Tm2c_apps.Workload.worst_attempts
+    (if Cm.starvation_free policy then "[starvation-free]" else "")
+
+let () =
+  print_endline "8 cores incrementing one shared word for 20 virtual ms:\n";
+  List.iter run Cm.all;
+  print_endline
+    "\nNo-CM aborts whoever detects the conflict and retries immediately -\n\
+     with symmetric retries nobody wins: a livelock. Back-off-Retry's\n\
+     randomization usually escapes it. Offset-Greedy orders transactions\n\
+     by estimated start time but clock skew can produce inconsistent\n\
+     views. Wholly (fewest commits wins) and FairCM (least successful\n\
+     transactional time wins) are total orders rotating across cores:\n\
+     every transaction eventually has the highest priority and commits."

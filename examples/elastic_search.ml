@@ -1,0 +1,63 @@
+(* Elastic transactions on a search structure (Section 6).
+
+   A sorted linked list is hammered with 80% lookups / 20% updates by
+   23 application cores. The same workload runs three ways:
+
+   - normal transactions: every node visited during the search holds a
+     read lock until commit, so any concurrent insert anywhere along
+     the traversed prefix is a WAR conflict;
+   - elastic-early: read locks are released as the search window
+     advances (two extra messages per step);
+   - elastic-read: no read locks at all during the search — each step
+     re-validates the previous node against shared memory, trading
+     messages for (cheaper) memory accesses.
+
+     dune exec examples/elastic_search.exe *)
+
+open Tm2c_core
+open Tm2c_apps
+
+let n_elems = 512
+
+let run mode =
+  let cfg = { Runtime.default_config with seed = 21 } in
+  let t = Runtime.create cfg in
+  let list = Linkedlist.create t in
+  Linkedlist.populate list (Runtime.fork_prng t) ~n:n_elems ~key_range:(2 * n_elems);
+  let r =
+    Workload.drive t ~duration_ns:40e6 (fun _core ctx prng () ->
+        let k = Tm2c_engine.Prng.int prng (2 * n_elems) in
+        let p = Tm2c_engine.Prng.int prng 100 in
+        if p < 20 then
+          if p land 1 = 0 then ignore (Linkedlist.tx_add ~mode ctx list k)
+          else ignore (Linkedlist.tx_remove ~mode ctx list k)
+        else ignore (Linkedlist.tx_contains ~mode ctx list k))
+  in
+  Linkedlist.check_invariants list;
+  (mode, r)
+
+let label = function
+  | `Normal -> "normal"
+  | `Elastic_early -> "elastic-early"
+  | `Elastic_read -> "elastic-read"
+
+let () =
+  Printf.printf
+    "Sorted linked list (%d elements), 20%% updates, 24 app cores on the SCC\n\n"
+    n_elems;
+  let results = List.map run [ `Normal; `Elastic_early; `Elastic_read ] in
+  let base =
+    match results with (_, r) :: _ -> r.Workload.throughput_ops_ms | [] -> 1.0
+  in
+  List.iter
+    (fun (mode, r) ->
+      Printf.printf "%-15s %8.1f ops/ms  %6.1f%% commit rate  %5.2fx vs normal  (%d messages)\n"
+        (label mode) r.Workload.throughput_ops_ms r.Workload.commit_rate
+        (r.Workload.throughput_ops_ms /. base)
+        r.Workload.messages)
+    results;
+  print_endline
+    "\nThe searches' false WAR conflicts vanish in both elastic modes (commit\n\
+     rate ~100%), but only elastic-read also eliminates the per-node lock\n\
+     messages - on the SCC a shared-memory access is far cheaper than a\n\
+     message round trip, hence the large win (Fig. 7b)."

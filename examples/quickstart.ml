@@ -1,0 +1,68 @@
+(* Quickstart: the smallest complete TM2C program.
+
+   Builds a simulated 8-core SCC (4 application cores + 4 DTM service
+   cores), shares one counter and one two-slot "pair" in simulated
+   shared memory, and runs transactions from every application core.
+   The pair is updated so that its two slots must always sum to zero —
+   the final check only passes because transactions are atomic.
+
+     dune exec examples/quickstart.exe *)
+
+open Tm2c_core
+
+let () =
+  (* 1. Configure the machine: platform, core split, contention
+     manager. FairCM is TM2C's starvation-free companion manager. *)
+  let cfg =
+    {
+      Runtime.default_config with
+      total_cores = 8;
+      service_cores = 4;
+      policy = Cm.Fair_cm;
+    }
+  in
+  let t = Runtime.create cfg in
+
+  (* 2. Allocate shared data. Addresses are plain ints into the
+     simulated shared memory; address 0 is the null pointer. *)
+  let alloc = Runtime.alloc t in
+  let counter = Tm2c_memory.Alloc.alloc alloc ~words:1 in
+  let pair = Tm2c_memory.Alloc.alloc alloc ~words:2 in
+
+  (* 3. Start the DTM service cores. *)
+  Runtime.start_services t;
+
+  (* 4. Give every application core a transactional program. *)
+  Array.iter
+    (fun core ->
+      let ctx = Runtime.app_ctx t core in
+      let prng = Runtime.fork_prng t in
+      Runtime.spawn_app t core (fun () ->
+          for _ = 1 to 100 do
+            (* A transaction: read-modify-write of the counter plus an
+               opposite-signed update of the pair. Atomicity guarantees
+               no increment is lost and the pair always sums to 0. *)
+            let delta = 1 + Tm2c_engine.Prng.int prng 9 in
+            Tx.atomic ctx (fun () ->
+                Tx.write ctx counter (Tx.read ctx counter + 1);
+                Tx.write ctx pair (Tx.read ctx pair + delta);
+                Tx.write ctx (pair + 1) (Tx.read ctx (pair + 1) - delta))
+          done))
+    (Runtime.app_cores t);
+
+  (* 5. Run the simulation to completion and inspect the results. *)
+  let _events = Runtime.run t () in
+  let shmem = Runtime.shmem t in
+  let final = Tm2c_memory.Shmem.peek shmem counter in
+  let sum = Tm2c_memory.Shmem.peek shmem pair + Tm2c_memory.Shmem.peek shmem (pair + 1) in
+  let stats = Runtime.stats t in
+  Printf.printf "counter = %d (expected %d)\n" final
+    (100 * Array.length (Runtime.app_cores t));
+  Printf.printf "pair sum = %d (expected 0)\n" sum;
+  Printf.printf "commits = %d, aborts = %d, commit rate = %.1f%%\n"
+    (Stats.total_commits stats) (Stats.total_aborts stats) (Stats.commit_rate stats);
+  Printf.printf "virtual time = %.2f ms\n"
+    (Tm2c_engine.Sim.now (Runtime.sim t) /. 1e6);
+  assert (final = 100 * Array.length (Runtime.app_cores t));
+  assert (sum = 0);
+  print_endline "quickstart: OK"

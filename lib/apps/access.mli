@@ -1,0 +1,18 @@
+(** Uniform shared-memory access interface, so each benchmark data
+    structure is written once and runs both transactionally (wrapped
+    reads/writes through TM2C, Section 3.3) and "bare" (the sequential
+    baselines of Figs. 4b and 6b, which access memory directly). *)
+
+type t = {
+  read : Tm2c_core.Types.addr -> int;
+  write : Tm2c_core.Types.addr -> int -> unit;
+  compute : int -> unit;  (** charge local computation cycles *)
+}
+
+(** Access through a transaction context; reads and writes must happen
+    inside [Tx.atomic]. *)
+val of_tx : Tm2c_core.Tx.ctx -> t
+
+(** Direct (non-transactional) access from a core — the sequential
+    baseline; still pays the platform's memory latencies. *)
+val direct : Tm2c_core.System.env -> core:Tm2c_core.Types.core_id -> t

@@ -1,0 +1,101 @@
+open Tm2c_core
+open Tm2c_memory
+open Tm2c_engine
+
+let transfer_cycles = 20
+let per_account_cycles = 4
+
+type t = {
+  runtime : Runtime.t;
+  base : Types.addr;
+  n : int;
+  lock_reg : int;  (* global test-and-set register for the lock version *)
+  mutable spinners : int;  (* cores currently spinning on the lock *)
+}
+
+let create runtime ~accounts ~initial =
+  let base = Alloc.alloc (Runtime.alloc runtime) ~words:accounts in
+  let shmem = Runtime.shmem runtime in
+  for i = 0 to accounts - 1 do
+    Shmem.poke shmem (base + i) initial
+  done;
+  { runtime; base; n = accounts; lock_reg = Runtime.spare_reg runtime; spinners = 0 }
+
+let accounts t = t.n
+
+let addr t i = t.base + i
+
+let transfer_op (a : Access.t) t ~src ~dst ~amount =
+  a.compute transfer_cycles;
+  if src <> dst then begin
+    let vs = a.read (addr t src) in
+    let vd = a.read (addr t dst) in
+    a.write (addr t src) (vs - amount);
+    a.write (addr t dst) (vd + amount)
+  end
+
+let balance_op (a : Access.t) t =
+  let sum = ref 0 in
+  for i = 0 to t.n - 1 do
+    a.compute per_account_cycles;
+    sum := !sum + a.read (addr t i)
+  done;
+  !sum
+
+let tx_transfer ctx t ~src ~dst ~amount =
+  Tx.atomic ctx (fun () -> transfer_op (Access.of_tx ctx) t ~src ~dst ~amount)
+
+let tx_balance ctx t = Tx.atomic ctx (fun () -> balance_op (Access.of_tx ctx) t)
+
+(* Global spinlock on a TAS register: spin with randomized linear
+   back-off. Spinning cores keep hammering the register's tile, so
+   every register access — including the holder's release — queues
+   behind their traffic: the contention collapse that makes the lock
+   version degrade beyond ~28 cores in Fig. 5(d). *)
+let register_congestion_factor = 0.4
+
+let congestion_delay env t =
+  let tas_ns = (Tm2c_noc.Network.platform env.System.net).Tm2c_noc.Platform.tas_ns in
+  Sim.delay (tas_ns *. register_congestion_factor *. float_of_int t.spinners)
+
+let lock_acquire env ~core ~prng t =
+  let regs = env.System.regs in
+  t.spinners <- t.spinners + 1;
+  let rec spin attempts =
+    congestion_delay env t;
+    if not (Atomic_reg.tas regs ~core ~reg:t.lock_reg) then begin
+      let bound = 150.0 *. float_of_int (min attempts 32) in
+      Sim.delay (100.0 +. (Prng.float prng *. bound));
+      spin (attempts + 1)
+    end
+  in
+  spin 1;
+  t.spinners <- t.spinners - 1
+
+let lock_release env ~core t =
+  congestion_delay env t;
+  Atomic_reg.write env.System.regs ~core ~reg:t.lock_reg 0
+
+let lock_transfer env ~core ~prng t ~src ~dst ~amount =
+  lock_acquire env ~core ~prng t;
+  transfer_op (Access.direct env ~core) t ~src ~dst ~amount;
+  lock_release env ~core t
+
+let lock_balance env ~core ~prng t =
+  lock_acquire env ~core ~prng t;
+  let v = balance_op (Access.direct env ~core) t in
+  lock_release env ~core t;
+  v
+
+let seq_transfer env ~core t ~src ~dst ~amount =
+  transfer_op (Access.direct env ~core) t ~src ~dst ~amount
+
+let seq_balance env ~core t = balance_op (Access.direct env ~core) t
+
+let total t =
+  let shmem = Runtime.shmem t.runtime in
+  let sum = ref 0 in
+  for i = 0 to t.n - 1 do
+    sum := !sum + Shmem.peek shmem (addr t i)
+  done;
+  !sum

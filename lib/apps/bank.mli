@@ -1,0 +1,47 @@
+(** Bank application (Section 5.3): an array of accounts supporting
+    [transfer] (two reads + two writes) and [balance] (a read of every
+    account — the long, conflict-prone transaction that makes this the
+    livelock/contention-management stress test).
+
+    Three implementations:
+    - transactional (TM2C),
+    - lock-based: one global test-and-set register spinlock (the SCC
+      offers one TAS register per core, precluding fine-grained locks
+      — Fig. 5d's baseline),
+    - sequential (direct access, single core).
+
+    The total balance is conserved by transfers; [total] lets tests
+    assert it. *)
+
+type t
+
+val create : Tm2c_core.Runtime.t -> accounts:int -> initial:int -> t
+
+val accounts : t -> int
+
+val tx_transfer : Tm2c_core.Tx.ctx -> t -> src:int -> dst:int -> amount:int -> unit
+
+(** Sum of all accounts, read in one transaction. *)
+val tx_balance : Tm2c_core.Tx.ctx -> t -> int
+
+(** Lock-based variants: [prng] randomizes the spin back-off. *)
+val lock_transfer :
+  Tm2c_core.System.env ->
+  core:int ->
+  prng:Tm2c_engine.Prng.t ->
+  t ->
+  src:int ->
+  dst:int ->
+  amount:int ->
+  unit
+
+val lock_balance :
+  Tm2c_core.System.env -> core:int -> prng:Tm2c_engine.Prng.t -> t -> int
+
+val seq_transfer :
+  Tm2c_core.System.env -> core:int -> t -> src:int -> dst:int -> amount:int -> unit
+
+val seq_balance : Tm2c_core.System.env -> core:int -> t -> int
+
+(** Host-side total, for conservation checks. *)
+val total : t -> int

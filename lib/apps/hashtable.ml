@@ -1,0 +1,210 @@
+open Tm2c_core
+open Tm2c_memory
+
+(* Node layout: [key; next], two words. Buckets are sorted ascending.
+   Cycle costs charged per step model the P54C's hashing / comparison
+   work on top of the (dominant) memory latencies. *)
+let hash_cycles = 30
+let step_cycles = 8
+let alloc_cycles = 40
+
+type t = {
+  runtime : Runtime.t;
+  base : Types.addr;  (* base = header word; buckets at base+1 .. base+n *)
+  n_buckets : int;
+}
+
+let create runtime ~n_buckets =
+  if n_buckets < 1 then invalid_arg "Hashtable.create: need at least one bucket";
+  let base = Alloc.alloc (Runtime.alloc runtime) ~words:(1 + n_buckets) in
+  Shmem.poke (Runtime.shmem runtime) base n_buckets;
+  { runtime; base; n_buckets }
+
+let n_buckets t = t.n_buckets
+
+let hash t k = (k * 0x9E3779B1 land max_int) mod t.n_buckets
+
+let bucket_slot t k = t.base + 1 + hash t k
+
+(* Walk a bucket: returns [(slot, ptr, key)] where [slot] holds the
+   pointer [ptr] to the first node whose key is >= k (ptr = 0 at end
+   of bucket; key is meaningless then). *)
+let locate (a : Access.t) t k =
+  a.compute hash_cycles;
+  let rec walk slot =
+    let ptr = a.read slot in
+    if ptr = 0 then (slot, 0, 0)
+    else begin
+      let key = a.read ptr in
+      a.compute step_cycles;
+      if key >= k then (slot, ptr, key) else walk (ptr + 1)
+    end
+  in
+  walk (bucket_slot t k)
+
+let contains_op a t k =
+  let _, ptr, key = locate a t k in
+  ptr <> 0 && key = k
+
+(* [node] is a preallocated private [key; next] block; linking it only
+   writes the predecessor slot transactionally. Returns false (and
+   leaves the node unlinked) if the key is already present. *)
+let add_op (a : Access.t) t k ~node =
+  let slot, ptr, key = locate a t k in
+  if ptr <> 0 && key = k then false
+  else begin
+    let shmem = Runtime.shmem t.runtime in
+    (* The node is private until the commit makes [slot] point at it
+       (weak atomicity: private data needs no wrapping). *)
+    Shmem.poke shmem node k;
+    Shmem.poke shmem (node + 1) ptr;
+    a.write slot node;
+    true
+  end
+
+(* Returns the removed node's address, or 0 if absent. *)
+let remove_op (a : Access.t) t k =
+  let slot, ptr, key = locate a t k in
+  if ptr = 0 || key <> k then 0
+  else begin
+    let next = a.read (ptr + 1) in
+    a.write slot next;
+    (* Also write the removed node's next field (same value): a pure
+       conflict marker, so a concurrent operation whose elastic window
+       no longer covers [slot] still collides (WAW) with this unlink —
+       without it, adjacent removes could both commit and lose one
+       update (see the elastic-transaction tests). *)
+    a.write (ptr + 1) next;
+    ptr
+  end
+
+let new_node t =
+  let alloc = Runtime.alloc t.runtime in
+  Alloc.alloc alloc ~words:2
+
+let free_node t node = Alloc.free (Runtime.alloc t.runtime) node ~words:2
+
+let tx_contains ?elastic ctx t k =
+  Tx.atomic ?elastic ctx (fun () -> contains_op (Access.of_tx ctx) t k)
+
+let tx_add ?elastic ctx t k =
+  Tx.compute ctx alloc_cycles;
+  let node = new_node t in
+  let added = Tx.atomic ?elastic ctx (fun () -> add_op (Access.of_tx ctx) t k ~node) in
+  if not added then free_node t node;
+  added
+
+let tx_remove ?elastic ctx t k =
+  let removed =
+    Tx.atomic ?elastic ctx (fun () -> remove_op (Access.of_tx ctx) t k)
+  in
+  if removed <> 0 then begin
+    free_node t removed;
+    true
+  end
+  else false
+
+let tx_move ctx t k1 k2 =
+  Tx.compute ctx alloc_cycles;
+  let node = new_node t in
+  let removed =
+    Tx.atomic ctx (fun () ->
+        let a = Access.of_tx ctx in
+        (* Check k2 first: its bucket reads are cached in the read set,
+           so the add's second walk costs no extra messages, and a
+           failing move buffers no writes at all. *)
+        if contains_op a t k2 then 0
+        else begin
+          let removed = remove_op a t k1 in
+          if removed = 0 then 0
+          else begin
+            let added = add_op a t k2 ~node in
+            assert added;
+            removed
+          end
+        end)
+  in
+  if removed = 0 then begin
+    free_node t node;
+    false
+  end
+  else begin
+    free_node t removed;
+    true
+  end
+
+let seq_access env ~core = Access.direct env ~core
+
+let seq_contains env ~core t k = contains_op (seq_access env ~core) t k
+
+let seq_add env ~core t k =
+  let node = new_node t in
+  let a = seq_access env ~core in
+  a.Access.compute alloc_cycles;
+  let added = add_op a t k ~node in
+  if not added then free_node t node;
+  added
+
+let seq_remove env ~core t k =
+  let removed = remove_op (seq_access env ~core) t k in
+  if removed <> 0 then begin
+    free_node t removed;
+    true
+  end
+  else false
+
+(* Host-side helpers. *)
+
+let shmem t = Runtime.shmem t.runtime
+
+let peek_bucket t b =
+  let rec walk ptr acc =
+    if ptr = 0 then List.rev acc
+    else walk (Shmem.peek (shmem t) (ptr + 1)) (Shmem.peek (shmem t) ptr :: acc)
+  in
+  walk (Shmem.peek (shmem t) (t.base + 1 + b)) []
+
+let mem t k = List.mem k (peek_bucket t (hash t k))
+
+let to_list t =
+  List.concat (List.init t.n_buckets (fun b -> peek_bucket t b))
+
+let size t = List.length (to_list t)
+
+let populate t prng ~n ~key_range =
+  let inserted = ref 0 in
+  while !inserted < n do
+    let k = Tm2c_engine.Prng.int prng key_range in
+    if not (mem t k) then begin
+      (* Sorted host-side insert. *)
+      let sh = shmem t in
+      let rec find_slot slot =
+        let ptr = Shmem.peek sh slot in
+        if ptr = 0 then (slot, 0)
+        else if Shmem.peek sh ptr >= k then (slot, ptr)
+        else find_slot (ptr + 1)
+      in
+      let slot, ptr = find_slot (t.base + 1 + hash t k) in
+      let node = new_node t in
+      Shmem.poke sh node k;
+      Shmem.poke sh (node + 1) ptr;
+      Shmem.poke sh slot node;
+      incr inserted
+    end
+  done
+
+let check_invariants t =
+  for b = 0 to t.n_buckets - 1 do
+    let keys = peek_bucket t b in
+    let rec sorted = function
+      | [] | [ _ ] -> true
+      | x :: (y :: _ as rest) -> x < y && sorted rest
+    in
+    if not (sorted keys) then
+      invalid_arg (Printf.sprintf "Hashtable: bucket %d unsorted" b);
+    List.iter
+      (fun k ->
+        if hash t k <> b then
+          invalid_arg (Printf.sprintf "Hashtable: key %d in wrong bucket %d" k b))
+      keys
+  done

@@ -1,0 +1,126 @@
+open Tm2c_core
+open Tm2c_memory
+open Tm2c_engine
+
+(* Per-byte processing cost on the P54C: the input lives in the
+   uncacheable shared memory, so every byte access stalls (the
+   paper's Fig. 6(a) durations imply roughly 10 ms per 8 KB chunk,
+   i.e. ~1.1 us per byte at 533 MHz). The thrashing penalty applies
+   once a chunk no longer fits the effectively available L1 (16 KB
+   data cache shared with the OS: about 8 KB usable — Section 5.4's
+   explanation of the 8 KB optimum). *)
+let cycles_per_byte = 560
+let cycles_per_byte_thrashing = 660
+let l1_effective_bytes = 8 * 1024
+let per_chunk_cycles = 30_000
+
+(* Chunks claimed per allocation transaction: claiming two at a time
+   halves the start-up stampede on the hot chunk counter. *)
+let alloc_batch = 2
+
+type t = {
+  runtime : Runtime.t;
+  counter : Types.addr;
+  hist : Types.addr;  (* 26 words *)
+  input : Bytes.t;
+  chunk_bytes : int;
+  n_chunks : int;
+}
+
+let create runtime ~seed ~input_bytes ~chunk_bytes =
+  let base = Alloc.alloc (Runtime.alloc runtime) ~words:27 in
+  let prng = Prng.create ~seed in
+  let input =
+    Bytes.init input_bytes (fun _ -> Char.chr (Char.code 'a' + Prng.int prng 26))
+  in
+  {
+    runtime;
+    counter = base;
+    hist = base + 1;
+    input;
+    chunk_bytes;
+    n_chunks = (input_bytes + chunk_bytes - 1) / chunk_bytes;
+  }
+
+let n_chunks t = t.n_chunks
+
+let expected_histogram t =
+  let h = Array.make 26 0 in
+  Bytes.iter (fun c -> h.(Char.code c - Char.code 'a') <- h.(Char.code c - Char.code 'a') + 1) t.input;
+  h
+
+let histogram t =
+  let shmem = Runtime.shmem t.runtime in
+  Array.init 26 (fun i -> Shmem.peek shmem (t.hist + i))
+
+(* Count the letters of one chunk into [local], charging the modeled
+   compute time. *)
+let process_chunk t ~compute ~local idx =
+  let lo = idx * t.chunk_bytes in
+  let hi = min (Bytes.length t.input) (lo + t.chunk_bytes) in
+  let len = hi - lo in
+  let per_byte =
+    if t.chunk_bytes > l1_effective_bytes then cycles_per_byte_thrashing
+    else cycles_per_byte
+  in
+  compute (per_chunk_cycles + (len * per_byte));
+  for i = lo to hi - 1 do
+    let c = Char.code (Bytes.get t.input i) - Char.code 'a' in
+    local.(c) <- local.(c) + 1
+  done
+
+let worker ctx t =
+  let local = Array.make 26 0 in
+  let start_letter = Tx.core ctx mod 26 in
+  let rec fetch () =
+    (* Claim a batch of chunks [lo, hi) in one transaction. *)
+    let lo, hi =
+      Tx.atomic ctx (fun () ->
+          let i = Tx.read ctx t.counter in
+          if i >= t.n_chunks then (-1, -1)
+          else begin
+            let hi = min t.n_chunks (i + alloc_batch) in
+            Tx.write ctx t.counter hi;
+            (i, hi)
+          end)
+    in
+    if lo >= 0 then begin
+      for idx = lo to hi - 1 do
+        process_chunk t ~compute:(Tx.compute ctx) ~local idx
+      done;
+      fetch ()
+    end
+  in
+  fetch ();
+  (* Merge: one small transaction per letter keeps retries cheap while
+     every shared-total update stays atomic; starting at a
+     core-dependent letter avoids a convoy on letter 0. *)
+  for i = 0 to 25 do
+    let c = (start_letter + i) mod 26 in
+    if local.(c) > 0 then
+      Tx.atomic ctx (fun () ->
+          let v = Tx.read ctx (t.hist + c) in
+          Tx.write ctx (t.hist + c) (v + local.(c)))
+  done
+
+(* The bare sequential version streams the input with an L1-sized
+   buffer (no chunk-size parameter to get wrong), so it never pays the
+   thrashing penalty. *)
+let sequential env ~core t =
+  let local = Array.make 26 0 in
+  let a = Access.direct env ~core in
+  let n = Bytes.length t.input in
+  let n_steps = (n + l1_effective_bytes - 1) / l1_effective_bytes in
+  for step = 0 to n_steps - 1 do
+    let lo = step * l1_effective_bytes in
+    let hi = min n (lo + l1_effective_bytes) in
+    a.Access.compute (per_chunk_cycles + ((hi - lo) * cycles_per_byte));
+    for i = lo to hi - 1 do
+      let c = Char.code (Bytes.get t.input i) - Char.code 'a' in
+      local.(c) <- local.(c) + 1
+    done
+  done;
+  for c = 0 to 25 do
+    let v = a.Access.read (t.hist + c) in
+    a.Access.write (t.hist + c) (v + local.(c))
+  done

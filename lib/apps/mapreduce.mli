@@ -1,0 +1,37 @@
+(** MapReduce-like letter-counting application (Section 5.4).
+
+    The input "file" is synthetic text in simulated shared memory
+    terms: workers fetch chunk indices from a shared transactional
+    counter (TM2C replaces the master node), process each chunk
+    locally (per-byte compute whose cost rises when the chunk exceeds
+    the effectively available L1 — the 8 KB sweet spot of Fig. 6b),
+    and atomically merge their letter counts into the shared totals.
+
+    The paper's inputs are 256 MB-2 GB files; ours are scaled down
+    (see DESIGN.md) — durations scale linearly, so speedups over the
+    sequential baseline are comparable in shape. *)
+
+type t
+
+(** [create runtime ~input_bytes ~chunk_bytes] builds the shared
+    state (chunk counter + 26 letter totals) and a deterministic
+    synthetic input of [input_bytes] letters. *)
+val create :
+  Tm2c_core.Runtime.t -> seed:int -> input_bytes:int -> chunk_bytes:int -> t
+
+val n_chunks : t -> int
+
+(** Reference histogram of the synthetic input (host-side). *)
+val expected_histogram : t -> int array
+
+(** Shared totals as currently in simulated memory. *)
+val histogram : t -> int array
+
+(** Transactional worker: fetches and processes chunks until none are
+    left, then merges its local counts (one small transaction per
+    letter). *)
+val worker : Tm2c_core.Tx.ctx -> t -> unit
+
+(** Sequential baseline on one core: processes the whole input and
+    writes the totals directly. *)
+val sequential : Tm2c_core.System.env -> core:int -> t -> unit

@@ -1,0 +1,83 @@
+open Tm2c_core
+open Tm2c_engine
+open Tm2c_noc
+
+type result = {
+  ops : int;
+  duration_ms : float;
+  throughput_ops_ms : float;
+  commits : int;
+  aborts : int;
+  commit_rate : float;
+  worst_attempts : int;
+  messages : int;
+  events : int;
+}
+
+let collect t ~events ~duration_ns =
+  let stats = Runtime.stats t in
+  let ops = Stats.total_ops stats in
+  let duration_ms = duration_ns /. 1e6 in
+  {
+    ops;
+    duration_ms;
+    throughput_ops_ms = (if duration_ms > 0.0 then float_of_int ops /. duration_ms else 0.0);
+    commits = Stats.total_commits stats;
+    aborts = Stats.total_aborts stats;
+    commit_rate = Stats.commit_rate stats;
+    worst_attempts = Stats.worst_attempts stats;
+    messages = Network.sent (Runtime.env t).System.net;
+    events;
+  }
+
+let drive t ~duration_ns make_op =
+  Runtime.start_services t;
+  let sim = Runtime.sim t in
+  let stats = Runtime.stats t in
+  Array.iter
+    (fun core ->
+      let ctx = Runtime.app_ctx t core in
+      let prng = Runtime.fork_prng t in
+      let op = make_op core ctx prng in
+      Runtime.spawn_app t core (fun () ->
+          let cstats = Stats.core stats core in
+          while Sim.now sim < duration_ns do
+            op ();
+            cstats.Stats.ops <- cstats.Stats.ops + 1;
+            Runtime.poll_service t ~core
+          done))
+    (Runtime.app_cores t);
+  let events = Runtime.run t ~until:duration_ns () in
+  collect t ~events ~duration_ns
+
+let drive_seq t ~duration_ns make_op =
+  let sim = Runtime.sim t in
+  let stats = Runtime.stats t in
+  let core = (Runtime.app_cores t).(0) in
+  let prng = Runtime.fork_prng t in
+  let op = make_op ~core prng in
+  Runtime.spawn_app t core (fun () ->
+      let cstats = Stats.core stats core in
+      while Sim.now sim < duration_ns do
+        op ();
+        cstats.Stats.ops <- cstats.Stats.ops + 1
+      done);
+  let events = Runtime.run t ~until:duration_ns () in
+  collect t ~events ~duration_ns
+
+let run_to_completion t ?(horizon_ns = 1e13) work =
+  Runtime.start_services t;
+  let sim = Runtime.sim t in
+  let stats = Runtime.stats t in
+  Array.iter
+    (fun core ->
+      let ctx = Runtime.app_ctx t core in
+      let prng = Runtime.fork_prng t in
+      Runtime.spawn_app t core (fun () ->
+          work core ctx prng;
+          let cstats = Stats.core stats core in
+          cstats.Stats.ops <- cstats.Stats.ops + 1;
+          Runtime.poll_service t ~core))
+    (Runtime.app_cores t);
+  let events = Runtime.run t ~until:horizon_ns () in
+  collect t ~events ~duration_ns:(Sim.now sim)

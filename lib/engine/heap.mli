@@ -1,0 +1,21 @@
+(** Binary min-heap keyed by [float] priority with deterministic FIFO
+    tie-breaking: two entries pushed with equal priority pop in push
+    order. Used as the simulator's event queue. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push h priority v] inserts [v] with the given priority. *)
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum-priority entry,
+    or [None] when the heap is empty. *)
+val pop_min : 'a t -> (float * 'a) option
+
+(** [peek_min h] returns the minimum priority without removing it. *)
+val peek_min : 'a t -> float option

@@ -1,0 +1,26 @@
+type 'a state = Empty of ('a -> unit) list | Filled of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let fill iv v =
+  match iv.state with
+  | Filled _ -> invalid_arg "Ivar.fill: already filled"
+  | Empty waiters ->
+      iv.state <- Filled v;
+      (* Wake in registration order. *)
+      List.iter (fun resume -> resume v) (List.rev waiters)
+
+let read iv =
+  match iv.state with
+  | Filled v -> v
+  | Empty _ ->
+      Sim.suspend (fun resume ->
+          match iv.state with
+          | Filled _ -> assert false
+          | Empty waiters -> iv.state <- Empty (resume :: waiters))
+
+let try_read iv = match iv.state with Filled v -> Some v | Empty _ -> None
+
+let is_filled iv = match iv.state with Filled _ -> true | Empty _ -> false

@@ -1,0 +1,20 @@
+(** Write-once synchronization cell ("incremental variable").
+
+    Used for request/response rendezvous: a requester blocks in {!read}
+    until the responder {!fill}s the cell. Multiple readers may block on
+    the same cell; all are woken by the fill. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [fill iv v] sets the value. Raises [Invalid_argument] if already
+    filled. *)
+val fill : 'a t -> 'a -> unit
+
+(** Blocking read; returns immediately if already filled. *)
+val read : 'a t -> 'a
+
+val try_read : 'a t -> 'a option
+
+val is_filled : 'a t -> bool

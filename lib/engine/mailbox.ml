@@ -1,0 +1,33 @@
+type 'a t = {
+  sim : Sim.t;
+  queue : 'a Queue.t;
+  mutable waiter : ('a -> unit) option;
+}
+
+let create sim = { sim; queue = Queue.create (); waiter = None }
+
+let length mb = Queue.length mb.queue
+
+let is_empty mb = Queue.is_empty mb.queue
+
+let deliver mb v =
+  match mb.waiter with
+  | Some resume ->
+      mb.waiter <- None;
+      resume v
+  | None -> Queue.push v mb.queue
+
+let send mb v = deliver mb v
+
+let send_at mb ~at v = Sim.schedule mb.sim ~at (fun () -> deliver mb v)
+
+let recv mb =
+  match Queue.take_opt mb.queue with
+  | Some v -> v
+  | None ->
+      Sim.suspend (fun resume ->
+          if mb.waiter <> None then
+            invalid_arg "Mailbox.recv: mailbox already has a waiter";
+          mb.waiter <- Some resume)
+
+let try_recv mb = Queue.take_opt mb.queue

@@ -1,0 +1,27 @@
+(** Unbounded FIFO mailbox for simulation processes.
+
+    A mailbox supports any number of senders but at most one process
+    blocked in {!recv} at a time (each simulated core owns exactly one
+    mailbox, and a core is a single process). *)
+
+type 'a t
+
+val create : Sim.t -> 'a t
+
+(** Number of queued messages. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [send mb v] enqueues [v] now, waking the receiver if blocked. *)
+val send : 'a t -> 'a -> unit
+
+(** [send_at mb ~at v] delivers [v] at virtual time [at]. Deliveries
+    are FIFO per arrival time (ties broken by schedule order). *)
+val send_at : 'a t -> at:float -> 'a -> unit
+
+(** Blocking receive. Must be called from a simulation process. *)
+val recv : 'a t -> 'a
+
+(** Non-blocking receive. *)
+val try_recv : 'a t -> 'a option

@@ -1,0 +1,39 @@
+(* splitmix64 (Steele, Lea, Flood 2014), truncated to OCaml's 63-bit
+   native ints. Good statistical quality for simulation workloads and
+   trivially splittable. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next64 t in
+  { state = mix seed }
+
+let next t = Int64.to_int (next64 t) land max_int
+
+let int t bound =
+  assert (bound > 0);
+  next t mod bound
+
+let float t =
+  (* 53 random bits into the mantissa. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
+  float_of_int bits *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))

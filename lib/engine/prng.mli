@@ -1,0 +1,26 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Every source of randomness in the simulator draws from an explicit
+    [Prng.t] so that runs are reproducible from a single seed. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [split t] derives an independent stream (e.g. one per simulated
+    core) without perturbing [t]'s own sequence statistics. *)
+val split : t -> t
+
+(** Next raw 64-bit value (as an OCaml [int], so 63 bits, non-negative). *)
+val next : t -> int
+
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** [pick t arr] selects a uniform element of a non-empty array. *)
+val pick : t -> 'a array -> 'a

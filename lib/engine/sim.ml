@@ -1,0 +1,111 @@
+open Effect
+open Effect.Deep
+
+exception Stopped
+
+type t = {
+  mutable now : float;
+  events : (unit -> unit) Heap.t;
+  mutable n_spawned : int;
+  mutable n_finished : int;
+  mutable running : bool;
+}
+
+(* The effect payload carries the owning simulation so that nested or
+   sequential simulations (common in tests) cannot interfere. *)
+type _ Effect.t += Delay : t * float -> unit Effect.t
+type _ Effect.t += Suspend : t * (('a -> unit) -> unit) -> 'a Effect.t
+
+let create () =
+  { now = 0.0; events = Heap.create (); n_spawned = 0; n_finished = 0; running = false }
+
+let now t = t.now
+
+let schedule t ~at f =
+  let at = if at < t.now then t.now else at in
+  Heap.push t.events at f
+
+(* Ambient simulation for the currently executing process, so that
+   [delay]/[suspend] need no explicit handle at every call site. *)
+let current : t option ref = ref None
+
+let delay d =
+  match !current with
+  | Some t -> perform (Delay (t, if d < 0.0 then 0.0 else d))
+  | None -> invalid_arg "Sim.delay: not inside a simulation process"
+
+let suspend register =
+  match !current with
+  | Some t -> perform (Suspend (t, register))
+  | None -> invalid_arg "Sim.suspend: not inside a simulation process"
+
+let exec t body =
+  match_with
+    (fun () ->
+      current := Some t;
+      body ())
+    ()
+    {
+      retc = (fun () -> t.n_finished <- t.n_finished + 1);
+      exnc =
+        (fun exn ->
+          match exn with
+          | Stopped -> t.n_finished <- t.n_finished + 1
+          | _ ->
+              (* Surface where inside the process the failure happened:
+                 the re-raise below loses the fiber's backtrace. *)
+              let bt = Printexc.get_backtrace () in
+              if bt <> "" then prerr_string bt;
+              raise exn);
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Delay (st, d) when st == t ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  schedule t ~at:(t.now +. d) (fun () ->
+                      current := Some t;
+                      continue k ()))
+          | Suspend (st, register) when st == t ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  let resumed = ref false in
+                  register (fun v ->
+                      if !resumed then
+                        invalid_arg "Sim.suspend: resume called twice";
+                      resumed := true;
+                      schedule t ~at:t.now (fun () ->
+                          current := Some t;
+                          continue k v)))
+          | _ -> None);
+    }
+
+let spawn t ?name f =
+  ignore name;
+  t.n_spawned <- t.n_spawned + 1;
+  schedule t ~at:t.now (fun () -> exec t f)
+
+let run t ?until () =
+  t.running <- true;
+  let processed = ref 0 in
+  let continue_run = ref true in
+  while !continue_run do
+    match Heap.pop_min t.events with
+    | None -> continue_run := false
+    | Some (at, f) -> (
+        match until with
+        | Some horizon when at > horizon ->
+            t.now <- horizon;
+            continue_run := false
+        | Some _ | None ->
+            t.now <- at;
+            incr processed;
+            f ())
+  done;
+  t.running <- false;
+  current := None;
+  !processed
+
+let spawned t = t.n_spawned
+
+let finished t = t.n_finished

@@ -1,0 +1,59 @@
+(** Deterministic discrete-event simulator built on OCaml 5 effects.
+
+    A simulation owns a virtual clock (nanoseconds, [float]) and an
+    event queue. Processes are ordinary OCaml functions that perform
+    the {!delay} and {!suspend} effects to advance or block on virtual
+    time; the scheduler is single-threaded and deterministic (events at
+    equal times fire in schedule order).
+
+    Typical use:
+    {[
+      let sim = Sim.create () in
+      Sim.spawn sim (fun () -> Sim.delay 100.0; ...);
+      Sim.run sim
+    ]} *)
+
+type t
+
+(** Raised inside blocked processes that are terminated when the
+    simulation is stopped with pending waiters. *)
+exception Stopped
+
+val create : unit -> t
+
+(** Current virtual time in nanoseconds. *)
+val now : t -> float
+
+(** [spawn t ?name f] schedules process [f] to start at the current
+    virtual time. May be called before [run] or from within a running
+    process. An exception escaping [f] (other than {!Stopped}) aborts
+    the simulation. *)
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+
+(** [schedule t ~at f] runs callback [f] at virtual time [at] (clamped
+    to the current time if in the past). [f] must not perform effects;
+    use [spawn] for that. *)
+val schedule : t -> at:float -> (unit -> unit) -> unit
+
+(** Advance the calling process's virtual time by [d] nanoseconds.
+    Must be called from within a spawned process. Negative delays are
+    treated as zero. *)
+val delay : float -> unit
+
+(** [suspend register] blocks the calling process until the resume
+    function passed to [register] is invoked with a value. The resume
+    function must be called at most once; the wake-up is scheduled at
+    the virtual time of the call. *)
+val suspend : (('a -> unit) -> unit) -> 'a
+
+(** [run t ?until ()] executes events until the queue is empty or the
+    clock passes [until]. Returns the number of events processed.
+    Processes still blocked in {!suspend} when the run ends are
+    abandoned (their continuations are dropped). *)
+val run : t -> ?until:float -> unit -> int
+
+(** Number of processes spawned so far. *)
+val spawned : t -> int
+
+(** Number of processes that ran to completion. *)
+val finished : t -> int

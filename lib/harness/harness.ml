@@ -1,0 +1,42 @@
+type experiment = {
+  id : string;
+  description : string;
+  run : Exp.scale -> unit;
+}
+
+let all =
+  [
+    { id = "settings"; description = "Section 5.1 SCC performance settings table"; run = Settings.run };
+    { id = "fig4a"; description = "Hash table: multitasked vs dedicated deployment"; run = Fig4.fig4a };
+    { id = "fig4b"; description = "Hash table: speedup over sequential"; run = Fig4.fig4b };
+    { id = "fig4c"; description = "Hash table: eager vs lazy write-lock acquisition"; run = Fig4.fig4c };
+    { id = "fig5a"; description = "Bank: with vs without contention management"; run = Fig5.fig5a };
+    { id = "fig5b"; description = "Bank: number of DTM service cores"; run = Fig5.fig5b };
+    { id = "fig5c"; description = "Bank: contention-manager comparison (1 balance core)"; run = Fig5.fig5c };
+    { id = "fig5d"; description = "Bank: locks vs transactions"; run = Fig5.fig5d };
+    { id = "fig6a"; description = "MapReduce: duration vs cores"; run = Fig6.fig6a };
+    { id = "fig6b"; description = "MapReduce: speedup vs input size and chunk size"; run = Fig6.fig6b };
+    { id = "fig7a"; description = "Linked list: elastic-early vs normal"; run = Fig7.fig7a };
+    { id = "fig7b"; description = "Linked list: elastic-read vs normal"; run = Fig7.fig7b };
+    { id = "fig8a"; description = "Round-trip message latency across platforms"; run = Fig8.fig8a };
+    { id = "fig8b"; description = "Bank: many-core vs multi-core"; run = Fig8.fig8b };
+    { id = "fig8c"; description = "Linked list: many-core vs multi-core"; run = Fig8.fig8c };
+    { id = "fig8d"; description = "Hash table: many-core vs multi-core"; run = Fig8.fig8d };
+    { id = "ablations"; description = "Design-choice ablations: batching, clock skew, deployment"; run = Ablations.run };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_ids ids scale =
+  let ids = if List.mem "all" ids then List.map (fun e -> e.id) all else ids in
+  List.iter
+    (fun id ->
+      match find id with
+      | Some e ->
+          Printf.printf "\n=== %s: %s ===\n%!" e.id e.description;
+          let t0 = Unix.gettimeofday () in
+          e.run scale;
+          Printf.printf "(%s finished in %.1fs host time)\n%!" e.id
+            (Unix.gettimeofday () -. t0)
+      | None -> invalid_arg (Printf.sprintf "unknown experiment %S" id))
+    ids

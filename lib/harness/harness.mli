@@ -1,0 +1,16 @@
+(** Experiment registry: every table and figure of the paper's
+    evaluation, addressable by id ("fig4a" ... "fig8d", "settings"). *)
+
+type experiment = {
+  id : string;
+  description : string;
+  run : Exp.scale -> unit;
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+
+(** [run_ids ids scale] runs the named experiments (["all"] expands to
+    every experiment); raises [Invalid_argument] on unknown ids. *)
+val run_ids : string list -> Exp.scale -> unit

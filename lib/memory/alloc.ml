@@ -1,0 +1,37 @@
+type t = {
+  base : int;
+  limit : int;
+  mutable next : int;
+  free_lists : (int, Shmem.addr Queue.t) Hashtbl.t;
+  mutable live : int;
+}
+
+let create _shmem ~base ~limit =
+  if base < 1 then invalid_arg "Alloc.create: base must be >= 1";
+  { base; limit; next = base; free_lists = Hashtbl.create 8; live = 0 }
+
+let free_list t words =
+  match Hashtbl.find_opt t.free_lists words with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.free_lists words q;
+      q
+
+let alloc t ~words =
+  if words <= 0 then invalid_arg "Alloc.alloc: words must be > 0";
+  t.live <- t.live + words;
+  let q = free_list t words in
+  match Queue.take_opt q with
+  | Some addr -> addr
+  | None ->
+      if t.next + words > t.base + t.limit then raise Out_of_memory;
+      let addr = t.next in
+      t.next <- t.next + words;
+      addr
+
+let free t addr ~words =
+  t.live <- t.live - words;
+  Queue.push addr (free_list t words)
+
+let live_words t = t.live

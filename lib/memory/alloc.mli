@@ -1,0 +1,25 @@
+(** Size-classed free-list allocator over a {!Shmem} region.
+
+    The allocator metadata lives host-side (the SCC applications keep
+    theirs in private memory); only payload words occupy simulated
+    shared memory. Freed blocks are reused FIFO per size class, which
+    delays address reuse and so reduces ABA exposure for elastic-read
+    validation (see DESIGN.md). Allocation itself is untimed — callers
+    charge compute cycles as part of their operation cost. *)
+
+type t
+
+(** [create shmem ~base ~limit] manages addresses [base..base+limit-1].
+    [base] must be >= 1 (address 0 is the null pointer). *)
+val create : Shmem.t -> base:int -> limit:int -> t
+
+(** [alloc t ~words] returns the base address of a fresh block.
+    Raises [Out_of_memory] when the region is exhausted. *)
+val alloc : t -> words:int -> Shmem.addr
+
+(** [free t addr ~words] recycles a block previously obtained from
+    [alloc] with the same size. *)
+val free : t -> Shmem.addr -> words:int -> unit
+
+(** Words currently handed out. *)
+val live_words : t -> int

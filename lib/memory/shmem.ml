@@ -1,0 +1,118 @@
+open Tm2c_engine
+open Tm2c_noc
+
+type addr = int
+
+(* Private per-core cache: FIFO-bounded map from address to the word
+   version observed when cached. An entry is valid iff its version
+   still matches the word's current version. *)
+type cache = {
+  entries : (addr, int) Hashtbl.t;
+  fifo : addr Queue.t;
+  capacity : int;
+}
+
+type t = {
+  sim : Sim.t;
+  platform : Platform.t;
+  data : int array;
+  versions : int array;
+  caches : cache array option;
+  region_shift : int;
+  mc_busy : float array;  (* per-controller queue: busy-until time *)
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create sim platform ~words =
+  let caches =
+    match platform.Platform.cache with
+    | None -> None
+    | Some { Platform.capacity_words; _ } ->
+        let make _ =
+          { entries = Hashtbl.create 1024; fifo = Queue.create (); capacity = capacity_words }
+        in
+        Some (Array.init (Platform.n_cores platform) make)
+  in
+  (* Regions of 64 Ki words (512 KB) per controller stripe: big enough
+     that a compact structure stays within one controller. *)
+  {
+    sim;
+    platform;
+    data = Array.make words 0;
+    versions = Array.make words 0;
+    caches;
+    region_shift = 16;
+    mc_busy = Array.make (Topology.n_memory_controllers platform.Platform.topology) 0.0;
+    reads = 0;
+    writes = 0;
+  }
+
+let words t = Array.length t.data
+
+let mc_of_addr t addr =
+  (addr lsr t.region_shift) land (Topology.n_memory_controllers t.platform.Platform.topology - 1)
+
+(* Concurrent accesses to the same controller serialize: reserve a
+   service slot and fold the queueing delay into this access. *)
+let mc_queue_delay t mc =
+  let now = Sim.now t.sim in
+  let start = Float.max now t.mc_busy.(mc) in
+  t.mc_busy.(mc) <- start +. t.platform.Platform.mem_service_ns;
+  start -. now
+
+let cache_lookup c t addr =
+  match Hashtbl.find_opt c.entries addr with
+  | Some v when v = t.versions.(addr) -> true
+  | Some _ ->
+      Hashtbl.remove c.entries addr;
+      false
+  | None -> false
+
+let cache_insert c addr version =
+  if not (Hashtbl.mem c.entries addr) then begin
+    Queue.push addr c.fifo;
+    if Queue.length c.fifo > c.capacity then begin
+      let victim = Queue.pop c.fifo in
+      Hashtbl.remove c.entries victim
+    end
+  end;
+  Hashtbl.replace c.entries addr version
+
+let read t ~core addr =
+  t.reads <- t.reads + 1;
+  let mc = mc_of_addr t addr in
+  let latency =
+    match t.caches with
+    | Some caches when cache_lookup caches.(core) t addr -> (
+        match t.platform.Platform.cache with
+        | Some { Platform.hit_ns; _ } -> hit_ns
+        | None -> assert false)
+    | Some caches ->
+        cache_insert caches.(core) addr t.versions.(addr);
+        mc_queue_delay t mc +. Platform.mem_read_ns t.platform ~core ~mc
+    | None -> mc_queue_delay t mc +. Platform.mem_read_ns t.platform ~core ~mc
+  in
+  Sim.delay latency;
+  t.data.(addr)
+
+let write t ~core addr v =
+  t.writes <- t.writes + 1;
+  let mc = mc_of_addr t addr in
+  Sim.delay (mc_queue_delay t mc +. Platform.mem_write_ns t.platform ~core ~mc);
+  t.data.(addr) <- v;
+  t.versions.(addr) <- t.versions.(addr) + 1;
+  (* The writer keeps its own copy valid (write-through). *)
+  match t.caches with
+  | Some caches -> cache_insert caches.(core) addr t.versions.(addr)
+  | None -> ()
+
+let peek t addr = t.data.(addr)
+
+let poke t addr v =
+  t.data.(addr) <- v;
+  t.versions.(addr) <- t.versions.(addr) + 1
+
+let n_reads t = t.reads
+
+let n_writes t = t.writes

@@ -1,0 +1,52 @@
+open Tm2c_engine
+
+type 'a t = {
+  sim : Sim.t;
+  platform : Platform.t;
+  active : int;
+  boxes : 'a Mailbox.t array;
+  mutable n_sent : int;
+}
+
+let create sim platform ~active =
+  let n = Platform.n_cores platform in
+  {
+    sim;
+    platform;
+    active;
+    boxes = Array.init n (fun _ -> Mailbox.create sim);
+    n_sent = 0;
+  }
+
+let sim net = net.sim
+
+let platform net = net.platform
+
+let active net = net.active
+
+let send net ~src ~dst msg =
+  net.n_sent <- net.n_sent + 1;
+  Sim.delay (Platform.send_overhead_ns net.platform);
+  let flight = Platform.flight_ns net.platform ~active:net.active ~src ~dst in
+  Mailbox.send_at net.boxes.(dst) ~at:(Sim.now net.sim +. flight) msg
+
+let recv net ~self =
+  let msg = Mailbox.recv net.boxes.(self) in
+  Sim.delay (Platform.recv_overhead_ns net.platform);
+  msg
+
+let try_recv net ~self =
+  match Mailbox.try_recv net.boxes.(self) with
+  | Some msg ->
+      Sim.delay (Platform.recv_overhead_ns net.platform);
+      Some msg
+  | None ->
+      (* A fruitless scan over the flags of all active cores. *)
+      Sim.delay (float_of_int net.active *. net.platform.Platform.msg_poll_per_core_ns);
+      None
+
+let pending net ~self = Mailbox.length net.boxes.(self)
+
+let sent net = net.n_sent
+
+let compute net cycles = Sim.delay (Platform.cycles_ns net.platform cycles)

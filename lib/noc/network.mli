@@ -1,0 +1,43 @@
+(** Message-passing layer over the simulated on-chip network.
+
+    Each core owns one mailbox. [send] charges the sender's software
+    overhead (the sender's virtual time advances), then the message
+    spends the wire + detection latency in flight; [recv] additionally
+    charges the receiver's software overhead. The detection latency
+    grows with the number of [active] cores, modeling the SCC's
+    flag-polling receive loop (and the multi-core's channel scan). *)
+
+type 'a t
+
+val create : Tm2c_engine.Sim.t -> Platform.t -> active:int -> 'a t
+
+val sim : 'a t -> Tm2c_engine.Sim.t
+
+val platform : 'a t -> Platform.t
+
+(** Number of cores participating in messaging (the polling-scan
+    width). *)
+val active : 'a t -> int
+
+(** [send net ~src ~dst msg] — blocks the sender for the send software
+    overhead; delivery is scheduled after the flight latency. *)
+val send : 'a t -> src:int -> dst:int -> 'a -> unit
+
+(** [recv net ~self] — blocks until a message is available, then
+    charges the receive software overhead. *)
+val recv : 'a t -> self:int -> 'a
+
+(** [try_recv net ~self] — polls the mailbox. On [Some _] the receive
+    overhead has been charged; on [None] a single poll-scan cost has
+    been charged (used by the multitasking deployment). *)
+val try_recv : 'a t -> self:int -> 'a option
+
+(** Messages waiting for [self], without charging anything. *)
+val pending : 'a t -> self:int -> int
+
+(** Total messages sent so far on this network. *)
+val sent : 'a t -> int
+
+(** [compute net cycles] charges [cycles] of local computation at the
+    platform's core frequency. *)
+val compute : 'a t -> int -> unit

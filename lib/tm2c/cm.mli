@@ -1,0 +1,51 @@
+(** Distributed contention management (Section 4).
+
+    Upon a conflict the DTM node that detected it calls the contention
+    manager with the requester's (freshly estimated) metadata and the
+    current lock holders ("enemies"). The requester wins only if it
+    beats {e every} enemy, in which case all enemies are aborted;
+    otherwise the requester itself is aborted (the paper: the CM
+    "aborts all of them but the highest priority one").
+
+    Policies:
+    - {b no-CM}: the transaction that detects the conflict always
+      aborts and immediately restarts. Livelock-prone.
+    - {b Back-off-Retry}: like no-CM, but the aborted transaction waits
+      a randomized, exponentially growing delay before restarting
+      (client side — the decision function is the same). Livelock-prone
+      in theory, usually terminates in practice.
+    - {b Offset-Greedy}: Greedy adapted to the lack of a global clock;
+      priorities are start timestamps estimated from piggybacked
+      offsets, so clock skew and message delay can produce inconsistent
+      views (violates rule (b) of Property 1).
+    - {b Wholly}: priority is the inverse of the number of committed
+      transactions; starvation-free (Property 2).
+    - {b FairCM}: priority is the inverse of the cumulative time spent
+      on successful attempts; starvation-free (Property 3) and fair to
+      short transactions. The companion CM of TM2C. *)
+
+type policy = No_cm | Backoff_retry | Offset_greedy | Wholly | Fair_cm
+
+val all : policy list
+
+val name : policy -> string
+
+val of_string : string -> policy option
+
+(** Does this policy guarantee starvation-freedom (Property 1)? *)
+val starvation_free : policy -> bool
+
+(** Does the aborted transaction back off before restarting? *)
+val uses_backoff : policy -> bool
+
+type decision = Requester_loses | Enemies_lose
+
+(** [decide policy ~requester ~enemies] resolves a conflict. [enemies]
+    must be non-empty and must not contain the requester itself. *)
+val decide : policy -> requester:Types.holder -> enemies:Types.holder list -> decision
+
+(** Priority comparison used by [decide]: [beats p a b] is true when
+    [a] has strictly higher priority than [b] under policy [p]
+    (total order: ties broken by core id). Exposed for property
+    tests. *)
+val beats : policy -> Types.holder -> Types.holder -> bool

@@ -1,0 +1,244 @@
+open Types
+open Tm2c_noc
+open Tm2c_memory
+
+type server = {
+  core : core_id;
+  locks : Locktable.t;
+  mutable served : int;
+  (* Irrevocable-transaction support: the partition's exclusive owner
+     and the FIFO of transactions waiting to become it. While an
+     exclusive grant is active or pending, normal lock requests are
+     refused so the table drains. *)
+  mutable exclusive : (core_id * int) option;
+  excl_queue : System.request Queue.t;
+}
+
+let make ~core =
+  {
+    core;
+    locks = Locktable.create ();
+    served = 0;
+    exclusive = None;
+    excl_queue = Queue.create ();
+  }
+
+let core s = s.core
+
+let locks s = s.locks
+
+let served s = s.served
+
+(* Request-handling software costs on the service core, in core
+   cycles: table lookup + bookkeeping per address, on top of the
+   network layer's receive/send overheads. *)
+let handle_base_cycles = 120
+let per_addr_cycles = 45
+
+let reply env s ~(req : System.request) resp =
+  Network.send env.System.net ~src:s.core ~dst:req.tx.m_core
+    (System.Resp { req_id = req.req_id; resp })
+
+(* Outcome of trying to abort an enemy lock holder. *)
+type abort_outcome =
+  | Enemy_aborted  (** status CAS'd (attempt, Pending) -> (attempt, Aborted) *)
+  | Enemy_stale
+      (** the holder entry is dead: the enemy already aborted that
+          attempt itself (its release is in flight) or moved on to a
+          newer attempt — the entry can simply be revoked *)
+  | Enemy_committing  (** the enemy won the race to its commit point *)
+
+let try_abort_enemy env s (enemy : holder) =
+  let expect = Status.encode ~attempt:enemy.h_attempt Status.Pending in
+  let repl = Status.encode ~attempt:enemy.h_attempt Status.Aborted in
+  if Atomic_reg.cas env.System.regs ~core:s.core ~reg:enemy.h_core ~expect ~repl
+  then Enemy_aborted
+  else begin
+    let v = Atomic_reg.read env.System.regs ~core:s.core ~reg:enemy.h_core in
+    let attempt, state = Status.decode v in
+    if attempt > enemy.h_attempt then Enemy_stale
+    else
+      match state with
+      | Status.Aborted -> Enemy_stale
+      | Status.Committing | Status.Pending -> Enemy_committing
+  end
+
+let requester_holder env s (m : cm_meta) =
+  let est_start_ns = System.local_now env ~core:s.core -. m.m_offset_ns in
+  holder_of_meta m ~est_start_ns
+
+(* Algorithm 1: read-lock acquire. *)
+let read_lock env s (req : System.request) addr =
+  let requester = requester_holder env s req.tx in
+  let grant () =
+    Locktable.add_reader s.locks addr requester;
+    reply env s ~req System.Granted
+  in
+  let current_writer =
+    match Locktable.find s.locks addr with None -> None | Some e -> e.Locktable.writer
+  in
+  match current_writer with
+  | Some w when w.h_core <> req.tx.m_core -> (
+      (* Read-after-write conflict: call the contention manager. *)
+      match Cm.decide env.System.policy ~requester ~enemies:[ w ] with
+      | Cm.Requester_loses -> reply env s ~req (System.Conflicted Raw)
+      | Cm.Enemies_lose -> (
+          match try_abort_enemy env s w with
+          | Enemy_aborted | Enemy_stale ->
+              Locktable.revoke_writer s.locks addr;
+              grant ()
+          | Enemy_committing ->
+              (* Enemy is past its commit point: requester retries. *)
+              reply env s ~req (System.Conflicted Raw)))
+  | Some _ | None -> grant ()
+
+(* Algorithm 2 over a batch: acquire each write lock in turn; on
+   failure, roll back the grants made within this batch and report the
+   conflict (locks acquired by earlier batches at other nodes are
+   released by the aborting transaction itself). *)
+let write_locks env s (req : System.request) addrs =
+  let requester = requester_holder env s req.tx in
+  let granted_here = ref [] in
+  let rollback () =
+    List.iter
+      (fun a ->
+        Locktable.clear_writer s.locks a ~core:req.tx.m_core ~attempt:req.tx.m_attempt)
+      !granted_here
+  in
+  let fail conflict =
+    rollback ();
+    reply env s ~req (System.Conflicted conflict)
+  in
+  (* Abort every enemy; enemies found stale are revoked all the same.
+     Returns false if any enemy reached its commit point first. *)
+  let abort_all enemies ~revoke =
+    List.for_all
+      (fun enemy ->
+        match try_abort_enemy env s enemy with
+        | Enemy_aborted | Enemy_stale ->
+            revoke enemy;
+            true
+        | Enemy_committing -> false)
+      enemies
+  in
+  let rec acquire = function
+    | [] -> reply env s ~req System.Granted
+    | addr :: rest -> (
+        let entry = Locktable.find s.locks addr in
+        let writer =
+          match entry with None -> None | Some e -> e.Locktable.writer
+        in
+        match writer with
+        | Some w when w.h_core <> req.tx.m_core -> (
+            (* Write-after-write conflict. *)
+            match Cm.decide env.System.policy ~requester ~enemies:[ w ] with
+            | Cm.Requester_loses -> fail Waw
+            | Cm.Enemies_lose ->
+                if
+                  abort_all [ w ] ~revoke:(fun _ ->
+                      Locktable.revoke_writer s.locks addr)
+                then acquire (addr :: rest)
+                else fail Waw)
+        | Some _ | None -> (
+            let enemies =
+              match entry with
+              | None -> []
+              | Some e -> Locktable.readers_excluding e ~core:req.tx.m_core
+            in
+            match enemies with
+            | [] ->
+                Locktable.set_writer s.locks addr requester;
+                granted_here := addr :: !granted_here;
+                acquire rest
+            | _ -> (
+                (* Write-after-read conflict against all readers. *)
+                match Cm.decide env.System.policy ~requester ~enemies with
+                | Cm.Requester_loses -> fail War
+                | Cm.Enemies_lose ->
+                    if
+                      abort_all enemies ~revoke:(fun (enemy : holder) ->
+                          Locktable.revoke_reader s.locks addr ~core:enemy.h_core)
+                    then begin
+                      Locktable.set_writer s.locks addr requester;
+                      granted_here := addr :: !granted_here;
+                      acquire rest
+                    end
+                    else
+                      (* Some reader won the race to its commit point;
+                         readers already aborted stay aborted (the CM
+                         keeps at most the highest-priority one). *)
+                      fail War)))
+  in
+  acquire addrs
+
+let release_reads _env s (req : System.request) addrs =
+  List.iter
+    (fun a ->
+      Locktable.remove_reader s.locks a ~core:req.tx.m_core ~attempt:req.tx.m_attempt)
+    addrs
+
+let release_writes _env s (req : System.request) addrs =
+  List.iter
+    (fun a ->
+      Locktable.clear_writer s.locks a ~core:req.tx.m_core ~attempt:req.tx.m_attempt)
+    addrs
+
+(* Grant the partition to the next queued irrevocable transaction once
+   every lock has drained. *)
+let maybe_grant_exclusive env s =
+  if s.exclusive = None && Locktable.n_locked s.locks = 0 then
+    match Queue.take_opt s.excl_queue with
+    | Some req ->
+        s.exclusive <- Some (req.System.tx.m_core, req.System.tx.m_attempt);
+        reply env s ~req System.Granted
+    | None -> ()
+
+let exclusive_blocked s =
+  s.exclusive <> None || not (Queue.is_empty s.excl_queue)
+
+let handle env s (req : System.request) =
+  s.served <- s.served + 1;
+  let n_addrs =
+    match req.kind with
+    | System.Read_lock _ | System.Barrier_reached | System.Exclusive_acquire
+    | System.Exclusive_release -> 1
+    | System.Write_locks l | System.Release_reads l | System.Release_writes l ->
+        List.length l
+  in
+  Network.compute env.System.net (handle_base_cycles + (per_addr_cycles * n_addrs));
+  (match req.kind with
+  | System.Read_lock addr ->
+      if exclusive_blocked s then reply env s ~req (System.Conflicted Raw)
+      else read_lock env s req addr
+  | System.Write_locks addrs ->
+      if exclusive_blocked s then reply env s ~req (System.Conflicted Waw)
+      else write_locks env s req addrs
+  | System.Release_reads addrs -> release_reads env s req addrs
+  | System.Release_writes addrs -> release_writes env s req addrs
+  | System.Exclusive_acquire ->
+      if s.exclusive = None && Queue.is_empty s.excl_queue
+         && Locktable.n_locked s.locks = 0
+      then begin
+        s.exclusive <- Some (req.tx.m_core, req.tx.m_attempt);
+        reply env s ~req System.Granted
+      end
+      else Queue.push req s.excl_queue
+  | System.Exclusive_release ->
+      (match s.exclusive with
+      | Some (core, attempt) when core = req.tx.m_core && attempt = req.tx.m_attempt ->
+          s.exclusive <- None
+      | Some _ | None -> ())
+  | System.Barrier_reached ->
+      invalid_arg "Dtm.handle: barrier message routed to a DTM core");
+  maybe_grant_exclusive env s
+
+let service_loop env s =
+  let rec loop () =
+    match Network.recv env.System.net ~self:s.core with
+    | System.Req req ->
+        handle env s req;
+        loop ()
+    | System.Resp _ ->
+        invalid_arg "Dtm.service_loop: service core received a response"
+  in
+  loop ()

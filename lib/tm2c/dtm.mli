@@ -1,0 +1,36 @@
+(** The DTM service: one server per service core, owning the lock
+    table for its partition of the shared memory (Section 3.2).
+
+    [handle] implements Algorithms 1 and 2. On conflict it calls the
+    contention manager ({!Cm.decide}); when the requester wins, each
+    enemy is aborted by CAS'ing its status word from
+    [(attempt, Pending)] to [(attempt, Aborted)] and revoking its
+    lock-table entries. A failed CAS means the enemy already reached
+    its commit point (or moved on), in which case the requester is
+    conservatively told to abort — safe, and transient, so it does not
+    compromise starvation-freedom (the loser's priority is preserved
+    across the retry). *)
+
+type server
+
+(** Each server additionally arbitrates exclusive ownership of its
+    partition for irrevocable transactions (Section 2's extension):
+    an [Exclusive_acquire] is granted once the lock table has drained
+    — normal requests are refused in the meantime — and queued FIFO
+    behind other exclusive requests otherwise. *)
+val make : core:Types.core_id -> server
+
+val core : server -> Types.core_id
+
+val locks : server -> Locktable.t
+
+(** Requests processed so far. *)
+val served : server -> int
+
+(** Process one request; sends the response (if any) over the network
+    from this server's core. Charges the server's processing cycles. *)
+val handle : System.env -> server -> System.request -> unit
+
+(** Dedicated-deployment service loop: receive and handle requests
+    forever. Runs until the simulation ends. *)
+val service_loop : System.env -> server -> unit

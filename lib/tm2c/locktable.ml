@@ -1,0 +1,74 @@
+open Types
+
+type entry = { mutable writer : holder option; mutable readers : holder list }
+
+type t = (addr, entry) Hashtbl.t
+
+let create () = Hashtbl.create 1024
+
+let entry t addr =
+  match Hashtbl.find_opt t addr with
+  | Some e -> e
+  | None ->
+      let e = { writer = None; readers = [] } in
+      Hashtbl.add t addr e;
+      e
+
+let find t addr = Hashtbl.find_opt t addr
+
+let gc t addr e = if e.writer = None && e.readers = [] then Hashtbl.remove t addr
+
+let add_reader t addr h =
+  let e = entry t addr in
+  e.readers <- h :: List.filter (fun r -> r.h_core <> h.h_core) e.readers
+
+let remove_reader t addr ~core ~attempt =
+  match Hashtbl.find_opt t addr with
+  | None -> ()
+  | Some e ->
+      e.readers <-
+        List.filter (fun r -> not (r.h_core = core && r.h_attempt = attempt)) e.readers;
+      gc t addr e
+
+let revoke_reader t addr ~core =
+  match Hashtbl.find_opt t addr with
+  | None -> ()
+  | Some e ->
+      e.readers <- List.filter (fun r -> r.h_core <> core) e.readers;
+      gc t addr e
+
+let set_writer t addr h =
+  let e = entry t addr in
+  e.writer <- Some h
+
+let clear_writer t addr ~core ~attempt =
+  match Hashtbl.find_opt t addr with
+  | None -> ()
+  | Some e -> (
+      match e.writer with
+      | Some w when w.h_core = core && w.h_attempt = attempt ->
+          e.writer <- None;
+          gc t addr e
+      | Some _ | None -> ())
+
+let revoke_writer t addr =
+  match Hashtbl.find_opt t addr with
+  | None -> ()
+  | Some e ->
+      e.writer <- None;
+      gc t addr e
+
+let readers_excluding e ~core = List.filter (fun r -> r.h_core <> core) e.readers
+
+let n_locked t = Hashtbl.length t
+
+let check_invariants t =
+  Hashtbl.iter
+    (fun addr e ->
+      if e.writer = None && e.readers = [] then
+        invalid_arg (Printf.sprintf "Locktable: empty entry retained at %d" addr);
+      let cores = List.map (fun r -> r.h_core) e.readers in
+      let sorted = List.sort_uniq compare cores in
+      if List.length sorted <> List.length cores then
+        invalid_arg (Printf.sprintf "Locktable: duplicate reader core at %d" addr))
+    t

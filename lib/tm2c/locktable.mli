@@ -1,0 +1,56 @@
+(** Per-DTM-node table of multiple-readers / single-writer revocable
+    locks, one entry per memory word (the DS-Lock state of Section
+    3.2). This module is pure mechanics — the conflict logic of
+    Algorithms 1 and 2 lives in {!Dtm}, which injects the contention
+    manager's decisions.
+
+    Releases and revocations are attempt-checked: a release carrying a
+    stale attempt number (from an already-aborted transaction) is
+    ignored, and a revocation only removes the exact holder the
+    contention manager decided against. *)
+
+type entry = {
+  mutable writer : Types.holder option;
+  mutable readers : Types.holder list;
+}
+
+type t
+
+val create : unit -> t
+
+(** Entry for an address, creating it if absent. *)
+val entry : t -> Types.addr -> entry
+
+val find : t -> Types.addr -> entry option
+
+(** [add_reader t addr h] records a read lock. A previous entry by the
+    same core (necessarily from an older attempt) is replaced. *)
+val add_reader : t -> Types.addr -> Types.holder -> unit
+
+(** [remove_reader t addr ~core ~attempt] drops the reader if (and only
+    if) it matches both core and attempt. *)
+val remove_reader : t -> Types.addr -> core:Types.core_id -> attempt:int -> unit
+
+(** Unconditional revocation of a reader (the CM aborted it). *)
+val revoke_reader : t -> Types.addr -> core:Types.core_id -> unit
+
+val set_writer : t -> Types.addr -> Types.holder -> unit
+
+(** [clear_writer t addr ~core ~attempt] releases the write lock iff
+    the current writer matches. *)
+val clear_writer : t -> Types.addr -> core:Types.core_id -> attempt:int -> unit
+
+(** Unconditional revocation of the writer (the CM aborted it). *)
+val revoke_writer : t -> Types.addr -> unit
+
+(** Readers other than [core] (a transaction never conflicts with
+    itself). *)
+val readers_excluding : entry -> core:Types.core_id -> Types.holder list
+
+(** Number of addresses currently locked (readers or writer present). *)
+val n_locked : t -> int
+
+(** Check internal invariants; raises [Invalid_argument] on violation.
+    Invariants: no duplicate reader cores on an entry; an entry present
+    in the table is non-empty. *)
+val check_invariants : t -> unit

@@ -1,0 +1,223 @@
+open Tm2c_engine
+open Tm2c_noc
+open Tm2c_memory
+
+type deployment = Dedicated | Multitask
+
+type config = {
+  platform : Platform.t;
+  total_cores : int;
+  service_cores : int;
+  deployment : deployment;
+  policy : Cm.policy;
+  wmode : Tx.wmode;
+  batching : bool;
+  max_skew_ns : float;
+  seed : int;
+  mem_words : int;
+}
+
+let default_config =
+  {
+    platform = Platform.scc;
+    total_cores = 48;
+    service_cores = 24;
+    deployment = Dedicated;
+    policy = Cm.Fair_cm;
+    wmode = Tx.Lazy;
+    batching = true;
+    max_skew_ns = 3_000.0;
+    seed = 42;
+    mem_words = 1 lsl 20;
+  }
+
+type t = {
+  cfg : config;
+  sim : Sim.t;
+  env : System.env;
+  alloc : Alloc.t;
+  app_cores : Types.core_id array;
+  dtm_cores : Types.core_id array;
+  servers : (Types.core_id, Dtm.server) Hashtbl.t;
+  root_prng : Prng.t;
+  mutable next_spare_reg : int;
+  max_reg : int;
+}
+
+(* Multitasking deployment: cycles of application computation that a
+   service request must wait out before the non-preemptive service
+   coroutine is scheduled (the Figure 2 effect). *)
+let multitask_defer_cycles = 25_000
+
+let partition_cores cfg =
+  match cfg.deployment with
+  | Multitask ->
+      let all = Array.init cfg.total_cores (fun i -> i) in
+      (all, all)
+  | Dedicated ->
+      if cfg.service_cores < 1 || cfg.service_cores >= cfg.total_cores then
+        invalid_arg "Runtime: need 1 <= service_cores < total_cores";
+      (* Spread the service cores evenly over the chip. *)
+      let dtm =
+        Array.init cfg.service_cores (fun k -> k * cfg.total_cores / cfg.service_cores)
+      in
+      let is_dtm = Array.make cfg.total_cores false in
+      Array.iter (fun c -> is_dtm.(c) <- true) dtm;
+      let app = ref [] in
+      for c = cfg.total_cores - 1 downto 0 do
+        if not is_dtm.(c) then app := c :: !app
+      done;
+      (Array.of_list !app, dtm)
+
+let create cfg =
+  if cfg.total_cores < 2 then invalid_arg "Runtime: need at least 2 cores";
+  if cfg.total_cores > Platform.n_cores cfg.platform then
+    invalid_arg "Runtime: total_cores exceeds the platform";
+  let sim = Sim.create () in
+  let root_prng = Prng.create ~seed:cfg.seed in
+  let app_cores, dtm_cores = partition_cores cfg in
+  let net = Network.create sim cfg.platform ~active:cfg.total_cores in
+  let shmem = Shmem.create sim cfg.platform ~words:cfg.mem_words in
+  let n_regs = Platform.n_cores cfg.platform + 8 in
+  let regs = Atomic_reg.create sim cfg.platform ~count:n_regs in
+  (* Per-core local-clock offsets: there is no global clock, which is
+     precisely what breaks Offset-Greedy's rule (b). *)
+  let skew =
+    Array.init (Platform.n_cores cfg.platform) (fun _ ->
+        Prng.float root_prng *. cfg.max_skew_ns)
+  in
+  let n_service = Array.length dtm_cores in
+  let owner_of addr = dtm_cores.(System.owner_hash addr n_service) in
+  let stats = Stats.create ~n_cores:(Platform.n_cores cfg.platform) in
+  let env =
+    {
+      System.sim;
+      net;
+      shmem;
+      regs;
+      policy = cfg.policy;
+      owner_of;
+      dtm_cores;
+      skew;
+      stats;
+      serve_inline = None;
+      serve_defer_cycles = 0;
+      batching = cfg.batching;
+      barrier_seen = Array.make (Platform.n_cores cfg.platform) 0;
+    }
+  in
+  let alloc = Alloc.create shmem ~base:1 ~limit:(cfg.mem_words - 1) in
+  {
+    cfg;
+    sim;
+    env;
+    alloc;
+    app_cores;
+    dtm_cores;
+    servers = Hashtbl.create 64;
+    root_prng;
+    next_spare_reg = Platform.n_cores cfg.platform;
+    max_reg = n_regs;
+  }
+
+let config t = t.cfg
+
+let env t = t.env
+
+let sim t = t.sim
+
+let shmem t = t.env.System.shmem
+
+let alloc t = t.alloc
+
+let stats t = t.env.System.stats
+
+let app_cores t = t.app_cores
+
+let dtm_cores t = t.dtm_cores
+
+let fork_prng t = Prng.split t.root_prng
+
+let spare_reg t =
+  if t.next_spare_reg >= t.max_reg then
+    invalid_arg "Runtime.spare_reg: no spare registers left";
+  let r = t.next_spare_reg in
+  t.next_spare_reg <- r + 1;
+  r
+
+let app_ctx t core = Tx.make t.env ~core ~prng:(fork_prng t) ~wmode:t.cfg.wmode
+
+let server_for t core =
+  match Hashtbl.find_opt t.servers core with
+  | Some s -> s
+  | None ->
+      let s = Dtm.make ~core in
+      Hashtbl.add t.servers core s;
+      s
+
+let start_services t =
+  match t.cfg.deployment with
+  | Dedicated ->
+      Array.iter
+        (fun core ->
+          let server = server_for t core in
+          Sim.spawn t.sim ~name:(Printf.sprintf "dtm-%d" core) (fun () ->
+              Dtm.service_loop t.env server))
+        t.dtm_cores
+  | Multitask ->
+      Array.iter (fun core -> ignore (server_for t core)) t.dtm_cores;
+      t.env.System.serve_defer_cycles <- multitask_defer_cycles;
+      t.env.System.serve_inline <-
+        Some (fun ~self req -> Dtm.handle t.env (server_for t self) req)
+
+let spawn_app t core f =
+  Sim.spawn t.sim ~name:(Printf.sprintf "app-%d" core) f
+
+let poll_service t ~core =
+  match t.cfg.deployment with
+  | Dedicated -> ()
+  | Multitask ->
+      let server = server_for t core in
+      let rec drain () =
+        match Network.try_recv t.env.System.net ~self:core with
+        | Some (System.Req req) ->
+            Dtm.handle t.env server req;
+            drain ()
+        | Some (System.Resp _) ->
+            invalid_arg "Runtime.poll_service: unexpected response"
+        | None -> ()
+      in
+      drain ()
+
+let run t ?until () = Sim.run t.sim ?until ()
+
+(* Privatization barrier (Section 8): each application core sends a
+   barrier-reached message to every other application core and blocks
+   until it has received one from each of them. Barrier messages share
+   the interconnect with the DTM traffic, so under the multitasking
+   deployment pending service requests are drained while waiting. *)
+let barrier t ~core =
+  let peers = List.filter (fun c -> c <> core) (Array.to_list t.app_cores) in
+  List.iter
+    (fun dst ->
+      Network.send t.env.System.net ~src:core ~dst
+        (System.Req
+           { tx = { Types.m_core = core; m_attempt = -1; m_offset_ns = 0.0;
+                    m_committed = 0; m_effective_ns = 0.0 };
+             kind = System.Barrier_reached;
+             req_id = 0 }))
+    peers;
+  let expected = List.length peers in
+  let seen = t.env.System.barrier_seen in
+  (* Barrier messages that arrived while this core was inside a
+     transaction were stashed by [Tx.await]. *)
+  while seen.(core) < expected do
+    match Network.recv t.env.System.net ~self:core with
+    | System.Req { kind = System.Barrier_reached; _ } -> seen.(core) <- seen.(core) + 1
+    | System.Req req -> (
+        match t.env.System.serve_inline with
+        | Some serve -> serve ~self:core req
+        | None -> invalid_arg "Runtime.barrier: unexpected service request")
+    | System.Resp _ -> invalid_arg "Runtime.barrier: unexpected response"
+  done;
+  seen.(core) <- seen.(core) - expected

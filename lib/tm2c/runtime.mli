@@ -1,0 +1,95 @@
+(** System assembly: builds a simulated machine, partitions the cores
+    between the application and the DTM service (Section 3.1), and
+    runs workloads.
+
+    Two deployments are supported:
+    - [Dedicated]: disjoint sets of cores host the DTM service and the
+      application; service cores are spread evenly across the chip
+      (every [total/service]-th core) so each tile keeps its locality.
+    - [Multitask]: every core hosts both the application and a DTM
+      server (the libtask-based initial design); service requests are
+      handled only when the application task yields — while it awaits
+      its own responses or between operations ({!poll_service}) — so
+      remote requests can wait on the application's local computation
+      (the Figure 2 effect). *)
+
+type deployment = Dedicated | Multitask
+
+type config = {
+  platform : Tm2c_noc.Platform.t;
+  total_cores : int;  (** cores in use (application + service) *)
+  service_cores : int;  (** DTM cores under [Dedicated] *)
+  deployment : deployment;
+  policy : Cm.policy;
+  wmode : Tx.wmode;
+  batching : bool;
+      (** write-lock batching: one message per DTM node at commit
+          (Section 3.3); [false] sends one message per address — the
+          ablation of the paper's design choice *)
+  max_skew_ns : float;
+      (** bound on the per-core local-clock offsets; larger skew makes
+          Offset-Greedy's estimated timestamps less consistent *)
+  seed : int;
+  mem_words : int;
+}
+
+(** A reasonable default: the full 48-core SCC, half the cores
+    dedicated to the DTM, FairCM, lazy write acquisition. *)
+val default_config : config
+
+type t
+
+val create : config -> t
+
+val config : t -> config
+
+val env : t -> System.env
+
+val sim : t -> Tm2c_engine.Sim.t
+
+val shmem : t -> Tm2c_memory.Shmem.t
+
+(** Allocator over the shared memory (reserves low addresses). *)
+val alloc : t -> Tm2c_memory.Alloc.t
+
+val stats : t -> Stats.t
+
+(** Application cores, in id order. *)
+val app_cores : t -> Types.core_id array
+
+val dtm_cores : t -> Types.core_id array
+
+(** Fresh PRNG stream derived from the config seed (deterministic). *)
+val fork_prng : t -> Tm2c_engine.Prng.t
+
+(** Hand out one of the spare atomic registers (beyond the per-core
+    status words) — e.g. the bank baseline's global test-and-set
+    lock. Raises when the (small) supply is exhausted. *)
+val spare_reg : t -> int
+
+(** Create the transactional context for an application core. *)
+val app_ctx : t -> Types.core_id -> Tx.ctx
+
+(** Spawn the DTM service (dedicated: one service process per DTM
+    core; multitask: installs the inline handler). Call once, before
+    [run]. *)
+val start_services : t -> unit
+
+(** Spawn an application process on a core. *)
+val spawn_app : t -> Types.core_id -> (unit -> unit) -> unit
+
+(** Under [Multitask], drain and serve pending requests; a no-op under
+    [Dedicated]. Application drivers call this between operations. *)
+val poll_service : t -> core:Types.core_id -> unit
+
+(** Privatization barrier (Section 8): blocks until every application
+    core has called it, implemented with barrier-reached messages over
+    the direct application-core communication paths. After the barrier,
+    data written by transactions before it may safely be accessed
+    non-transactionally. Must be called from application processes
+    (one call per application core per round). *)
+val barrier : t -> core:Types.core_id -> unit
+
+(** Run the simulation to completion (or to [until], virtual ns).
+    Returns the number of events processed. *)
+val run : t -> ?until:float -> unit -> int

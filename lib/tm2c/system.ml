@@ -1,0 +1,37 @@
+type request_kind =
+  | Read_lock of Types.addr
+  | Write_locks of Types.addr list
+  | Release_reads of Types.addr list
+  | Release_writes of Types.addr list
+  | Barrier_reached
+  | Exclusive_acquire
+  | Exclusive_release
+
+type request = { tx : Types.cm_meta; kind : request_kind; req_id : int }
+
+type response = Granted | Conflicted of Types.conflict
+
+type msg = Req of request | Resp of { req_id : int; resp : response }
+
+type env = {
+  sim : Tm2c_engine.Sim.t;
+  net : msg Tm2c_noc.Network.t;
+  shmem : Tm2c_memory.Shmem.t;
+  regs : Tm2c_memory.Atomic_reg.t;
+  policy : Cm.policy;
+  owner_of : Types.addr -> Types.core_id;
+  dtm_cores : Types.core_id array;
+  skew : float array;
+  stats : Stats.t;
+  mutable serve_inline : (self:Types.core_id -> request -> unit) option;
+  batching : bool;
+  barrier_seen : int array;
+  mutable serve_defer_cycles : int;
+}
+
+let local_now env ~core = Tm2c_engine.Sim.now env.sim +. env.skew.(core)
+
+let owner_hash addr n =
+  (* Fibonacci hashing on the word address. *)
+  let h = addr * 0x9E3779B1 land max_int in
+  (h lsr 16) mod n

@@ -1,0 +1,69 @@
+(** Wire protocol between application cores and DTM service cores, and
+    the shared runtime environment handed to both sides.
+
+    Lock acquisitions are request/response round trips; releases are
+    fire-and-forget (no response), halving the release message count.
+    Write-lock requests are batched per responsible node (Section
+    3.3's write-lock batching). *)
+
+type request_kind =
+  | Read_lock of Types.addr
+  | Write_locks of Types.addr list
+  | Release_reads of Types.addr list
+  | Release_writes of Types.addr list
+  | Barrier_reached
+      (** privatization barrier (Section 8): exchanged directly
+          between application cores, never sent to the DTM *)
+  | Exclusive_acquire
+      (** irrevocable transactions (Section 2's sketched extension):
+          ask for exclusive access to this node's whole partition; the
+          node replies Granted once it holds no locks and queues the
+          request until then *)
+  | Exclusive_release
+
+type request = { tx : Types.cm_meta; kind : request_kind; req_id : int }
+
+type response = Granted | Conflicted of Types.conflict
+
+type msg = Req of request | Resp of { req_id : int; resp : response }
+
+type env = {
+  sim : Tm2c_engine.Sim.t;
+  net : msg Tm2c_noc.Network.t;
+  shmem : Tm2c_memory.Shmem.t;
+  regs : Tm2c_memory.Atomic_reg.t;
+      (** one status register per core, indexed by core id *)
+  policy : Cm.policy;
+  owner_of : Types.addr -> Types.core_id;
+      (** responsible DTM core for an address (hashing, Section 3.2) *)
+  dtm_cores : Types.core_id array;
+      (** all DTM cores in ascending id order — irrevocable
+          transactions acquire them in this order (deadlock freedom) *)
+  skew : float array;
+      (** per-core local-clock offset: cores have no global clock *)
+  stats : Stats.t;
+  mutable serve_inline : (self:Types.core_id -> request -> unit) option;
+      (** multitasking deployment only: handler invoked by application
+          cores for service requests that arrive while they await their
+          own responses *)
+  batching : bool;
+      (** write-lock batching enabled (Section 3.3); the ablation
+          bench turns it off *)
+  barrier_seen : int array;
+      (** per-core count of barrier-reached messages received so far;
+          incremented by whichever receive loop intercepts them
+          (Section 8's privatization barrier) *)
+  mutable serve_defer_cycles : int;
+      (** multitasking deployment only: scheduling delay before the
+          service task runs when a request interrupts the application
+          task mid-transaction — the non-preemptive libtask effect of
+          Figure 2 (a request "cannot be served prior to [the core]
+          completing its local computation") *)
+}
+
+(** A core's local clock reading ([Sim.now] plus its skew). *)
+val local_now : env -> core:Types.core_id -> float
+
+(** [owner_hash addr n] maps an address onto one of [n] partitions
+    (Fibonacci hashing). *)
+val owner_hash : Types.addr -> int -> int

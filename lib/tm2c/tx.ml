@@ -1,0 +1,375 @@
+open Types
+open Tm2c_engine
+open Tm2c_noc
+open Tm2c_memory
+
+type elastic = Enone | Elastic_early | Elastic_read
+
+type wmode = Lazy | Eager
+
+exception Abort_exn of conflict option
+
+(* Back-off-Retry parameters: randomized wait whose upper bound grows
+   exponentially with consecutive aborts of the same transaction and
+   resets when a new transaction starts (Section 4.2). *)
+let backoff_initial_ns = 2_500.0
+let backoff_cap_ns = 1_000_000.0
+
+type ctx = {
+  env : System.env;
+  core : core_id;
+  prng : Prng.t;
+  wmode : wmode;
+  mutable elastic : elastic;
+  mutable attempt : int;
+  mutable committed : int;
+  mutable effective_ns : float;
+  mutable tx_start : float;
+  mutable in_tx : bool;
+  mutable irrevocable : bool;
+  read_buf : (addr, int) Hashtbl.t;
+  mutable reads_held : addr list;
+  write_buf : (addr, int) Hashtbl.t;
+  mutable write_order : addr list;  (* reversed program order *)
+  mutable writes_held : addr list;
+  mutable early_window : addr list;  (* most recent first, length <= 2 *)
+  mutable eread_window : (addr * int) list;  (* most recent first, <= 2 *)
+  mutable req_counter : int;
+  mutable backoff_ns : float;
+  stats : Stats.core;
+}
+
+let make env ~core ~prng ~wmode =
+  {
+    env;
+    core;
+    prng;
+    wmode;
+    elastic = Enone;
+    attempt = 0;
+    committed = 0;
+    effective_ns = 0.0;
+    tx_start = 0.0;
+    in_tx = false;
+    irrevocable = false;
+    read_buf = Hashtbl.create 64;
+    reads_held = [];
+    write_buf = Hashtbl.create 16;
+    write_order = [];
+    writes_held = [];
+    early_window = [];
+    eread_window = [];
+    req_counter = 0;
+    backoff_ns = backoff_initial_ns;
+    stats = Stats.core env.System.stats core;
+  }
+
+let core ctx = ctx.core
+
+let env ctx = ctx.env
+
+let stats ctx = ctx.stats
+
+let committed ctx = ctx.committed
+
+let local_now ctx = System.local_now ctx.env ~core:ctx.core
+
+let compute ctx cycles = Network.compute ctx.env.System.net cycles
+
+let meta ctx =
+  {
+    m_core = ctx.core;
+    m_attempt = ctx.attempt;
+    m_offset_ns = local_now ctx -. ctx.tx_start;
+    m_committed = ctx.committed;
+    m_effective_ns = ctx.effective_ns;
+  }
+
+(* Receive until our response arrives; under the multitasking
+   deployment, service requests arriving in the meantime are handled
+   inline (the libtask coroutine switch of Section 3.1). *)
+let await ctx req_id =
+  (* Under multitasking, the first service request interrupting this
+     wait pays the coroutine-scheduling delay (the application task's
+     current computation slice must complete first — Figure 2);
+     requests already queued behind it are then served in the same
+     scheduling slot. *)
+  let deferred = ref false in
+  let rec loop () =
+    match Network.recv ctx.env.System.net ~self:ctx.core with
+    | System.Resp r when r.req_id = req_id -> r.resp
+    | System.Resp _ -> loop ()
+    | System.Req { kind = System.Barrier_reached; _ } ->
+        (* A peer reached a privatization barrier while we are still
+           inside a transaction: stash it for our own barrier call. *)
+        ctx.env.System.barrier_seen.(ctx.core) <-
+          ctx.env.System.barrier_seen.(ctx.core) + 1;
+        loop ()
+    | System.Req r -> (
+        match ctx.env.System.serve_inline with
+        | Some serve ->
+            if not !deferred then begin
+              deferred := true;
+              Network.compute ctx.env.System.net ctx.env.System.serve_defer_cycles
+            end;
+            serve ~self:ctx.core r;
+            loop ()
+        | None ->
+            invalid_arg "Tx.await: application core received a service request")
+  in
+  loop ()
+
+let send_request ctx ~dst kind =
+  ctx.req_counter <- ctx.req_counter + 1;
+  let req_id = ctx.req_counter in
+  Network.send ctx.env.System.net ~src:ctx.core ~dst
+    (System.Req { tx = meta ctx; kind; req_id });
+  await ctx req_id
+
+(* Releases are fire-and-forget. *)
+let send_release ctx ~dst kind =
+  Network.send ctx.env.System.net ~src:ctx.core ~dst
+    (System.Req { tx = meta ctx; kind; req_id = 0 })
+
+let group_by_owner ctx addrs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let owner = ctx.env.System.owner_of a in
+      let group = match Hashtbl.find_opt tbl owner with Some g -> g | None -> [] in
+      Hashtbl.replace tbl owner (a :: group))
+    addrs;
+  Hashtbl.fold (fun owner group acc -> (owner, group) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Without write-lock batching every address travels in its own
+   message (the Section 3.3 ablation). *)
+let commit_groups ctx addrs =
+  if ctx.env.System.batching then group_by_owner ctx addrs
+  else List.map (fun a -> (ctx.env.System.owner_of a, [ a ])) addrs
+
+let status_encode ctx state = Status.encode ~attempt:ctx.attempt state
+
+(* Poll our status word: a remote contention manager may have aborted
+   this attempt. *)
+let check_status ctx =
+  let v = Atomic_reg.read ctx.env.System.regs ~core:ctx.core ~reg:ctx.core in
+  if v = status_encode ctx Status.Aborted then raise (Abort_exn None)
+
+let begin_attempt ctx =
+  Hashtbl.reset ctx.read_buf;
+  Hashtbl.reset ctx.write_buf;
+  ctx.reads_held <- [];
+  ctx.write_order <- [];
+  ctx.writes_held <- [];
+  ctx.early_window <- [];
+  ctx.eread_window <- [];
+  Atomic_reg.write ctx.env.System.regs ~core:ctx.core ~reg:ctx.core
+    (status_encode ctx Status.Pending);
+  ctx.tx_start <- local_now ctx;
+  ctx.in_tx <- true
+
+let release_all ctx =
+  List.iter
+    (fun (dst, addrs) -> send_release ctx ~dst (System.Release_writes addrs))
+    (group_by_owner ctx ctx.writes_held);
+  List.iter
+    (fun (dst, addrs) -> send_release ctx ~dst (System.Release_reads addrs))
+    (group_by_owner ctx ctx.reads_held);
+  ctx.writes_held <- [];
+  ctx.reads_held <- []
+
+(* Transactional read: Algorithm 4, plus the two elastic variants. *)
+let locked_read ctx addr =
+  check_status ctx;
+  match send_request ctx ~dst:(ctx.env.System.owner_of addr) (System.Read_lock addr) with
+  | System.Granted ->
+      let v = Shmem.read ctx.env.System.shmem ~core:ctx.core addr in
+      Hashtbl.replace ctx.read_buf addr v;
+      ctx.reads_held <- addr :: ctx.reads_held;
+      v
+  | System.Conflicted c -> raise (Abort_exn (Some c))
+
+let elastic_early_read ctx addr =
+  let v = locked_read ctx addr in
+  ctx.early_window <- addr :: ctx.early_window;
+  (match ctx.early_window with
+  | [ a; b; oldest ] ->
+      ctx.early_window <- [ a; b ];
+      (* Early release: one extra message per discarded read entry
+         (the cost that limits elastic-early's speedup, Fig. 7a). *)
+      send_release ctx ~dst:(ctx.env.System.owner_of oldest)
+        (System.Release_reads [ oldest ]);
+      ctx.reads_held <- List.filter (fun x -> x <> oldest) ctx.reads_held;
+      Hashtbl.remove ctx.read_buf oldest
+  | _ -> ());
+  v
+
+let elastic_read ctx addr =
+  let v = Shmem.read ctx.env.System.shmem ~core:ctx.core addr in
+  (match ctx.eread_window with
+  | (prev, prev_v) :: _ ->
+      (* Validate the preceding read: if a committed update changed
+         it, the two consecutive reads are not atomic — abort. *)
+      let cur = Shmem.read ctx.env.System.shmem ~core:ctx.core prev in
+      if cur <> prev_v then raise (Abort_exn (Some War))
+  | [] -> ());
+  ctx.eread_window <-
+    (match ctx.eread_window with
+    | first :: _ -> [ (addr, v); first ]
+    | [] -> [ (addr, v) ]);
+  v
+
+let read ctx addr =
+  if not ctx.in_tx then invalid_arg "Tx.read: outside atomic";
+  ctx.stats.Stats.tx_reads <- ctx.stats.Stats.tx_reads + 1;
+  if ctx.irrevocable then Shmem.read ctx.env.System.shmem ~core:ctx.core addr
+  else
+  match Hashtbl.find_opt ctx.write_buf addr with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt ctx.read_buf addr with
+      | Some v -> v
+      | None -> (
+          let in_prefix = ctx.write_order = [] in
+          match ctx.elastic with
+          | Elastic_read when in_prefix -> elastic_read ctx addr
+          | Elastic_early when in_prefix -> elastic_early_read ctx addr
+          | Enone | Elastic_read | Elastic_early -> locked_read ctx addr))
+
+let write ctx addr v =
+  if not ctx.in_tx then invalid_arg "Tx.write: outside atomic";
+  ctx.stats.Stats.tx_writes <- ctx.stats.Stats.tx_writes + 1;
+  if ctx.irrevocable then Shmem.write ctx.env.System.shmem ~core:ctx.core addr v
+  else begin
+  let fresh = not (Hashtbl.mem ctx.write_buf addr) in
+  Hashtbl.replace ctx.write_buf addr v;
+  if fresh then begin
+    ctx.write_order <- addr :: ctx.write_order;
+    if ctx.wmode = Eager && not (List.mem addr ctx.writes_held) then begin
+      check_status ctx;
+      match
+        send_request ctx ~dst:(ctx.env.System.owner_of addr)
+          (System.Write_locks [ addr ])
+      with
+      | System.Granted -> ctx.writes_held <- addr :: ctx.writes_held
+      | System.Conflicted c -> raise (Abort_exn (Some c))
+    end
+  end
+  end
+
+let abort _ctx = raise (Abort_exn None)
+
+(* Algorithm 3: acquire the missing write locks (batched per node),
+   switch the status word to Committing — the linearization point —
+   validate any remaining elastic-read window, persist the write set,
+   release every lock and update the metadata. *)
+let commit ctx =
+  let to_acquire =
+    List.filter (fun a -> not (List.mem a ctx.writes_held)) (List.rev ctx.write_order)
+  in
+  List.iter
+    (fun (dst, addrs) ->
+      check_status ctx;
+      match send_request ctx ~dst (System.Write_locks addrs) with
+      | System.Granted -> ctx.writes_held <- addrs @ ctx.writes_held
+      | System.Conflicted c -> raise (Abort_exn (Some c)))
+    (commit_groups ctx to_acquire);
+  let committing =
+    Atomic_reg.cas ctx.env.System.regs ~core:ctx.core ~reg:ctx.core
+      ~expect:(status_encode ctx Status.Pending)
+      ~repl:(status_encode ctx Status.Committing)
+  in
+  if not committing then raise (Abort_exn None);
+  List.iter
+    (fun (a, v) ->
+      if Shmem.read ctx.env.System.shmem ~core:ctx.core a <> v then
+        raise (Abort_exn (Some War)))
+    ctx.eread_window;
+  List.iter
+    (fun a -> Shmem.write ctx.env.System.shmem ~core:ctx.core a (Hashtbl.find ctx.write_buf a))
+    (List.rev ctx.write_order);
+  release_all ctx;
+  let elapsed = local_now ctx -. ctx.tx_start in
+  ctx.effective_ns <- ctx.effective_ns +. elapsed;
+  ctx.stats.Stats.effective_ns <- ctx.stats.Stats.effective_ns +. elapsed;
+  ctx.committed <- ctx.committed + 1;
+  ctx.stats.Stats.commits <- ctx.stats.Stats.commits + 1;
+  (* Rule (c) of Property 1: the next transaction of this core has a
+     strictly lower priority; bumping the attempt also invalidates any
+     in-flight revocations against the finished attempt. *)
+  ctx.attempt <- ctx.attempt + 1;
+  ctx.in_tx <- false
+
+let record_abort ctx = function
+  | Some Raw -> ctx.stats.Stats.aborts_raw <- ctx.stats.Stats.aborts_raw + 1
+  | Some Waw -> ctx.stats.Stats.aborts_waw <- ctx.stats.Stats.aborts_waw + 1
+  | Some War -> ctx.stats.Stats.aborts_war <- ctx.stats.Stats.aborts_war + 1
+  | None -> ctx.stats.Stats.aborts_status <- ctx.stats.Stats.aborts_status + 1
+
+let abort_cleanup ctx conflict =
+  record_abort ctx conflict;
+  release_all ctx;
+  ctx.attempt <- ctx.attempt + 1;
+  ctx.in_tx <- false;
+  if Cm.uses_backoff ctx.env.System.policy then begin
+    Sim.delay (Prng.float ctx.prng *. ctx.backoff_ns);
+    ctx.backoff_ns <- Float.min (ctx.backoff_ns *. 2.0) backoff_cap_ns
+  end
+
+(* Irrevocable transactions: acquire exclusive access to every DTM
+   partition (ascending node order prevents deadlock between two
+   irrevocable transactions), run pessimistically with direct memory
+   accesses, release. Never aborts, so the body runs exactly once. *)
+let irrevocable ctx f =
+  if ctx.in_tx then invalid_arg "Tx.irrevocable: nested transactions are not supported";
+  ctx.in_tx <- true;
+  ctx.irrevocable <- true;
+  ctx.tx_start <- local_now ctx;
+  Array.iter
+    (fun dst ->
+      match send_request ctx ~dst System.Exclusive_acquire with
+      | System.Granted -> ()
+      | System.Conflicted _ ->
+          invalid_arg "Tx.irrevocable: exclusive acquisition refused")
+    ctx.env.System.dtm_cores;
+  let v = f () in
+  Array.iter
+    (fun dst -> send_release ctx ~dst System.Exclusive_release)
+    ctx.env.System.dtm_cores;
+  let elapsed = local_now ctx -. ctx.tx_start in
+  ctx.effective_ns <- ctx.effective_ns +. elapsed;
+  ctx.stats.Stats.effective_ns <- ctx.stats.Stats.effective_ns +. elapsed;
+  ctx.stats.Stats.lifespan_ns <- ctx.stats.Stats.lifespan_ns +. elapsed;
+  ctx.committed <- ctx.committed + 1;
+  ctx.stats.Stats.commits <- ctx.stats.Stats.commits + 1;
+  ctx.attempt <- ctx.attempt + 1;
+  ctx.irrevocable <- false;
+  ctx.in_tx <- false;
+  v
+
+let atomic ?(elastic = Enone) ctx f =
+  if ctx.in_tx then invalid_arg "Tx.atomic: nested transactions are not supported";
+  ctx.elastic <- elastic;
+  ctx.backoff_ns <- backoff_initial_ns;
+  let lifespan_start = local_now ctx in
+  let attempts = ref 0 in
+  let rec attempt_once () =
+    incr attempts;
+    begin_attempt ctx;
+    match
+      let v = f () in
+      commit ctx;
+      v
+    with
+    | v -> v
+    | exception Abort_exn conflict ->
+        abort_cleanup ctx conflict;
+        attempt_once ()
+  in
+  let v = attempt_once () in
+  ctx.stats.Stats.lifespan_ns <-
+    ctx.stats.Stats.lifespan_ns +. (local_now ctx -. lifespan_start);
+  if !attempts > ctx.stats.Stats.max_attempts then
+    ctx.stats.Stats.max_attempts <- !attempts;
+  v

@@ -1,0 +1,77 @@
+(** Application-side transactional runtime (Section 3.3).
+
+    Transactions use {e visible reads} — the read lock is acquired at
+    the responsible DTM node before the memory is read (Algorithm 4) —
+    and {e deferred writes} — writes are buffered and the write locks
+    acquired lazily at commit, batched per DTM node (Algorithm 3).
+    Eager write-lock acquisition is available for the Fig. 4(c)
+    comparison.
+
+    Elastic transactions (Section 6) relax the atomicity of the
+    read-only prefix:
+    - [Elastic_early] acquires read locks normally but releases all
+      but the last two as the prefix advances (one extra message per
+      released lock);
+    - [Elastic_read] skips read locks entirely in the prefix, reading
+      shared memory directly and re-validating the previous read after
+      each step (extra memory accesses instead of messages); the
+      remaining window is validated again at commit.
+
+    A transaction body must be written to be re-executable: the
+    runtime re-runs it after an abort (the paper model: no side
+    effects inside transactions). *)
+
+type elastic = Enone | Elastic_early | Elastic_read
+
+type wmode = Lazy | Eager
+
+(** Raised internally to unwind an aborted attempt. [None] means the
+    abort was discovered through the status word (a remote contention-
+    manager decision). Escapes [atomic] never. *)
+exception Abort_exn of Types.conflict option
+
+type ctx
+
+val make :
+  System.env ->
+  core:Types.core_id ->
+  prng:Tm2c_engine.Prng.t ->
+  wmode:wmode ->
+  ctx
+
+val core : ctx -> Types.core_id
+
+val env : ctx -> System.env
+
+val stats : ctx -> Stats.core
+
+(** Number of commits performed by this context. *)
+val committed : ctx -> int
+
+(** [atomic ctx f] runs [f] as a transaction, retrying until it
+    commits; returns [f]'s result. Nesting is not supported. *)
+val atomic : ?elastic:elastic -> ctx -> (unit -> 'a) -> 'a
+
+(** [irrevocable ctx f] runs [f] as an irrevocable transaction
+    (Section 2's sketched extension): exclusive access to every DTM
+    partition is acquired first — in ascending node order, so two
+    irrevocable transactions cannot deadlock — and [f] then executes
+    pessimistically with direct memory accesses. [f] runs exactly
+    once and the transaction never aborts; side effects are safe.
+    Expensive: it drains and stalls the whole system, so reserve it
+    for operations that cannot be re-executed. *)
+val irrevocable : ctx -> (unit -> 'a) -> 'a
+
+(** Transactional read of one shared-memory word. Must be called from
+    inside [atomic]. *)
+val read : ctx -> Types.addr -> int
+
+(** Transactional (buffered) write. *)
+val write : ctx -> Types.addr -> int -> unit
+
+(** [abort ctx] explicitly aborts and retries the current attempt. *)
+val abort : ctx -> 'a
+
+(** Charge local computation cycles (simulation bookkeeping; has no
+    transactional meaning). *)
+val compute : ctx -> int -> unit

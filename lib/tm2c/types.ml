@@ -1,0 +1,50 @@
+type core_id = int
+
+type addr = int
+
+type conflict = Raw | Waw | War
+
+let conflict_to_string = function Raw -> "RAW" | Waw -> "WAW" | War -> "WAR"
+
+module Status = struct
+  type state = Pending | Committing | Aborted
+
+  let state_code = function Pending -> 0 | Committing -> 1 | Aborted -> 2
+
+  let encode ~attempt state = (attempt * 4) + state_code state
+
+  let decode v =
+    let state =
+      match v land 3 with
+      | 0 -> Pending
+      | 1 -> Committing
+      | 2 -> Aborted
+      | _ -> invalid_arg "Status.decode: invalid state code"
+    in
+    (v / 4, state)
+end
+
+type cm_meta = {
+  m_core : core_id;
+  m_attempt : int;
+  m_offset_ns : float;
+  m_committed : int;
+  m_effective_ns : float;
+}
+
+type holder = {
+  h_core : core_id;
+  h_attempt : int;
+  h_est_start_ns : float;
+  h_committed : int;
+  h_effective_ns : float;
+}
+
+let holder_of_meta m ~est_start_ns =
+  {
+    h_core = m.m_core;
+    h_attempt = m.m_attempt;
+    h_est_start_ns = est_start_ns;
+    h_committed = m.m_committed;
+    h_effective_ns = m.m_effective_ns;
+  }

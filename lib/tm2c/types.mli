@@ -1,0 +1,58 @@
+(** Shared vocabulary of the TM2C protocol. *)
+
+type core_id = int
+
+type addr = int
+
+(** Conflict classes of the transactional semantics (Section 3.2). *)
+type conflict =
+  | Raw  (** read-after-write: a reader found a writer *)
+  | Waw  (** write-after-write: a writer found a writer *)
+  | War  (** write-after-read: a writer found readers *)
+
+val conflict_to_string : conflict -> string
+
+(** Transaction status words.
+
+    Each application core owns one globally accessible status register
+    encoding [(attempt, state)]. The contention manager aborts an enemy
+    by CAS'ing [(a, Pending) -> (a, Aborted)]; a committing transaction
+    CAS'es [(a, Pending) -> (a, Committing)] before persisting its
+    write set, so the abort-versus-commit race is decided atomically
+    (the paper: "the status of such an aborting transaction is
+    atomically switched from pending to aborted"). *)
+module Status : sig
+  type state = Pending | Committing | Aborted
+
+  val encode : attempt:int -> state -> int
+
+  val decode : int -> int * state
+end
+
+(** Contention-management metadata piggybacked on every request
+    (Section 4.1): the requester's identity plus everything each
+    policy needs to totally order transactions. *)
+type cm_meta = {
+  m_core : core_id;
+  m_attempt : int;  (** per-core attempt counter stamping lock entries *)
+  m_offset_ns : float;
+      (** Offset-Greedy: local-clock time elapsed since the transaction
+          (re)started, from which the DTM node estimates a start
+          timestamp against its own clock *)
+  m_committed : int;  (** Wholly: transactions committed by this core *)
+  m_effective_ns : float;
+      (** FairCM: cumulative time spent on successful attempts *)
+}
+
+(** A lock holder as recorded by a DTM node: the requester's metadata
+    evaluated at grant time ([est_start_ns] is the node-local start
+    estimate computed from [m_offset_ns]). *)
+type holder = {
+  h_core : core_id;
+  h_attempt : int;
+  h_est_start_ns : float;
+  h_committed : int;
+  h_effective_ns : float;
+}
+
+val holder_of_meta : cm_meta -> est_start_ns:float -> holder

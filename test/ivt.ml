@@ -1,0 +1,15 @@
+open Tm2c_engine
+let () =
+  let sim = Sim.create () in
+  let iv = Ivar.create () in
+  let got = ref [] in
+  for i = 1 to 2 do
+    Sim.spawn sim (fun () ->
+      Printf.printf "reader %d starting at %.0f\n%!" i (Sim.now sim);
+      let v = Ivar.read iv in
+      Printf.printf "reader %d got %d at %.0f\n%!" i v (Sim.now sim);
+      got := v :: !got)
+  done;
+  Sim.spawn sim (fun () -> Sim.delay 10.0; Printf.printf "filling\n%!"; Ivar.fill iv 5);
+  let n = Sim.run sim () in
+  Printf.printf "events=%d got=[%s] finished=%d\n" n (String.concat ";" (List.map string_of_int !got)) (Sim.finished sim)

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "tm2c"
+    [
+      ("engine", Test_engine.suite);
+      ("noc", Test_noc.suite);
+      ("memory", Test_memory.suite);
+      ("tm2c", Test_tm2c.suite);
+      ("dtm", Test_dtm.suite);
+      ("apps", Test_apps.suite);
+      ("workload", Test_workload.suite);
+      ("integration", Test_integration.suite);
+      ("harness", Test_harness.suite);
+    ]

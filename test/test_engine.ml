@@ -1,0 +1,281 @@
+(* Unit and property tests for the discrete-event engine. *)
+
+open Tm2c_engine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Heap ---- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun (p, v) -> Heap.push h p v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  check_int "length" 3 (Heap.length h);
+  Alcotest.(check (option (pair (float 0.0) string))) "min" (Some (1.0, "a")) (Heap.pop_min h);
+  Alcotest.(check (option (pair (float 0.0) string))) "next" (Some (2.0, "b")) (Heap.pop_min h);
+  Alcotest.(check (option (pair (float 0.0) string))) "last" (Some (3.0, "c")) (Heap.pop_min h);
+  check "empty" true (Heap.pop_min h = None)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 99 do
+    Heap.push h 5.0 i
+  done;
+  for i = 0 to 99 do
+    match Heap.pop_min h with
+    | Some (_, v) -> check_int "fifo order on equal priorities" i v
+    | None -> Alcotest.fail "heap empty too early"
+  done
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  check "peek empty" true (Heap.peek_min h = None);
+  Heap.push h 7.5 ();
+  check_float "peek" 7.5 (Option.get (Heap.peek_min h));
+  check_int "peek does not remove" 1 (Heap.length h)
+
+let heap_sorted_prop =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h p p) priorities;
+      let rec drain acc =
+        match Heap.pop_min h with Some (p, _) -> drain (p :: acc) | None -> List.rev acc
+      in
+      let drained = drain [] in
+      drained = List.sort compare priorities)
+
+(* ---- Prng ---- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    check "same seed, same stream" true (Prng.next a = Prng.next b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next a = Prng.next b then incr same
+  done;
+  check "different seeds diverge" true (!same < 4)
+
+let test_prng_split () =
+  let a = Prng.create ~seed:9 in
+  let b = Prng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next a = Prng.next b then incr same
+  done;
+  check "split streams diverge" true (!same < 4)
+
+let prng_int_bounds =
+  QCheck.Test.make ~name:"Prng.int stays in bounds" ~count:500
+    QCheck.(pair (int_bound 1000000) (int_range 1 1000))
+    (fun (seed, bound) ->
+      let p = Prng.create ~seed in
+      let v = Prng.int p bound in
+      v >= 0 && v < bound)
+
+let prng_float_bounds =
+  QCheck.Test.make ~name:"Prng.float in [0,1)" ~count:500 QCheck.(int_bound 1000000)
+    (fun seed ->
+      let p = Prng.create ~seed in
+      let v = Prng.float p in
+      v >= 0.0 && v < 1.0)
+
+let test_prng_uniformity () =
+  (* Loose chi-square style check over 16 cells. *)
+  let p = Prng.create ~seed:77 in
+  let cells = Array.make 16 0 in
+  let n = 16_000 in
+  for _ = 1 to n do
+    let i = Prng.int p 16 in
+    cells.(i) <- cells.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check "cell within 20% of expectation" true
+        (abs (c - (n / 16)) < n / 16 / 5))
+    cells
+
+(* ---- Sim ---- *)
+
+let test_sim_delay_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn sim (fun () ->
+      Sim.delay 30.0;
+      log := "b" :: !log);
+  Sim.spawn sim (fun () ->
+      Sim.delay 10.0;
+      log := "a" :: !log;
+      Sim.delay 40.0;
+      log := "c" :: !log);
+  let _ = Sim.run sim () in
+  Alcotest.(check (list string)) "event order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "final time" 50.0 (Sim.now sim)
+
+let test_sim_spawn_counts () =
+  let sim = Sim.create () in
+  for _ = 1 to 5 do
+    Sim.spawn sim (fun () -> Sim.delay 1.0)
+  done;
+  let _ = Sim.run sim () in
+  check_int "spawned" 5 (Sim.spawned sim);
+  check_int "finished" 5 (Sim.finished sim)
+
+let test_sim_until_horizon () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Sim.spawn sim (fun () ->
+      while true do
+        Sim.delay 10.0;
+        incr count
+      done);
+  let _ = Sim.run sim ~until:105.0 () in
+  check_int "stopped at horizon" 10 !count;
+  check_float "clock clamped" 105.0 (Sim.now sim)
+
+let test_sim_nested_spawn () =
+  let sim = Sim.create () in
+  let hits = ref 0 in
+  Sim.spawn sim (fun () ->
+      Sim.delay 5.0;
+      Sim.spawn sim (fun () ->
+          Sim.delay 5.0;
+          incr hits);
+      incr hits);
+  let _ = Sim.run sim () in
+  check_int "both ran" 2 !hits;
+  check_float "time" 10.0 (Sim.now sim)
+
+let test_sim_suspend_resume () =
+  let sim = Sim.create () in
+  let resume_cell = ref None in
+  let got = ref 0 in
+  Sim.spawn sim (fun () -> got := Sim.suspend (fun resume -> resume_cell := Some resume));
+  Sim.spawn sim (fun () ->
+      Sim.delay 42.0;
+      match !resume_cell with Some resume -> resume 7 | None -> Alcotest.fail "no waiter");
+  let _ = Sim.run sim () in
+  check_int "value" 7 !got;
+  check_float "resumed at waker's time" 42.0 (Sim.now sim)
+
+let test_sim_outside_process () =
+  Alcotest.check_raises "delay outside process"
+    (Invalid_argument "Sim.delay: not inside a simulation process") (fun () ->
+      (* Make sure no ambient sim is set. *)
+      Sim.delay 1.0)
+
+let test_sim_determinism () =
+  let run () =
+    let sim = Sim.create () in
+    let prng = Prng.create ~seed:5 in
+    let log = ref [] in
+    for i = 0 to 9 do
+      Sim.spawn sim (fun () ->
+          Sim.delay (Prng.float prng *. 100.0);
+          log := i :: !log)
+    done;
+    let _ = Sim.run sim () in
+    !log
+  in
+  check "two identical runs" true (run () = run ())
+
+(* ---- Mailbox ---- *)
+
+let test_mailbox_fifo () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create sim in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Sim.spawn sim (fun () ->
+      Mailbox.send mb 1;
+      Mailbox.send mb 2;
+      Mailbox.send mb 3);
+  let _ = Sim.run sim () in
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_send_at () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create sim in
+  let at_recv = ref 0.0 in
+  Mailbox.send_at mb ~at:25.0 "x";
+  Sim.spawn sim (fun () ->
+      let _ = Mailbox.recv mb in
+      at_recv := Sim.now sim);
+  let _ = Sim.run sim () in
+  check_float "delivery time" 25.0 !at_recv
+
+let test_mailbox_try_recv () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create sim in
+  check "empty" true (Mailbox.try_recv mb = None);
+  Mailbox.send mb 9;
+  check "nonempty" true (Mailbox.try_recv mb = Some 9);
+  check "drained" true (Mailbox.is_empty mb)
+
+(* ---- Ivar ---- *)
+
+let test_ivar_fill_read () =
+  let sim = Sim.create () in
+  let iv = Ivar.create () in
+  let got = ref [] in
+  for _ = 1 to 2 do
+    Sim.spawn sim (fun () ->
+        (* Bind first: [!got] must be read after the suspending read. *)
+        let v = Ivar.read iv in
+        got := v :: !got)
+  done;
+  Sim.spawn sim (fun () ->
+      Sim.delay 10.0;
+      Ivar.fill iv 5);
+  let _ = Sim.run sim () in
+  Alcotest.(check (list int)) "both woken" [ 5; 5 ] !got;
+  check "filled" true (Ivar.is_filled iv)
+
+let test_ivar_double_fill () =
+  let iv = Ivar.create () in
+  Ivar.fill iv 1;
+  Alcotest.check_raises "double fill" (Invalid_argument "Ivar.fill: already filled")
+    (fun () -> Ivar.fill iv 2)
+
+let test_ivar_try_read () =
+  let iv = Ivar.create () in
+  Alcotest.(check (option int)) "empty" None (Ivar.try_read iv);
+  Ivar.fill iv 3;
+  Alcotest.(check (option int)) "filled" (Some 3) (Ivar.try_read iv)
+
+let suite =
+  [
+    ("heap: pop order", `Quick, test_heap_order);
+    ("heap: FIFO on ties", `Quick, test_heap_fifo_ties);
+    ("heap: peek", `Quick, test_heap_peek);
+    QCheck_alcotest.to_alcotest heap_sorted_prop;
+    ("prng: deterministic", `Quick, test_prng_deterministic);
+    ("prng: seeds differ", `Quick, test_prng_seeds_differ);
+    ("prng: split diverges", `Quick, test_prng_split);
+    QCheck_alcotest.to_alcotest prng_int_bounds;
+    QCheck_alcotest.to_alcotest prng_float_bounds;
+    ("prng: roughly uniform", `Quick, test_prng_uniformity);
+    ("sim: delay ordering", `Quick, test_sim_delay_order);
+    ("sim: spawn counts", `Quick, test_sim_spawn_counts);
+    ("sim: until horizon", `Quick, test_sim_until_horizon);
+    ("sim: nested spawn", `Quick, test_sim_nested_spawn);
+    ("sim: suspend/resume", `Quick, test_sim_suspend_resume);
+    ("sim: effects outside process", `Quick, test_sim_outside_process);
+    ("sim: deterministic", `Quick, test_sim_determinism);
+    ("mailbox: FIFO", `Quick, test_mailbox_fifo);
+    ("mailbox: send_at", `Quick, test_mailbox_send_at);
+    ("mailbox: try_recv", `Quick, test_mailbox_try_recv);
+    ("ivar: fill wakes readers", `Quick, test_ivar_fill_read);
+    ("ivar: double fill rejected", `Quick, test_ivar_double_fill);
+    ("ivar: try_read", `Quick, test_ivar_try_read);
+  ]

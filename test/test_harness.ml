@@ -1,0 +1,93 @@
+(* Regression smoke tests of the experiment harness: every experiment
+   must run end-to-end at a micro scale and print a table. Guards the
+   figure-reproduction path itself against bitrot. *)
+
+open Tm2c_harness
+
+let micro_scale =
+  {
+    Exp.label = "micro";
+    window_ns = 1.5e6;
+    long_window_ns = 3e6;
+    ht_buckets = 16;
+    list_elems = 64;
+    bank_accounts = 32;
+    bank_accounts_5d = 64;
+    mr_sizes_kb = [ 64 ];
+  }
+
+(* Capture stdout while running an experiment and sanity-check it. *)
+let run_capturing id =
+  let exp =
+    match Harness.find id with
+    | Some e -> e
+    | None -> Alcotest.failf "experiment %s not registered" id
+  in
+  let tmp = Filename.temp_file "tm2c-harness" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved;
+    Unix.close fd
+  in
+  (match exp.Harness.run micro_scale with
+  | () -> restore ()
+  | exception e ->
+      restore ();
+      raise e);
+  let ic = open_in tmp in
+  let len = in_channel_length ic in
+  let out = really_input_string ic len in
+  close_in ic;
+  Sys.remove tmp;
+  out
+
+let test_experiment id () =
+  let out = run_capturing id in
+  Alcotest.(check bool)
+    (id ^ " produced output") true
+    (String.length out > 40);
+  (* Every experiment prints at least one table with a header row. *)
+  Alcotest.(check bool)
+    (id ^ " printed numbers") true
+    (String.exists (fun c -> c >= '0' && c <= '9') out)
+
+let test_registry () =
+  let ids = List.map (fun e -> e.Harness.id) Harness.all in
+  Alcotest.(check int) "17 experiments registered" 17 (List.length ids);
+  List.iter
+    (fun required ->
+      Alcotest.(check bool) (required ^ " present") true (List.mem required ids))
+    [
+      "settings"; "fig4a"; "fig4b"; "fig4c"; "fig5a"; "fig5b"; "fig5c"; "fig5d";
+      "fig6a"; "fig6b"; "fig7a"; "fig7b"; "fig8a"; "fig8b"; "fig8c"; "fig8d";
+      "ablations";
+    ]
+
+let test_unknown_rejected () =
+  Alcotest.check_raises "unknown id rejected"
+    (Invalid_argument "unknown experiment \"nope\"") (fun () ->
+      Harness.run_ids [ "nope" ] micro_scale)
+
+(* The cheap experiments run as part of the default suite; the rest
+   are marked slow (alcotest still runs them by default, but they can
+   be excluded with `-q`). *)
+let suite =
+  [
+    ("registry complete", `Quick, test_registry);
+    ("unknown experiment rejected", `Quick, test_unknown_rejected);
+    ("settings", `Quick, test_experiment "settings");
+    ("fig8a", `Quick, test_experiment "fig8a");
+    ("fig4a", `Slow, test_experiment "fig4a");
+    ("fig4c", `Slow, test_experiment "fig4c");
+    ("fig5a", `Slow, test_experiment "fig5a");
+    ("fig5c", `Slow, test_experiment "fig5c");
+    ("fig6a", `Slow, test_experiment "fig6a");
+    ("fig7a", `Slow, test_experiment "fig7a");
+    ("fig8c", `Slow, test_experiment "fig8c");
+    ("ablations", `Slow, test_experiment "ablations");
+  ]

@@ -1,0 +1,172 @@
+(* Tests for the topology, platform and network models. *)
+
+open Tm2c_engine
+open Tm2c_noc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- Topology ---- *)
+
+let test_scc_layout () =
+  check_int "48 cores" 48 (Topology.n_cores Topology.scc);
+  check_int "2 cores per tile" 0 (Topology.core_tile Topology.scc 1);
+  check_int "core 2 on tile 1" 1 (Topology.core_tile Topology.scc 2);
+  Alcotest.(check (pair int int)) "tile 0 at origin" (0, 0) (Topology.tile_coords Topology.scc 0);
+  Alcotest.(check (pair int int)) "tile 7 at (1,1)" (1, 1) (Topology.tile_coords Topology.scc 7)
+
+let test_hops () =
+  let t = Topology.scc in
+  check_int "same tile" 0 (Topology.hops t 0 1);
+  check_int "adjacent tiles" 1 (Topology.hops t 0 2);
+  (* Core 0 on tile (0,0); core 47 on tile 23 = (5,3): 5+3 hops. *)
+  check_int "diagonal corners" 8 (Topology.hops t 0 47);
+  (* Symmetry over all pairs. *)
+  for a = 0 to 47 do
+    for b = 0 to 47 do
+      if Topology.hops t a b <> Topology.hops t b a then
+        Alcotest.failf "hops not symmetric for %d %d" a b
+    done
+  done
+
+let test_flat_topology () =
+  let t = Topology.opteron48 in
+  check_int "48 cores" 48 (Topology.n_cores t);
+  check_int "no hops" 0 (Topology.hops t 0 47);
+  check_int "no mc hops" 0 (Topology.hops_to_mc t ~core:13 ~mc:2)
+
+let test_mc_hops () =
+  let t = Topology.scc in
+  check_int "corner core to corner mc" 0 (Topology.hops_to_mc t ~core:0 ~mc:0);
+  check "mc distance bounded by mesh diameter" true
+    (Topology.hops_to_mc t ~core:47 ~mc:0 <= 8);
+  check_int "four controllers" 4 (Topology.n_memory_controllers t)
+
+let hops_triangle =
+  QCheck.Test.make ~name:"mesh hops satisfy triangle inequality" ~count:300
+    QCheck.(triple (int_bound 47) (int_bound 47) (int_bound 47))
+    (fun (a, b, c) ->
+      let t = Topology.scc in
+      Topology.hops t a c <= Topology.hops t a b + Topology.hops t b c)
+
+(* ---- Platform ---- *)
+
+let test_settings_table () =
+  check_int "five settings" 5 (Array.length Platform.scc_settings);
+  Alcotest.(check (triple int int int)) "setting 0" (533, 800, 800) Platform.scc_settings.(0);
+  Alcotest.(check (triple int int int)) "setting 1" (800, 1600, 1066) Platform.scc_settings.(1);
+  Alcotest.check_raises "setting 5 rejected"
+    (Invalid_argument "Platform.scc_setting: setting must be in 0-4") (fun () ->
+      ignore (Platform.scc_setting 5))
+
+let rt p active =
+  (* Round trip between core 0 and core 47 equals two one-way trips. *)
+  Platform.one_way_ns p ~active ~src:0 ~dst:47 +. Platform.one_way_ns p ~active ~src:47 ~dst:0
+
+let test_latency_calibration () =
+  (* Fig. 8(a): the SCC round trip is ~5.1 us on 2 cores and ~12.4 us
+     on 48 cores; we accept a 25% band. *)
+  let rt2 = rt Platform.scc 2 /. 1e3 and rt48 = rt Platform.scc 48 /. 1e3 in
+  check "SCC rt@2 in band" true (rt2 > 5.1 *. 0.75 && rt2 < 5.1 *. 1.25);
+  check "SCC rt@48 in band" true (rt48 > 12.4 *. 0.75 && rt48 < 12.4 *. 1.25);
+  (* SCC800 messaging beats the multi-core's at 48 cores (Section 7.1),
+     while the multi-core is fastest at 2 cores. *)
+  check "SCC800 fastest at 48" true
+    (rt Platform.scc800 48 < rt Platform.opteron 48
+    && rt Platform.scc800 48 < rt Platform.scc 48);
+  check "Opteron fastest at 2" true
+    (rt Platform.opteron 2 < rt Platform.scc800 2)
+
+let test_latency_monotone () =
+  List.iter
+    (fun p ->
+      let prev = ref 0.0 in
+      List.iter
+        (fun n ->
+          let v = rt p n in
+          check "rt grows with active cores" true (v > !prev);
+          prev := v)
+        [ 2; 4; 8; 16; 32; 48 ])
+    Platform.all
+
+let test_memory_faster_than_messages () =
+  (* Section 6.2: "On the SCC, a memory access is faster than a
+     message delivery" — the premise of elastic-read. *)
+  List.iter
+    (fun p ->
+      check "memory read beats one-way message" true
+        (Platform.mem_read_ns p ~core:0 ~mc:3 < Platform.one_way_ns p ~active:2 ~src:0 ~dst:1))
+    Platform.all
+
+let test_cycles_ns () =
+  let p = Platform.scc in
+  Alcotest.(check (float 0.01)) "533 cycles ~ 1us" 1000.0 (Platform.cycles_ns p 533)
+
+(* ---- Network ---- *)
+
+let test_network_roundtrip_timing () =
+  let sim = Sim.create () in
+  let net = Network.create sim Platform.scc ~active:2 in
+  let rt_measured = ref 0.0 in
+  Sim.spawn sim (fun () ->
+      let t0 = Sim.now sim in
+      Network.send net ~src:0 ~dst:1 `Ping;
+      (match Network.recv net ~self:0 with `Pong -> () | `Ping -> Alcotest.fail "bad msg");
+      rt_measured := Sim.now sim -. t0);
+  Sim.spawn sim (fun () ->
+      match Network.recv net ~self:1 with
+      | `Ping -> Network.send net ~src:1 ~dst:0 `Pong
+      | `Pong -> Alcotest.fail "bad msg");
+  let _ = Sim.run sim () in
+  let expected =
+    Platform.one_way_ns Platform.scc ~active:2 ~src:0 ~dst:1
+    +. Platform.one_way_ns Platform.scc ~active:2 ~src:1 ~dst:0
+  in
+  Alcotest.(check (float 1.0)) "measured rt = model rt" expected !rt_measured;
+  check_int "two messages" 2 (Network.sent net)
+
+let test_network_fifo_per_pair () =
+  let sim = Sim.create () in
+  let net = Network.create sim Platform.scc ~active:2 in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      for i = 1 to 5 do
+        Network.send net ~src:0 ~dst:1 i
+      done);
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 5 do
+        got := Network.recv net ~self:1 :: !got
+      done);
+  let _ = Sim.run sim () in
+  Alcotest.(check (list int)) "per-pair FIFO" [ 1; 2; 3; 4; 5 ] (List.rev !got)
+
+let test_network_try_recv_costs () =
+  let sim = Sim.create () in
+  let net = Network.create sim Platform.scc ~active:48 in
+  Sim.spawn sim (fun () ->
+      let t0 = Sim.now sim in
+      (match Network.try_recv net ~self:0 with
+      | None -> ()
+      | Some _ -> Alcotest.fail "unexpected message");
+      let scan = Sim.now sim -. t0 in
+      check "empty poll charges a full scan" true (scan > 0.0))
+  ;
+  let _ = Sim.run sim () in
+  ()
+
+let suite =
+  [
+    ("topology: SCC layout", `Quick, test_scc_layout);
+    ("topology: XY hops", `Quick, test_hops);
+    ("topology: flat", `Quick, test_flat_topology);
+    ("topology: memory controllers", `Quick, test_mc_hops);
+    QCheck_alcotest.to_alcotest hops_triangle;
+    ("platform: settings table", `Quick, test_settings_table);
+    ("platform: Fig 8a calibration", `Quick, test_latency_calibration);
+    ("platform: latency monotone in cores", `Quick, test_latency_monotone);
+    ("platform: memory faster than messages", `Quick, test_memory_faster_than_messages);
+    ("platform: cycle conversion", `Quick, test_cycles_ns);
+    ("network: round-trip timing", `Quick, test_network_roundtrip_timing);
+    ("network: FIFO per pair", `Quick, test_network_fifo_per_pair);
+    ("network: poll cost", `Quick, test_network_try_recv_costs);
+  ]
