@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let run_bench ids full list_only =
+let run_bench ids full smoke json list_only =
   if list_only then begin
     print_endline "Available experiments:";
     List.iter
@@ -16,12 +16,16 @@ let run_bench ids full list_only =
     print_endline "  micro      Bechamel micro-benchmarks of core primitives"
   end
   else begin
-    let scale = if full then Tm2c_harness.Exp.full else Tm2c_harness.Exp.quick in
+    let scale =
+      if full then Tm2c_harness.Exp.full
+      else if smoke then Tm2c_harness.Exp.smoke
+      else Tm2c_harness.Exp.quick
+    in
     Printf.printf "TM2C benchmark harness (scale: %s)\n%!" scale.Tm2c_harness.Exp.label;
     let ids = if ids = [] then [ "all"; "micro" ] else ids in
     let micro = List.mem "micro" ids in
     let ids = List.filter (fun id -> id <> "micro") ids in
-    if ids <> [] then Tm2c_harness.Harness.run_ids ids scale;
+    if ids <> [] then Tm2c_harness.Harness.run_ids ?json ids scale;
     if micro then Micro.run ()
   end
 
@@ -36,6 +40,17 @@ let full_arg =
   let doc = "Run at paper scale (longer windows, bigger structures)." in
   Arg.(value & flag & info [ "full" ] ~doc)
 
+let smoke_arg =
+  let doc = "Run at CI smoke scale (seconds per experiment)." in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
+let json_arg =
+  let doc =
+    "Write results and observability metrics (per-core counters, abort \
+     causality, network latency histogram, DTM queue depths) as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
 let list_arg =
   let doc = "List available experiments and exit." in
   Arg.(value & flag & info [ "list" ] ~doc)
@@ -44,6 +59,6 @@ let cmd =
   let doc = "Regenerate the tables and figures of the TM2C paper (EuroSys 2012)" in
   Cmd.v
     (Cmd.info "tm2c-bench" ~doc)
-    Term.(const run_bench $ ids_arg $ full_arg $ list_arg)
+    Term.(const run_bench $ ids_arg $ full_arg $ smoke_arg $ json_arg $ list_arg)
 
 let () = exit (Cmd.eval cmd)

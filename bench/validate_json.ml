@@ -1,0 +1,37 @@
+(* Smoke-target validator: parse an exported results file and require
+   the metric families the observability layer promises. Exits
+   non-zero (failwith) when the export is malformed or incomplete. *)
+
+open Tm2c_harness
+
+let () =
+  let path = Sys.argv.(1) in
+  let v = Json.of_file path in
+  let require doc p =
+    if Json.path p doc = None then
+      failwith (Printf.sprintf "%s: missing %s" path (String.concat "." p))
+  in
+  require v [ "schema_version" ];
+  require v [ "scale" ];
+  let first_run =
+    match Json.path [ "experiments" ] v with
+    | Some (Json.List (e :: _)) -> (
+        match Json.member "runs" e with
+        | Some (Json.List (run :: _)) -> run
+        | _ -> failwith (path ^ ": experiment has no runs"))
+    | _ -> failwith (path ^ ": no experiments")
+  in
+  List.iter (require first_run)
+    [
+      [ "config"; "policy" ];
+      [ "result"; "commits" ];
+      [ "result"; "aborts" ];
+      [ "cores" ];
+      [ "network"; "sent" ];
+      [ "network"; "latency_ns"; "count" ];
+      [ "dtm" ];
+      [ "aborts"; "by_conflict"; "RAW" ];
+      [ "aborts"; "by_conflict"; "WAW" ];
+      [ "aborts"; "by_conflict"; "WAR" ];
+    ];
+  Printf.printf "%s: valid export\n" path

@@ -66,19 +66,62 @@ let elastic_conv =
         | `Elastic_early -> "early"
         | `Elastic_read -> "read"))
 
-let report (r : Workload.result) =
+let report t (r : Workload.result) =
   Printf.printf "duration      %10.2f ms (virtual)\n" r.Workload.duration_ms;
   Printf.printf "operations    %10d\n" r.Workload.ops;
   Printf.printf "throughput    %10.2f ops/ms\n" r.Workload.throughput_ops_ms;
   Printf.printf "commits       %10d\n" r.Workload.commits;
   Printf.printf "aborts        %10d\n" r.Workload.aborts;
-  Printf.printf "commit rate   %10.2f %%\n" r.Workload.commit_rate;
+  if Float.is_nan r.Workload.commit_rate then
+    Printf.printf "commit rate          n/a (no commits)\n"
+  else Printf.printf "commit rate   %10.2f %%\n" r.Workload.commit_rate;
   Printf.printf "worst attempts%10d\n" r.Workload.worst_attempts;
   Printf.printf "messages      %10d\n" r.Workload.messages;
-  Printf.printf "sim events    %10d\n" r.Workload.events
+  Printf.printf "sim events    %10d\n" r.Workload.events;
+  let obs = Runtime.obs t in
+  if Obs.total obs > 0 then begin
+    Printf.printf "abort causes  ";
+    List.iter
+      (fun (c, n) -> Printf.printf "%s=%d " (Types.conflict_to_string c) n)
+      (Obs.by_conflict obs);
+    print_newline ();
+    List.iteri
+      (fun i ({ Obs.winner; victim; conflict }, count, addr) ->
+        if i < 5 then
+          Printf.printf "  core %d aborted core %d  %dx (%s, last addr %d)\n" winner
+            victim count
+            (Types.conflict_to_string conflict)
+            addr)
+      (Obs.dump obs)
+  end;
+  let net = (Runtime.env t).System.net in
+  let m = Tm2c_noc.Network.metrics net in
+  let lat = m.Tm2c_noc.Network.latency in
+  if Tm2c_engine.Histogram.count lat > 0 then
+    Printf.printf "msg latency   %10.0f ns mean (p50 %.0f, p99 %.0f, max %.0f)\n"
+      (Tm2c_engine.Histogram.mean lat)
+      (Tm2c_engine.Histogram.percentile lat 50.0)
+      (Tm2c_engine.Histogram.percentile lat 99.0)
+      (Tm2c_engine.Histogram.max_value lat);
+  List.iter
+    (fun s ->
+      let qmean, qmax = Dtm.queue_depth_stats s in
+      let omean, omax = Dtm.occupancy_stats s in
+      Printf.printf
+        "dtm core %-3d  %10d served  queue %.2f mean / %d max  locks %.2f mean / %d max\n"
+        (Dtm.core s) (Dtm.served s) qmean qmax omean omax)
+    (Runtime.servers t)
 
-let run bench platform cm cores service multitask eager duration_ms seed balance
-    accounts buckets updates elastic size input_kb chunk_kb =
+let dump_trace t =
+  let tr = Runtime.trace t in
+  Printf.printf "\n-- event trace: %d events (%d dropped) --\n"
+    (Tm2c_engine.Trace.length tr)
+    (Tm2c_engine.Trace.dropped tr);
+  Tm2c_engine.Trace.iter tr (fun time ev ->
+      Printf.printf "%14.1f  %s\n" time (Event.to_string ev))
+
+let run bench platform cm cores service multitask eager trace duration_ms seed
+    balance accounts buckets updates elastic size input_kb chunk_kb =
   let deployment = if multitask then Runtime.Multitask else Runtime.Dedicated in
   let service = match service with Some s -> s | None -> max 1 (cores / 2) in
   let cfg =
@@ -97,6 +140,7 @@ let run bench platform cm cores service multitask eager duration_ms seed balance
   in
   let duration_ns = duration_ms *. 1e6 in
   let t = Runtime.create cfg in
+  if trace then Runtime.enable_tracing t;
   Printf.printf "TM2C on %s: %d cores (%d app / %d DTM, %s), %s, %s writes\n\n"
     platform.Tm2c_noc.Platform.name cores
     (Array.length (Runtime.app_cores t))
@@ -172,7 +216,8 @@ let run bench platform cm cores service multitask eager duration_ms seed balance
           (Tm2c_memory.Shmem.peek (Runtime.shmem t) counter);
         r
   in
-  report r
+  report t r;
+  if trace then dump_trace t
 
 let cmd =
   let bench =
@@ -200,6 +245,12 @@ let cmd =
   in
   let eager =
     Arg.(value & flag & info [ "eager" ] ~doc:"Eager write-lock acquisition.")
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Record the event trace and dump an interleaved log after \
+                   the run (keep the run small: the ring holds 64K events).")
   in
   let duration =
     Arg.(value & opt float 50.0 & info [ "duration" ] ~doc:"Virtual milliseconds.")
@@ -234,7 +285,7 @@ let cmd =
   Cmd.v (Cmd.info "tm2c-sim" ~doc)
     Term.(
       const run $ bench $ platform $ cm $ cores $ service $ multitask $ eager
-      $ duration $ seed $ balance $ accounts $ buckets $ updates $ elastic $ size
-      $ input_kb $ chunk_kb)
+      $ trace $ duration $ seed $ balance $ accounts $ buckets $ updates
+      $ elastic $ size $ input_kb $ chunk_kb)
 
 let () = exit (Cmd.eval cmd)

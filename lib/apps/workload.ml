@@ -14,21 +14,32 @@ type result = {
   events : int;
 }
 
+(* Export hook: called with every collected result while the runtime
+   still holds its metrics (network histograms, DTM server stats, abort
+   causality). The harness JSON exporter installs itself here so the
+   fig drivers need no per-experiment wiring. *)
+let observer : (Runtime.t -> result -> unit) option ref = ref None
+
 let collect t ~events ~duration_ns =
   let stats = Runtime.stats t in
   let ops = Stats.total_ops stats in
   let duration_ms = duration_ns /. 1e6 in
-  {
-    ops;
-    duration_ms;
-    throughput_ops_ms = (if duration_ms > 0.0 then float_of_int ops /. duration_ms else 0.0);
-    commits = Stats.total_commits stats;
-    aborts = Stats.total_aborts stats;
-    commit_rate = Stats.commit_rate stats;
-    worst_attempts = Stats.worst_attempts stats;
-    messages = Network.sent (Runtime.env t).System.net;
-    events;
-  }
+  let r =
+    {
+      ops;
+      duration_ms;
+      throughput_ops_ms =
+        (if duration_ms > 0.0 then float_of_int ops /. duration_ms else 0.0);
+      commits = Stats.total_commits stats;
+      aborts = Stats.total_aborts stats;
+      commit_rate = Stats.commit_rate stats;
+      worst_attempts = Stats.worst_attempts stats;
+      messages = Network.sent (Runtime.env t).System.net;
+      events;
+    }
+  in
+  (match !observer with Some f -> f t r | None -> ());
+  r
 
 let drive t ~duration_ns make_op =
   Runtime.start_services t;
@@ -63,6 +74,10 @@ let drive_seq t ~duration_ns make_op =
         cstats.Stats.ops <- cstats.Stats.ops + 1
       done);
   let events = Runtime.run t ~until:duration_ns () in
+  (* Let the in-flight operation finish (one fiber, no contention —
+     this terminates right away): an operation split by the horizon
+     would leave e.g. a half-applied transfer. *)
+  let events = events + Runtime.run t () in
   collect t ~events ~duration_ns
 
 let run_to_completion t ?(horizon_ns = 1e13) work =

@@ -15,6 +15,12 @@ type result = {
   events : int;  (** simulator events processed *)
 }
 
+(** Export hook: when set, every collected result is also passed to
+    this function (with the runtime, whose metrics — network, DTM
+    servers, abort causality — are still live). The harness JSON
+    exporter installs itself here. *)
+val observer : (Tm2c_core.Runtime.t -> result -> unit) option ref
+
 (** [drive t ~duration_ns make_op] — starts the DTM services, gives
     every application core an operation generator, and simulates
     [duration_ns] of virtual time (hard horizon: livelocked

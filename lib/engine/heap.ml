@@ -8,9 +8,20 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  dummy : 'a entry;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+(* The dummy fills dead slots (indices >= size) so that vacated slots
+   never retain a popped entry's value. Its [value] field is never
+   read: dead slots are not observed, and [less] looks only at
+   [prio]/[seq]. [Obj.magic] is confined to this one constant. *)
+let create () =
+  {
+    data = [||];
+    size = 0;
+    next_seq = 0;
+    dummy = { prio = Float.nan; seq = -1; value = Obj.magic 0 };
+  }
 
 let length h = h.size
 
@@ -21,9 +32,7 @@ let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 let grow h =
   let cap = Array.length h.data in
   let new_cap = if cap = 0 then 64 else cap * 2 in
-  (* The dummy entry is never observed: indices >= size are dead. *)
-  let dummy = h.data.(0) in
-  let data = Array.make new_cap dummy in
+  let data = Array.make new_cap h.dummy in
   Array.blit h.data 0 data 0 h.size;
   h.data <- data
 
@@ -53,7 +62,6 @@ let rec sift_down h i =
 let push h prio value =
   let entry = { prio; seq = h.next_seq; value } in
   h.next_seq <- h.next_seq + 1;
-  if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 64 entry;
   if h.size = Array.length h.data then grow h;
   h.data.(h.size) <- entry;
   h.size <- h.size + 1;
@@ -66,8 +74,13 @@ let pop_min h =
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      (* Clear the vacated slot: otherwise the moved entry stays
+         reachable until the slot is overwritten — a space leak
+         proportional to the heap's high-water mark. *)
+      h.data.(h.size) <- h.dummy;
       sift_down h 0
-    end;
+    end
+    else h.data.(0) <- h.dummy;
     Some (min.prio, min.value)
   end
 

@@ -1,0 +1,88 @@
+(* Power-of-two-bucketed histogram for non-negative measurements
+   (latencies in ns, queue depths, ...). Bucket [i] covers
+   [2^(i-1), 2^i) with bucket 0 holding everything below 1.0; the last
+   bucket absorbs the tail. Adding a sample is a few arithmetic ops
+   and two array writes — cheap enough to stay always-on in the
+   network hot path. *)
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let default_buckets = 40
+
+let create ?(buckets = default_buckets) () =
+  if buckets < 1 then invalid_arg "Histogram.create: need at least one bucket";
+  { counts = Array.make buckets 0; n = 0; sum = 0.0; min = infinity; max = neg_infinity }
+
+let bucket_of t v =
+  if v < 1.0 then 0
+  else
+    (* [frexp] gives the binary exponent: v in [2^(e-1), 2^e). *)
+    let e = snd (Float.frexp v) in
+    if e >= Array.length t.counts then Array.length t.counts - 1 else e
+
+(* Inclusive upper edge of bucket [i]. *)
+let bucket_upper i = if i = 0 then 1.0 else Float.ldexp 1.0 i
+
+let add t v =
+  let v = if v < 0.0 then 0.0 else v in
+  let b = bucket_of t v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v
+
+let count t = t.n
+
+let sum t = t.sum
+
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let min_value t = if t.n = 0 then 0.0 else t.min
+
+let max_value t = if t.n = 0 then 0.0 else t.max
+
+(* Upper edge of the bucket containing the p-th percentile sample
+   (0 < p <= 100): a bucket-resolution approximation, clamped to the
+   observed max so an estimate never exceeds a value actually seen. *)
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.round (float_of_int t.n *. p /. 100.0)) in
+    let rank = if rank < 1 then 1 else if rank > t.n then t.n else rank in
+    let seen = ref 0 and result = ref (bucket_upper 0) in
+    (try
+       Array.iteri
+         (fun i c ->
+           seen := !seen + c;
+           if !seen >= rank then begin
+             result := bucket_upper i;
+             raise Exit
+           end)
+         t.counts
+     with Exit -> ());
+    Float.min !result t.max
+  end
+
+(* Non-empty buckets as (inclusive upper edge, count), low to high. *)
+let buckets t =
+  let acc = ref [] in
+  Array.iteri (fun i c -> if c > 0 then acc := (bucket_upper i, c) :: !acc) t.counts;
+  List.rev !acc
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.n <- 0;
+  t.sum <- 0.0;
+  t.min <- infinity;
+  t.max <- neg_infinity
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.1f min=%.1f max=%.1f p50<=%.0f p99<=%.0f" t.n
+    (mean t) (min_value t) (max_value t) (percentile t 50.0) (percentile t 99.0)

@@ -1,0 +1,35 @@
+(** Power-of-two-bucketed histogram of non-negative measurements.
+
+    Bucket [i] covers [2^(i-1), 2^i); bucket 0 holds values below 1.0
+    and the last bucket absorbs the tail. Adding a sample is O(1) with
+    no allocation, so histograms can stay always-on in hot paths. *)
+
+type t
+
+(** [create ?buckets ()] — 40 buckets by default (enough for ns-scale
+    values up to ~9 minutes). *)
+val create : ?buckets:int -> unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val sum : t -> float
+
+(** 0.0 when empty. *)
+val mean : t -> float
+
+val min_value : t -> float
+
+val max_value : t -> float
+
+(** [percentile t p] — upper edge of the bucket holding the [p]-th
+    percentile sample (bucket-resolution approximation); 0 when empty. *)
+val percentile : t -> float -> float
+
+(** Non-empty buckets as (inclusive upper edge, count), low to high. *)
+val buckets : t -> (float * int) list
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -23,9 +23,19 @@ let split t =
 
 let next t = Int64.to_int (next64 t) land max_int
 
+(* Rejection sampling: [next] is uniform on [0, max_int], and plain
+   [next t mod bound] over-weights small residues whenever [bound]
+   does not divide max_int + 1. Discard draws above the largest
+   multiple of [bound]; acceptance probability is always > 1/2. *)
 let int t bound =
   assert (bound > 0);
-  next t mod bound
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let limit = max_int - rem in
+  let rec go () =
+    let v = next t in
+    if v > limit then go () else v mod bound
+  in
+  go ()
 
 let float t =
   (* 53 random bits into the mantissa. *)

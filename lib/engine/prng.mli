@@ -14,7 +14,8 @@ val split : t -> t
 (** Next raw 64-bit value (as an OCaml [int], so 63 bits, non-negative). *)
 val next : t -> int
 
-(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+(** [int t bound] is uniform in [\[0, bound)] — rejection-sampled, so
+    free of modulo bias for every bound. [bound] must be > 0. *)
 val int : t -> int -> int
 
 (** Uniform float in [\[0, 1)]. *)

@@ -90,17 +90,22 @@ let run t ?until () =
   let processed = ref 0 in
   let continue_run = ref true in
   while !continue_run do
-    match Heap.pop_min t.events with
+    match Heap.peek_min t.events with
     | None -> continue_run := false
-    | Some (at, f) -> (
+    | Some at -> (
         match until with
         | Some horizon when at > horizon ->
+            (* Clamp the clock but leave the event queued: a later
+               [run] call resumes exactly where this one stopped. *)
             t.now <- horizon;
             continue_run := false
-        | Some _ | None ->
-            t.now <- at;
-            incr processed;
-            f ())
+        | Some _ | None -> (
+            match Heap.pop_min t.events with
+            | Some (at, f) ->
+                t.now <- at;
+                incr processed;
+                f ()
+            | None -> assert false))
   done;
   t.running <- false;
   current := None;

@@ -1,0 +1,72 @@
+(* Fixed-capacity ring buffer of (virtual-timestamp, event) pairs.
+
+   The tracer is disabled by default and costs one mutable-field read
+   on the hot path: call sites must guard event construction with
+   [if Trace.enabled t then Trace.record ...] so that a disabled trace
+   allocates nothing. When enabled, the newest events win: once the
+   ring is full the oldest entry is overwritten and counted in
+   [dropped]. Timestamps are supplied by the caller (virtual time),
+   keeping this module independent of any particular clock. *)
+
+type 'a t = {
+  capacity : int;
+  mutable enabled : bool;
+  times : float array;
+  mutable events : 'a array;  (* created lazily: needs a filler value *)
+  mutable head : int;  (* next write position *)
+  mutable len : int;  (* live entries, <= capacity *)
+  mutable dropped : int;
+}
+
+let create ?(capacity = 65_536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    capacity;
+    enabled = false;
+    times = Array.make capacity 0.0;
+    events = [||];
+    head = 0;
+    len = 0;
+    dropped = 0;
+  }
+
+let enabled t = t.enabled
+
+let enable t = t.enabled <- true
+
+let disable t = t.enabled <- false
+
+let capacity t = t.capacity
+
+let length t = t.len
+
+let dropped t = t.dropped
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0;
+  (* Release event references so a cleared trace retains nothing. *)
+  t.events <- [||]
+
+let record t ~now ev =
+  if t.enabled then begin
+    if Array.length t.events = 0 then t.events <- Array.make t.capacity ev;
+    t.times.(t.head) <- now;
+    t.events.(t.head) <- ev;
+    t.head <- (t.head + 1) mod t.capacity;
+    if t.len < t.capacity then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+  end
+
+(* Oldest-first iteration. *)
+let iter t f =
+  let start = (t.head - t.len + t.capacity) mod t.capacity in
+  for k = 0 to t.len - 1 do
+    let i = (start + k) mod t.capacity in
+    f t.times.(i) t.events.(i)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun ts ev -> acc := (ts, ev) :: !acc);
+  List.rev !acc

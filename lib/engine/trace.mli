@@ -1,0 +1,42 @@
+(** Low-overhead event tracer: a fixed-capacity ring buffer of
+    (virtual-timestamp, event) pairs.
+
+    Disabled by default. Call sites must guard event construction:
+
+    {[ if Trace.enabled tr then Trace.record tr ~now (Ev ...) ]}
+
+    so that tracing costs a single boolean read — and zero allocation —
+    when off. When the ring is full, the oldest entries are overwritten
+    (and counted in {!dropped}): a trace always holds the most recent
+    window of activity. *)
+
+type 'a t
+
+(** [create ?capacity ()] — capacity defaults to 65536 events. *)
+val create : ?capacity:int -> unit -> 'a t
+
+val enabled : 'a t -> bool
+
+val enable : 'a t -> unit
+
+val disable : 'a t -> unit
+
+val capacity : 'a t -> int
+
+(** Events currently held (<= capacity). *)
+val length : 'a t -> int
+
+(** Events overwritten because the ring was full. *)
+val dropped : 'a t -> int
+
+(** Drop all recorded events (and their references). *)
+val clear : 'a t -> unit
+
+(** [record t ~now ev] appends an event stamped [now]. No-op when
+    disabled — but guard with {!enabled} to avoid constructing [ev]. *)
+val record : 'a t -> now:float -> 'a -> unit
+
+(** Oldest-first iteration over (timestamp, event). *)
+val iter : 'a t -> (float -> 'a -> unit) -> unit
+
+val to_list : 'a t -> (float * 'a) list

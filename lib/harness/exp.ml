@@ -25,6 +25,20 @@ let quick =
     mr_sizes_kb = [ 2048; 4096; 8192 ];
   }
 
+(* CI smoke runs: same shape as [quick] but small enough that one
+   experiment finishes in seconds (mirrors the test suite's scale). *)
+let smoke =
+  {
+    label = "smoke";
+    window_ns = 1.5e6;
+    long_window_ns = 3e6;
+    ht_buckets = 16;
+    list_elems = 64;
+    bank_accounts = 32;
+    bank_accounts_5d = 64;
+    mr_sizes_kb = [ 64 ];
+  }
+
 let full =
   {
     label = "full";
@@ -91,6 +105,11 @@ let seq_throughput ?platform ?seed ~window_ns ~setup ~op () =
   let r = Workload.drive_seq t ~duration_ns:window_ns (fun ~core prng -> op state ~core prng) in
   r.Workload.throughput_ops_ms
 
+(* Ratios (speedup, normalized throughput) over windows that may have
+   seen no commits: a zero/negative denominator yields [nan] — rendered
+   as "n/a" by [print_table] — rather than a fake 0.0 data point. *)
+let ratio num den = if den > 0.0 then num /. den else Float.nan
+
 let print_table ~title ~header rows =
   Printf.printf "\n%s\n" title;
   let widths =
@@ -106,7 +125,8 @@ let print_table ~title ~header rows =
       List.iteri
         (fun i v ->
           let w = if i + 1 < List.length widths then List.nth widths (i + 1) else 9 in
-          if Float.is_integer v && Float.abs v < 1e6 then
+          if not (Float.is_finite v) then Printf.printf "%*s" w "n/a"
+          else if Float.is_integer v && Float.abs v < 1e6 then
             Printf.printf "%*.0f" w v
           else Printf.printf "%*.2f" w v)
         cells;

@@ -15,6 +15,9 @@ type scale = {
 
 val quick : scale
 
+(** Seconds-long reduced scale for CI smoke runs. *)
+val smoke : scale
+
 val full : scale
 
 (** Standard total-core series of the paper's x-axes. *)
@@ -71,7 +74,14 @@ val seq_throughput :
   unit ->
   float
 
-(** Table printing: a header line, then rows of numeric cells. *)
+(** [ratio num den] is [num /. den], or [nan] when [den <= 0.0] — the
+    zero-commit-window case. {!print_table} renders non-finite cells
+    as ["n/a"], so dead windows are visible instead of appearing as a
+    0.0 speedup. *)
+val ratio : float -> float -> float
+
+(** Table printing: a header line, then rows of numeric cells.
+    Non-finite cells render as ["n/a"]. *)
 val print_table : title:string -> header:string list -> (string * float list) list -> unit
 
 val row_label_int : int -> string

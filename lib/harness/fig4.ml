@@ -84,7 +84,7 @@ let fig4b (scale : Exp.scale) =
             else ignore (Hashtable.seq_contains env ~core ht k))
         ()
     in
-    if seq > 0.0 then tx /. seq else 0.0
+    Exp.ratio tx seq
   in
   let rows =
     List.map

@@ -58,6 +58,6 @@ let fig6b (scale : Exp.scale) =
              (fun chunk_kb ->
                let seq = sequential_duration_ms ~chunk_kb ~size_kb () in
                let par = parallel_duration_ms ~chunk_kb ~size_kb ~total:48 () in
-               if par > 0.0 then seq /. par else 0.0)
+               Exp.ratio seq par)
              [ 4; 8; 16 ] ))
        sizes)

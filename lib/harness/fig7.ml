@@ -36,7 +36,7 @@ let fig7a scale =
     (List.map
        (fun (n, (normal, cr_n), (early, cr_e), _) ->
          ( Exp.row_label_int n,
-           [ (if normal > 0.0 then early /. normal else 0.0); cr_n; cr_e ] ))
+           [ Exp.ratio early normal; cr_n; cr_e ] ))
        data)
 
 (* Fig. 7(b): elastic-read speedup over normal (read validation trades
@@ -51,7 +51,7 @@ let fig7b scale =
          ( Exp.row_label_int n,
            [
              1.0;
-             (if normal > 0.0 then early /. normal else 0.0);
-             (if normal > 0.0 then eread /. normal else 0.0);
+             Exp.ratio early normal;
+             Exp.ratio eread normal;
            ] ))
        data)

@@ -27,16 +27,55 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_ids ids scale =
+let run_ids ?json ids scale =
   let ids = if List.mem "all" ids then List.map (fun e -> e.id) all else ids in
-  List.iter
-    (fun id ->
-      match find id with
-      | Some e ->
-          Printf.printf "\n=== %s: %s ===\n%!" e.id e.description;
-          let t0 = Unix.gettimeofday () in
-          e.run scale;
-          Printf.printf "(%s finished in %.1fs host time)\n%!" e.id
-            (Unix.gettimeofday () -. t0)
-      | None -> invalid_arg (Printf.sprintf "unknown experiment %S" id))
-    ids
+  (* With an export file, capture every run each experiment performs
+     via the workload observer; runs are grouped per experiment id. *)
+  let exported = ref [] in
+  let current_runs = ref [] in
+  if json <> None then
+    Tm2c_apps.Workload.observer :=
+      Some (fun t r -> current_runs := Report.run_json t r :: !current_runs);
+  Fun.protect
+    ~finally:(fun () -> if json <> None then Tm2c_apps.Workload.observer := None)
+    (fun () ->
+      List.iter
+        (fun id ->
+          match find id with
+          | Some e ->
+              Printf.printf "\n=== %s: %s ===\n%!" e.id e.description;
+              let t0 = Unix.gettimeofday () in
+              current_runs := [];
+              e.run scale;
+              exported :=
+                ( e.id,
+                  e.description,
+                  List.rev !current_runs )
+                :: !exported;
+              Printf.printf "(%s finished in %.1fs host time)\n%!" e.id
+                (Unix.gettimeofday () -. t0)
+          | None -> invalid_arg (Printf.sprintf "unknown experiment %S" id))
+        ids);
+  match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Json.Obj
+          [
+            ("schema_version", Json.Int 1);
+            ("scale", Json.String scale.Exp.label);
+            ( "experiments",
+              Json.List
+                (List.rev_map
+                   (fun (id, description, runs) ->
+                     Json.Obj
+                       [
+                         ("id", Json.String id);
+                         ("description", Json.String description);
+                         ("runs", Json.List runs);
+                       ])
+                   !exported) );
+          ]
+      in
+      Json.to_file path doc;
+      Printf.printf "\nwrote %s\n%!" path

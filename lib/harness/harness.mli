@@ -11,6 +11,10 @@ val all : experiment list
 
 val find : string -> experiment option
 
-(** [run_ids ids scale] runs the named experiments (["all"] expands to
-    every experiment); raises [Invalid_argument] on unknown ids. *)
-val run_ids : string list -> Exp.scale -> unit
+(** [run_ids ?json ids scale] runs the named experiments (["all"]
+    expands to every experiment); raises [Invalid_argument] on unknown
+    ids. With [~json:path], every run each experiment performs is
+    captured (see {!Tm2c_apps.Workload.observer}) and the collected
+    results plus observability metrics ({!Report.run_json}) are written
+    to [path], grouped per experiment id. *)
+val run_ids : ?json:string -> string list -> Exp.scale -> unit

@@ -1,0 +1,159 @@
+(* Serialize one run — workload result plus the observability metrics
+   gathered by the runtime — as JSON. This is the export layer behind
+   [bench/main.exe <id> --json out.json]. *)
+
+open Tm2c_core
+open Tm2c_noc
+open Tm2c_engine
+
+let config_json (cfg : Runtime.config) =
+  Json.Obj
+    [
+      ("platform", Json.String cfg.Runtime.platform.Platform.name);
+      ("total_cores", Json.Int cfg.Runtime.total_cores);
+      ("service_cores", Json.Int cfg.Runtime.service_cores);
+      ( "deployment",
+        Json.String
+          (match cfg.Runtime.deployment with
+          | Runtime.Dedicated -> "dedicated"
+          | Runtime.Multitask -> "multitask") );
+      ("policy", Json.String (Cm.name cfg.Runtime.policy));
+      ( "wmode",
+        Json.String (match cfg.Runtime.wmode with Tx.Eager -> "eager" | Tx.Lazy -> "lazy") );
+      ("batching", Json.Bool cfg.Runtime.batching);
+      ("max_skew_ns", Json.Float cfg.Runtime.max_skew_ns);
+      ("seed", Json.Int cfg.Runtime.seed);
+    ]
+
+let result_json (r : Tm2c_apps.Workload.result) =
+  let open Tm2c_apps.Workload in
+  Json.Obj
+    [
+      ("ops", Json.Int r.ops);
+      ("duration_ms", Json.Float r.duration_ms);
+      ("throughput_ops_ms", Json.Float r.throughput_ops_ms);
+      ("commits", Json.Int r.commits);
+      ("aborts", Json.Int r.aborts);
+      (* nan (zero-commit window) serializes as null; the marker makes
+         the dead window explicit for consumers. *)
+      ("commit_rate", Json.Float r.commit_rate);
+      ("no_commits", Json.Bool (r.commits = 0 && r.aborts = 0));
+      ("worst_attempts", Json.Int r.worst_attempts);
+      ("messages", Json.Int r.messages);
+      ("sim_events", Json.Int r.events);
+    ]
+
+let cores_json stats ~n =
+  let rows = ref [] in
+  for i = n - 1 downto 0 do
+    let c = Stats.core stats i in
+    if c.Stats.commits + Stats.aborts c + c.Stats.ops > 0 then
+      rows :=
+        Json.Obj
+          [
+            ("core", Json.Int i);
+            ("commits", Json.Int c.Stats.commits);
+            ("aborts", Json.Int (Stats.aborts c));
+            ("aborts_raw", Json.Int c.Stats.aborts_raw);
+            ("aborts_waw", Json.Int c.Stats.aborts_waw);
+            ("aborts_war", Json.Int c.Stats.aborts_war);
+            ("aborts_status", Json.Int c.Stats.aborts_status);
+            ("ops", Json.Int c.Stats.ops);
+            ("tx_reads", Json.Int c.Stats.tx_reads);
+            ("tx_writes", Json.Int c.Stats.tx_writes);
+            ("max_attempts", Json.Int c.Stats.max_attempts);
+          ]
+        :: !rows
+  done;
+  Json.List !rows
+
+let histogram_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Histogram.count h));
+      ("mean", Json.Float (Histogram.mean h));
+      ("min", Json.Float (Histogram.min_value h));
+      ("max", Json.Float (Histogram.max_value h));
+      ("p50", Json.Float (Histogram.percentile h 50.0));
+      ("p90", Json.Float (Histogram.percentile h 90.0));
+      ("p99", Json.Float (Histogram.percentile h 99.0));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (upper, n) -> Json.List [ Json.Float upper; Json.Int n ])
+             (Histogram.buckets h)) );
+    ]
+
+let network_json net =
+  let m = Network.metrics net in
+  Json.Obj
+    [
+      ("sent", Json.Int (Network.sent net));
+      ("received", Json.Int m.Network.received);
+      ("poll_scans", Json.Int m.Network.poll_scans);
+      ("poll_scan_ns", Json.Float m.Network.poll_scan_ns);
+      ("latency_ns", histogram_json m.Network.latency);
+      ( "top_links",
+        Json.List
+          (List.map
+             (fun (src, dst, n) ->
+               Json.List [ Json.Int src; Json.Int dst; Json.Int n ])
+             (Network.top_links net)) );
+    ]
+
+let dtm_json servers =
+  Json.List
+    (List.map
+       (fun s ->
+         let qmean, qmax = Dtm.queue_depth_stats s in
+         let omean, omax = Dtm.occupancy_stats s in
+         Json.Obj
+           [
+             ("core", Json.Int (Dtm.core s));
+             ("served", Json.Int (Dtm.served s));
+             ( "queue_depth",
+               Json.Obj [ ("mean", Json.Float qmean); ("max", Json.Int qmax) ] );
+             ( "occupancy",
+               Json.Obj [ ("mean", Json.Float omean); ("max", Json.Int omax) ] );
+           ])
+       servers)
+
+let aborts_json ~policy obs =
+  Json.Obj
+    [
+      ("policy", Json.String (Cm.name policy));
+      ("total", Json.Int (Obs.total obs));
+      ( "by_conflict",
+        Json.Obj
+          (List.map
+             (fun (c, n) -> (Types.conflict_to_string c, Json.Int n))
+             (Obs.by_conflict obs)) );
+      ( "causality",
+        Json.List
+          (List.map
+             (fun ({ Obs.winner; victim; conflict }, count, addr) ->
+               Json.Obj
+                 [
+                   ("winner", Json.Int winner);
+                   ("victim", Json.Int victim);
+                   ("conflict", Json.String (Types.conflict_to_string conflict));
+                   ("count", Json.Int count);
+                   ("last_addr", Json.Int addr);
+                 ])
+             (Obs.dump obs)) );
+    ]
+
+let run_json t (r : Tm2c_apps.Workload.result) =
+  let cfg = Runtime.config t in
+  let env = Runtime.env t in
+  Json.Obj
+    [
+      ("config", config_json cfg);
+      ("result", result_json r);
+      ( "cores",
+        cores_json (Runtime.stats t) ~n:(Platform.n_cores cfg.Runtime.platform)
+      );
+      ("network", network_json env.System.net);
+      ("dtm", dtm_json (Runtime.servers t));
+      ("aborts", aborts_json ~policy:cfg.Runtime.policy (Runtime.obs t));
+    ]

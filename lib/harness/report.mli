@@ -1,0 +1,14 @@
+(** JSON export of one run: the workload result plus the runtime's
+    observability metrics — per-core commit/abort counters, network
+    message totals and latency histogram, lock-service queue-depth and
+    occupancy stats, and per-conflict abort causality. *)
+
+val config_json : Tm2c_core.Runtime.config -> Json.t
+
+val result_json : Tm2c_apps.Workload.result -> Json.t
+
+val histogram_json : Tm2c_engine.Histogram.t -> Json.t
+
+(** [run_json t r] — the full self-describing record for one run on
+    runtime [t] that produced result [r]. *)
+val run_json : Tm2c_core.Runtime.t -> Tm2c_apps.Workload.result -> Json.t

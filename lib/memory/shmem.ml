@@ -107,6 +107,29 @@ let write t ~core addr v =
   | Some caches -> cache_insert caches.(core) addr t.versions.(addr)
   | None -> ()
 
+(* A transaction's write-back after its linearization point must be
+   atomic in simulated time: applying the stores one [write] at a time
+   yields between them, and a run horizon can freeze the fiber halfway
+   through — half-applied write sets break atomicity for everyone
+   else. Apply the data immediately, then charge the cumulative memory
+   latency of all the stores as one delay. *)
+let write_burst t ~core pairs =
+  let latency =
+    List.fold_left
+      (fun acc (addr, v) ->
+        t.writes <- t.writes + 1;
+        let mc = mc_of_addr t addr in
+        let d = mc_queue_delay t mc +. Platform.mem_write_ns t.platform ~core ~mc in
+        t.data.(addr) <- v;
+        t.versions.(addr) <- t.versions.(addr) + 1;
+        (match t.caches with
+        | Some caches -> cache_insert caches.(core) addr t.versions.(addr)
+        | None -> ());
+        acc +. d)
+      0.0 pairs
+  in
+  if pairs <> [] then Sim.delay latency
+
 let peek t addr = t.data.(addr)
 
 let poke t addr v =

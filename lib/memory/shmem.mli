@@ -32,6 +32,14 @@ val read : t -> core:int -> addr -> int
 
 val write : t -> core:int -> addr -> int -> unit
 
+(** [write_burst t ~core pairs] applies a write set atomically in
+    simulated time: the data is visible immediately and the cumulative
+    store latency is charged as a single delay. For a transaction's
+    post-linearization write-back — per-store [write]s yield between
+    stores, so a run horizon could freeze the fiber with the write set
+    half applied. *)
+val write_burst : t -> core:int -> (addr * int) list -> unit
+
 (** Untimed host-side access, for setup and for checking invariants
     after a run. *)
 val peek : t -> addr -> int

@@ -1,11 +1,23 @@
 open Tm2c_engine
 
+(* Always-on message-layer metrics: cheap counters only (a histogram
+   add and two array increments per send), so they never perturb the
+   simulated timings. *)
+type metrics = {
+  per_link : int array array;  (* [src].(dst) messages sent *)
+  latency : Histogram.t;  (* in-flight ns: wire hops + detection scan *)
+  mutable received : int;
+  mutable poll_scans : int;  (* fruitless try_recv scans *)
+  mutable poll_scan_ns : float;  (* virtual ns burned by those scans *)
+}
+
 type 'a t = {
   sim : Sim.t;
   platform : Platform.t;
   active : int;
   boxes : 'a Mailbox.t array;
   mutable n_sent : int;
+  metrics : metrics;
 }
 
 let create sim platform ~active =
@@ -16,6 +28,14 @@ let create sim platform ~active =
     active;
     boxes = Array.init n (fun _ -> Mailbox.create sim);
     n_sent = 0;
+    metrics =
+      {
+        per_link = Array.init n (fun _ -> Array.make n 0);
+        latency = Histogram.create ();
+        received = 0;
+        poll_scans = 0;
+        poll_scan_ns = 0.0;
+      };
   }
 
 let sim net = net.sim
@@ -24,29 +44,48 @@ let platform net = net.platform
 
 let active net = net.active
 
+let metrics net = net.metrics
+
 let send net ~src ~dst msg =
   net.n_sent <- net.n_sent + 1;
+  net.metrics.per_link.(src).(dst) <- net.metrics.per_link.(src).(dst) + 1;
   Sim.delay (Platform.send_overhead_ns net.platform);
   let flight = Platform.flight_ns net.platform ~active:net.active ~src ~dst in
+  Histogram.add net.metrics.latency flight;
   Mailbox.send_at net.boxes.(dst) ~at:(Sim.now net.sim +. flight) msg
 
 let recv net ~self =
   let msg = Mailbox.recv net.boxes.(self) in
+  net.metrics.received <- net.metrics.received + 1;
   Sim.delay (Platform.recv_overhead_ns net.platform);
   msg
 
 let try_recv net ~self =
   match Mailbox.try_recv net.boxes.(self) with
   | Some msg ->
+      net.metrics.received <- net.metrics.received + 1;
       Sim.delay (Platform.recv_overhead_ns net.platform);
       Some msg
   | None ->
       (* A fruitless scan over the flags of all active cores. *)
-      Sim.delay (float_of_int net.active *. net.platform.Platform.msg_poll_per_core_ns);
+      let cost = float_of_int net.active *. net.platform.Platform.msg_poll_per_core_ns in
+      net.metrics.poll_scans <- net.metrics.poll_scans + 1;
+      net.metrics.poll_scan_ns <- net.metrics.poll_scan_ns +. cost;
+      Sim.delay cost;
       None
 
 let pending net ~self = Mailbox.length net.boxes.(self)
 
 let sent net = net.n_sent
+
+(* Busiest links first; zero links omitted. *)
+let top_links ?(limit = 16) net =
+  let acc = ref [] in
+  Array.iteri
+    (fun src row ->
+      Array.iteri (fun dst c -> if c > 0 then acc := (src, dst, c) :: !acc) row)
+    net.metrics.per_link;
+  let sorted = List.sort (fun (_, _, a) (_, _, b) -> compare b a) !acc in
+  List.filteri (fun i _ -> i < limit) sorted
 
 let compute net cycles = Sim.delay (Platform.cycles_ns net.platform cycles)

@@ -9,6 +9,17 @@
 
 type 'a t
 
+(** Always-on message-layer metrics (cheap counters; they never touch
+    the simulated timings). *)
+type metrics = {
+  per_link : int array array;  (** [per_link.(src).(dst)] messages sent *)
+  latency : Tm2c_engine.Histogram.t;
+      (** in-flight time per message (wire hops + detection scan), ns *)
+  mutable received : int;
+  mutable poll_scans : int;  (** fruitless [try_recv] scans *)
+  mutable poll_scan_ns : float;  (** virtual ns burned by those scans *)
+}
+
 val create : Tm2c_engine.Sim.t -> Platform.t -> active:int -> 'a t
 
 val sim : 'a t -> Tm2c_engine.Sim.t
@@ -37,6 +48,12 @@ val pending : 'a t -> self:int -> int
 
 (** Total messages sent so far on this network. *)
 val sent : 'a t -> int
+
+val metrics : 'a t -> metrics
+
+(** Busiest (src, dst, count) links, descending; at most [limit]
+    (default 16). *)
+val top_links : ?limit:int -> 'a t -> (int * int * int) list
 
 (** [compute net cycles] charges [cycles] of local computation at the
     platform's core frequency. *)

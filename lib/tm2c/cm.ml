@@ -41,6 +41,21 @@ let beats policy a b =
   | Wholly -> lex (float_of_int a.h_committed) (float_of_int b.h_committed)
   | Fair_cm -> lex a.h_effective_ns b.h_effective_ns
 
+(* The enemy responsible for a Requester_loses decision: the first
+   enemy the requester fails to beat (under no-CM/Back-off-Retry the
+   requester never wins, so the first enemy is charged). Used for
+   abort-causality attribution, not by the protocol itself. *)
+let first_blocker policy ~requester ~enemies =
+  match enemies with
+  | [] -> invalid_arg "Cm.first_blocker: no enemies"
+  | hd :: _ -> (
+      match policy with
+      | No_cm | Backoff_retry -> hd
+      | Offset_greedy | Wholly | Fair_cm -> (
+          match List.find_opt (fun e -> not (beats policy requester e)) enemies with
+          | Some e -> e
+          | None -> hd))
+
 let decide policy ~requester ~enemies =
   assert (enemies <> []);
   match policy with

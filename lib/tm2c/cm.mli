@@ -49,3 +49,11 @@ val decide : policy -> requester:Types.holder -> enemies:Types.holder list -> de
     (total order: ties broken by core id). Exposed for property
     tests. *)
 val beats : policy -> Types.holder -> Types.holder -> bool
+
+(** The enemy responsible for a [Requester_loses] decision — the first
+    enemy the requester fails to beat (the first enemy under policies
+    where the requester never wins). Used for abort-causality
+    attribution. [enemies] must be non-empty. *)
+val first_blocker :
+  policy -> requester:Types.holder -> enemies:Types.holder list -> Types.holder
+

@@ -12,6 +12,12 @@ type server = {
      refused so the table drains. *)
   mutable exclusive : (core_id * int) option;
   excl_queue : System.request Queue.t;
+  (* Service observability: input-queue depth and lock-table occupancy
+     sampled at each request pickup. *)
+  mutable q_sum : int;
+  mutable q_max : int;
+  mutable occ_sum : int;
+  mutable occ_max : int;
 }
 
 let make ~core =
@@ -21,6 +27,10 @@ let make ~core =
     served = 0;
     exclusive = None;
     excl_queue = Queue.create ();
+    q_sum = 0;
+    q_max = 0;
+    occ_sum = 0;
+    occ_max = 0;
   }
 
 let core s = s.core
@@ -28,6 +38,21 @@ let core s = s.core
 let locks s = s.locks
 
 let served s = s.served
+
+(* (mean, max) over the samples taken at each request pickup. *)
+let queue_depth_stats s =
+  if s.served = 0 then (0.0, 0)
+  else (float_of_int s.q_sum /. float_of_int s.served, s.q_max)
+
+let occupancy_stats s =
+  if s.served = 0 then (0.0, 0)
+  else (float_of_int s.occ_sum /. float_of_int s.served, s.occ_max)
+
+let trace_on env = Tm2c_engine.Trace.enabled env.System.trace
+
+let emit env ev =
+  Tm2c_engine.Trace.record env.System.trace
+    ~now:(Tm2c_engine.Sim.now env.System.sim) ev
 
 (* Request-handling software costs on the service core, in core
    cycles: table lookup + bookkeeping per address, on top of the
@@ -80,15 +105,47 @@ let read_lock env s (req : System.request) addr =
   match current_writer with
   | Some w when w.h_core <> req.tx.m_core -> (
       (* Read-after-write conflict: call the contention manager. *)
-      match Cm.decide env.System.policy ~requester ~enemies:[ w ] with
-      | Cm.Requester_loses -> reply env s ~req (System.Conflicted Raw)
+      let decision = Cm.decide env.System.policy ~requester ~enemies:[ w ] in
+      if trace_on env then
+        emit env
+          (Event.Lock_conflict
+             {
+               server = s.core;
+               requester = req.tx.m_core;
+               enemy = w.h_core;
+               addr;
+               conflict = Raw;
+               requester_wins = (decision = Cm.Enemies_lose);
+             });
+      match decision with
+      | Cm.Requester_loses ->
+          Obs.record env.System.obs ~winner:w.h_core ~victim:req.tx.m_core
+            ~conflict:Raw ~addr;
+          reply env s ~req (System.Conflicted Raw)
       | Cm.Enemies_lose -> (
           match try_abort_enemy env s w with
-          | Enemy_aborted | Enemy_stale ->
+          | Enemy_aborted ->
+              Obs.record env.System.obs ~winner:req.tx.m_core ~victim:w.h_core
+                ~conflict:Raw ~addr;
+              if trace_on env then
+                emit env
+                  (Event.Enemy_aborted
+                     {
+                       server = s.core;
+                       winner = req.tx.m_core;
+                       victim = w.h_core;
+                       addr;
+                       conflict = Raw;
+                     });
+              Locktable.revoke_writer s.locks addr;
+              grant ()
+          | Enemy_stale ->
               Locktable.revoke_writer s.locks addr;
               grant ()
           | Enemy_committing ->
               (* Enemy is past its commit point: requester retries. *)
+              Obs.record env.System.obs ~winner:w.h_core ~victim:req.tx.m_core
+                ~conflict:Raw ~addr;
               reply env s ~req (System.Conflicted Raw)))
   | Some _ | None -> grant ()
 
@@ -111,15 +168,48 @@ let write_locks env s (req : System.request) addrs =
   in
   (* Abort every enemy; enemies found stale are revoked all the same.
      Returns false if any enemy reached its commit point first. *)
-  let abort_all enemies ~revoke =
+  let abort_all enemies ~conflict ~addr ~revoke =
     List.for_all
       (fun enemy ->
         match try_abort_enemy env s enemy with
-        | Enemy_aborted | Enemy_stale ->
+        | Enemy_aborted ->
+            Obs.record env.System.obs ~winner:req.tx.m_core ~victim:enemy.h_core
+              ~conflict ~addr;
+            if trace_on env then
+              emit env
+                (Event.Enemy_aborted
+                   {
+                     server = s.core;
+                     winner = req.tx.m_core;
+                     victim = enemy.h_core;
+                     addr;
+                     conflict;
+                   });
             revoke enemy;
             true
-        | Enemy_committing -> false)
+        | Enemy_stale ->
+            revoke enemy;
+            true
+        | Enemy_committing ->
+            (* The enemy won the race to its commit point, so the
+               requester will abort: causality flips. *)
+            Obs.record env.System.obs ~winner:enemy.h_core ~victim:req.tx.m_core
+              ~conflict ~addr;
+            false)
       enemies
+  in
+  let trace_conflict ~enemy ~addr ~conflict ~requester_wins =
+    if trace_on env then
+      emit env
+        (Event.Lock_conflict
+           {
+             server = s.core;
+             requester = req.tx.m_core;
+             enemy;
+             addr;
+             conflict;
+             requester_wins;
+           })
   in
   let rec acquire = function
     | [] -> reply env s ~req System.Granted
@@ -131,11 +221,17 @@ let write_locks env s (req : System.request) addrs =
         match writer with
         | Some w when w.h_core <> req.tx.m_core -> (
             (* Write-after-write conflict. *)
-            match Cm.decide env.System.policy ~requester ~enemies:[ w ] with
-            | Cm.Requester_loses -> fail Waw
+            let decision = Cm.decide env.System.policy ~requester ~enemies:[ w ] in
+            trace_conflict ~enemy:w.h_core ~addr ~conflict:Waw
+              ~requester_wins:(decision = Cm.Enemies_lose);
+            match decision with
+            | Cm.Requester_loses ->
+                Obs.record env.System.obs ~winner:w.h_core ~victim:req.tx.m_core
+                  ~conflict:Waw ~addr;
+                fail Waw
             | Cm.Enemies_lose ->
                 if
-                  abort_all [ w ] ~revoke:(fun _ ->
+                  abort_all [ w ] ~conflict:Waw ~addr ~revoke:(fun _ ->
                       Locktable.revoke_writer s.locks addr)
                 then acquire (addr :: rest)
                 else fail Waw)
@@ -152,11 +248,21 @@ let write_locks env s (req : System.request) addrs =
                 acquire rest
             | _ -> (
                 (* Write-after-read conflict against all readers. *)
-                match Cm.decide env.System.policy ~requester ~enemies with
-                | Cm.Requester_loses -> fail War
+                let decision = Cm.decide env.System.policy ~requester ~enemies in
+                let blocker =
+                  Cm.first_blocker env.System.policy ~requester ~enemies
+                in
+                trace_conflict ~enemy:blocker.h_core ~addr ~conflict:War
+                  ~requester_wins:(decision = Cm.Enemies_lose);
+                match decision with
+                | Cm.Requester_loses ->
+                    Obs.record env.System.obs ~winner:blocker.h_core
+                      ~victim:req.tx.m_core ~conflict:War ~addr;
+                    fail War
                 | Cm.Enemies_lose ->
                     if
-                      abort_all enemies ~revoke:(fun (enemy : holder) ->
+                      abort_all enemies ~conflict:War ~addr
+                        ~revoke:(fun (enemy : holder) ->
                           Locktable.revoke_reader s.locks addr ~core:enemy.h_core)
                     then begin
                       Locktable.set_writer s.locks addr requester;
@@ -198,6 +304,16 @@ let exclusive_blocked s =
 
 let handle env s (req : System.request) =
   s.served <- s.served + 1;
+  (* Sample service-queue depth (requests still waiting behind this
+     one) and lock-table occupancy at pickup time. *)
+  let qd = Network.pending env.System.net ~self:s.core in
+  let occ = Locktable.n_locked s.locks in
+  s.q_sum <- s.q_sum + qd;
+  if qd > s.q_max then s.q_max <- qd;
+  s.occ_sum <- s.occ_sum + occ;
+  if occ > s.occ_max then s.occ_max <- occ;
+  if trace_on env then
+    emit env (Event.Service { server = s.core; queue_depth = qd; occupancy = occ });
   let n_addrs =
     match req.kind with
     | System.Read_lock _ | System.Barrier_reached | System.Exclusive_acquire

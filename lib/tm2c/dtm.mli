@@ -27,6 +27,14 @@ val locks : server -> Locktable.t
 (** Requests processed so far. *)
 val served : server -> int
 
+(** (mean, max) input-queue depth sampled at each request pickup —
+    how far behind this service core runs. (0., 0) before any
+    request. *)
+val queue_depth_stats : server -> float * int
+
+(** (mean, max) lock-table occupancy sampled at each request pickup. *)
+val occupancy_stats : server -> float * int
+
 (** Process one request; sends the response (if any) over the network
     from this server's core. Charges the server's processing cycles. *)
 val handle : System.env -> server -> System.request -> unit

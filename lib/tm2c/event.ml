@@ -1,0 +1,70 @@
+(* Typed trace events spanning the whole stack. Recorded into the
+   environment's ring buffer ([System.env.trace]) only when tracing is
+   enabled; every emit site guards with [Trace.enabled] so the
+   constructors below are never allocated on untraced runs. *)
+
+open Types
+
+type t =
+  | Tx_start of { core : core_id; attempt : int }
+  | Tx_read of { core : core_id; addr : addr; granted : bool }
+      (** read-lock round trip completed (elastic validated reads do
+          not appear: they are plain memory accesses) *)
+  | Tx_write of { core : core_id; addr : addr }  (** write buffered *)
+  | Tx_commit_begin of { core : core_id; attempt : int; n_writes : int }
+  | Tx_committed of { core : core_id; attempt : int; duration_ns : float }
+  | Tx_aborted of { core : core_id; attempt : int; conflict : conflict option }
+  | Lock_conflict of {
+      server : core_id;
+      requester : core_id;
+      enemy : core_id;
+      addr : addr;
+      conflict : conflict;
+      requester_wins : bool;
+    }  (** a contention-manager decision at a DTM core *)
+  | Enemy_aborted of {
+      server : core_id;
+      winner : core_id;
+      victim : core_id;
+      addr : addr;
+      conflict : conflict;
+    }  (** the winner's abort CAS landed on the victim's status word *)
+  | Service of { server : core_id; queue_depth : int; occupancy : int }
+      (** a DTM core picked up a request: its input-queue depth and
+          lock-table occupancy at that instant *)
+  | Barrier of { core : core_id }
+
+let conflict_opt_to_string = function
+  | Some c -> conflict_to_string c
+  | None -> "STATUS"
+
+let pp fmt = function
+  | Tx_start { core; attempt } ->
+      Format.fprintf fmt "core %2d  tx-start     attempt=%d" core attempt
+  | Tx_read { core; addr; granted } ->
+      Format.fprintf fmt "core %2d  tx-read      addr=%d %s" core addr
+        (if granted then "granted" else "refused")
+  | Tx_write { core; addr } ->
+      Format.fprintf fmt "core %2d  tx-write     addr=%d" core addr
+  | Tx_commit_begin { core; attempt; n_writes } ->
+      Format.fprintf fmt "core %2d  commit-begin attempt=%d writes=%d" core attempt
+        n_writes
+  | Tx_committed { core; attempt; duration_ns } ->
+      Format.fprintf fmt "core %2d  committed    attempt=%d span=%.0fns" core attempt
+        duration_ns
+  | Tx_aborted { core; attempt; conflict } ->
+      Format.fprintf fmt "core %2d  aborted      attempt=%d cause=%s" core attempt
+        (conflict_opt_to_string conflict)
+  | Lock_conflict { server; requester; enemy; addr; conflict; requester_wins } ->
+      Format.fprintf fmt "dtm  %2d  conflict     %s addr=%d core %d vs core %d -> %s"
+        server (conflict_to_string conflict) addr requester enemy
+        (if requester_wins then "requester wins" else "requester loses")
+  | Enemy_aborted { server; winner; victim; addr; conflict } ->
+      Format.fprintf fmt "dtm  %2d  enemy-abort  %s addr=%d core %d aborts core %d"
+        server (conflict_to_string conflict) addr winner victim
+  | Service { server; queue_depth; occupancy } ->
+      Format.fprintf fmt "dtm  %2d  serve        queue=%d locks=%d" server queue_depth
+        occupancy
+  | Barrier { core } -> Format.fprintf fmt "core %2d  barrier" core
+
+let to_string ev = Format.asprintf "%a" pp ev

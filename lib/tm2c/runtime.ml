@@ -104,6 +104,8 @@ let create cfg =
       serve_defer_cycles = 0;
       batching = cfg.batching;
       barrier_seen = Array.make (Platform.n_cores cfg.platform) 0;
+      trace = Trace.create ();
+      obs = Obs.create ();
     }
   in
   let alloc = Alloc.create shmem ~base:1 ~limit:(cfg.mem_words - 1) in
@@ -131,6 +133,18 @@ let shmem t = t.env.System.shmem
 let alloc t = t.alloc
 
 let stats t = t.env.System.stats
+
+let trace t = t.env.System.trace
+
+let obs t = t.env.System.obs
+
+let enable_tracing t = Trace.enable t.env.System.trace
+
+(* DTM servers instantiated so far (all of them once services have
+   started), in core order — the per-server queue/occupancy stats. *)
+let servers t =
+  Array.to_list t.dtm_cores
+  |> List.filter_map (fun core -> Hashtbl.find_opt t.servers core)
 
 let app_cores t = t.app_cores
 

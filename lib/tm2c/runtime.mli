@@ -54,6 +54,20 @@ val alloc : t -> Tm2c_memory.Alloc.t
 
 val stats : t -> Stats.t
 
+(** The event-trace ring buffer (see {!Tm2c_engine.Trace}); disabled
+    until {!enable_tracing} is called. *)
+val trace : t -> Event.t Tm2c_engine.Trace.t
+
+(** Abort-causality accounting (always on). *)
+val obs : t -> Obs.t
+
+(** Turn on event tracing for this runtime's simulation. *)
+val enable_tracing : t -> unit
+
+(** DTM servers instantiated so far (all of them once
+    [start_services] has run), in core order. *)
+val servers : t -> Dtm.server list
+
 (** Application cores, in id order. *)
 val app_cores : t -> Types.core_id array
 

@@ -45,7 +45,7 @@ let total_ops t = sum t (fun c -> c.ops)
 
 let commit_rate t =
   let commits = total_commits t and ab = total_aborts t in
-  if commits + ab = 0 then 100.0
+  if commits + ab = 0 then Float.nan
   else 100.0 *. float_of_int commits /. float_of_int (commits + ab)
 
 let worst_attempts t = Array.fold_left (fun acc c -> max acc c.max_attempts) 0 t
@@ -67,10 +67,14 @@ let reset t =
     t
 
 let pp fmt t =
-  Format.fprintf fmt "commits=%d aborts=%d (raw=%d waw=%d war=%d status=%d) ops=%d rate=%.1f%%"
+  let rate = commit_rate t in
+  let rate_s =
+    if Float.is_nan rate then "n/a (no commits)" else Printf.sprintf "%.1f%%" rate
+  in
+  Format.fprintf fmt "commits=%d aborts=%d (raw=%d waw=%d war=%d status=%d) ops=%d rate=%s"
     (total_commits t) (total_aborts t)
     (sum t (fun c -> c.aborts_raw))
     (sum t (fun c -> c.aborts_waw))
     (sum t (fun c -> c.aborts_war))
     (sum t (fun c -> c.aborts_status))
-    (total_ops t) (commit_rate t)
+    (total_ops t) rate_s

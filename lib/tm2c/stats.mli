@@ -30,7 +30,8 @@ val total_aborts : t -> int
 val total_ops : t -> int
 
 (** Commit rate in percent: commits / (commits + aborts) * 100.
-    100.0 when no transaction ran. *)
+    [nan] when no transaction ran — callers must render the
+    "no commits" case explicitly instead of reporting a fake 100%. *)
 val commit_rate : t -> float
 
 (** Largest [max_attempts] over all cores — the empirical

@@ -27,6 +27,8 @@ type env = {
   batching : bool;
   barrier_seen : int array;
   mutable serve_defer_cycles : int;
+  trace : Event.t Tm2c_engine.Trace.t;
+  obs : Obs.t;
 }
 
 let local_now env ~core = Tm2c_engine.Sim.now env.sim +. env.skew.(core)

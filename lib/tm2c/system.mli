@@ -59,6 +59,10 @@ type env = {
           task mid-transaction — the non-preemptive libtask effect of
           Figure 2 (a request "cannot be served prior to [the core]
           completing its local computation") *)
+  trace : Event.t Tm2c_engine.Trace.t;
+      (** event-trace ring buffer; disabled by default — emit sites
+          guard with [Trace.enabled] so untraced runs allocate nothing *)
+  obs : Obs.t;  (** abort-causality accounting (always on) *)
 }
 
 (** A core's local clock reading ([Sim.now] plus its skew). *)

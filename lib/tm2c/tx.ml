@@ -68,6 +68,13 @@ let core ctx = ctx.core
 
 let env ctx = ctx.env
 
+(* Lifecycle trace events; guard construction so that untraced runs
+   allocate nothing. *)
+let trace_on ctx = Trace.enabled ctx.env.System.trace
+
+let emit ctx ev =
+  Trace.record ctx.env.System.trace ~now:(Sim.now ctx.env.System.sim) ev
+
 let stats ctx = ctx.stats
 
 let committed ctx = ctx.committed
@@ -167,7 +174,9 @@ let begin_attempt ctx =
   Atomic_reg.write ctx.env.System.regs ~core:ctx.core ~reg:ctx.core
     (status_encode ctx Status.Pending);
   ctx.tx_start <- local_now ctx;
-  ctx.in_tx <- true
+  ctx.in_tx <- true;
+  if trace_on ctx then
+    emit ctx (Event.Tx_start { core = ctx.core; attempt = ctx.attempt })
 
 let release_all ctx =
   List.iter
@@ -184,11 +193,16 @@ let locked_read ctx addr =
   check_status ctx;
   match send_request ctx ~dst:(ctx.env.System.owner_of addr) (System.Read_lock addr) with
   | System.Granted ->
+      if trace_on ctx then
+        emit ctx (Event.Tx_read { core = ctx.core; addr; granted = true });
       let v = Shmem.read ctx.env.System.shmem ~core:ctx.core addr in
       Hashtbl.replace ctx.read_buf addr v;
       ctx.reads_held <- addr :: ctx.reads_held;
       v
-  | System.Conflicted c -> raise (Abort_exn (Some c))
+  | System.Conflicted c ->
+      if trace_on ctx then
+        emit ctx (Event.Tx_read { core = ctx.core; addr; granted = false });
+      raise (Abort_exn (Some c))
 
 let elastic_early_read ctx addr =
   let v = locked_read ctx addr in
@@ -246,6 +260,7 @@ let write ctx addr v =
   Hashtbl.replace ctx.write_buf addr v;
   if fresh then begin
     ctx.write_order <- addr :: ctx.write_order;
+    if trace_on ctx then emit ctx (Event.Tx_write { core = ctx.core; addr });
     if ctx.wmode = Eager && not (List.mem addr ctx.writes_held) then begin
       check_status ctx;
       match
@@ -265,6 +280,14 @@ let abort _ctx = raise (Abort_exn None)
    validate any remaining elastic-read window, persist the write set,
    release every lock and update the metadata. *)
 let commit ctx =
+  if trace_on ctx then
+    emit ctx
+      (Event.Tx_commit_begin
+         {
+           core = ctx.core;
+           attempt = ctx.attempt;
+           n_writes = List.length ctx.write_order;
+         });
   let to_acquire =
     List.filter (fun a -> not (List.mem a ctx.writes_held)) (List.rev ctx.write_order)
   in
@@ -286,11 +309,16 @@ let commit ctx =
       if Shmem.read ctx.env.System.shmem ~core:ctx.core a <> v then
         raise (Abort_exn (Some War)))
     ctx.eread_window;
-  List.iter
-    (fun a -> Shmem.write ctx.env.System.shmem ~core:ctx.core a (Hashtbl.find ctx.write_buf a))
-    (List.rev ctx.write_order);
+  (* Atomic in simulated time: a run horizon must not be able to
+     freeze this fiber with the write set half applied. *)
+  Shmem.write_burst ctx.env.System.shmem ~core:ctx.core
+    (List.rev_map (fun a -> (a, Hashtbl.find ctx.write_buf a)) ctx.write_order);
   release_all ctx;
   let elapsed = local_now ctx -. ctx.tx_start in
+  if trace_on ctx then
+    emit ctx
+      (Event.Tx_committed
+         { core = ctx.core; attempt = ctx.attempt; duration_ns = elapsed });
   ctx.effective_ns <- ctx.effective_ns +. elapsed;
   ctx.stats.Stats.effective_ns <- ctx.stats.Stats.effective_ns +. elapsed;
   ctx.committed <- ctx.committed + 1;
@@ -309,6 +337,8 @@ let record_abort ctx = function
 
 let abort_cleanup ctx conflict =
   record_abort ctx conflict;
+  if trace_on ctx then
+    emit ctx (Event.Tx_aborted { core = ctx.core; attempt = ctx.attempt; conflict });
   release_all ctx;
   ctx.attempt <- ctx.attempt + 1;
   ctx.in_tx <- false;

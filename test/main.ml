@@ -10,4 +10,5 @@ let () =
       ("workload", Test_workload.suite);
       ("integration", Test_integration.suite);
       ("harness", Test_harness.suite);
+      ("export", Test_export.suite);
     ]

@@ -47,6 +47,78 @@ let heap_sorted_prop =
       let drained = drain [] in
       drained = List.sort compare priorities)
 
+(* Model test: an op sequence against a stable-sorted association-list
+   oracle. Small integer priorities make ties frequent, so the
+   insertion-order (FIFO) tie-break is exercised, not just ordering. *)
+let heap_model_prop =
+  QCheck.Test.make ~name:"heap matches sorted-list oracle (incl. FIFO ties)"
+    ~count:300
+    QCheck.(list (option (int_bound 5)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      let pop_oracle () =
+        match
+          List.stable_sort (fun (p1, _) (p2, _) -> compare p1 p2) !model
+        with
+        | [] -> None
+        | ((_, s) as hd) :: _ ->
+            model := List.filter (fun (_, s') -> s' <> s) !model;
+            Some hd
+      in
+      let step op =
+        match op with
+        | Some p ->
+            let prio = float_of_int p in
+            Heap.push h prio !seq;
+            model := !model @ [ (prio, !seq) ];
+            incr seq
+        | None -> (
+            match (Heap.pop_min h, pop_oracle ()) with
+            | None, None -> ()
+            | Some got, Some want -> if got <> want then ok := false
+            | _ -> ok := false)
+      in
+      List.iter step ops;
+      (* Drain both to catch divergence left in the remaining state. *)
+      while Heap.length h > 0 || !model <> [] do
+        step None
+      done;
+      !ok)
+
+(* The pop_min space-leak fix: popped values must become collectable
+   even while the heap still holds other entries (vacated slots alias a
+   live entry instead of pinning the popped one). *)
+let test_heap_no_retention () =
+  let n = 32 in
+  let h = Heap.create () in
+  let weak = Weak.create n in
+  for i = 0 to n - 1 do
+    let v = ref i in
+    Weak.set weak i (Some v);
+    Heap.push h (float_of_int i) v
+  done;
+  let live lo hi =
+    let k = ref 0 in
+    for i = lo to hi do
+      if Weak.check weak i then incr k
+    done;
+    !k
+  in
+  for _ = 1 to n / 2 do
+    ignore (Heap.pop_min h)
+  done;
+  Gc.full_major ();
+  check_int "popped half collectable" 0 (live 0 ((n / 2) - 1));
+  check_int "queued half retained" (n / 2) (live (n / 2) (n - 1));
+  for _ = 1 to n / 2 do
+    ignore (Heap.pop_min h)
+  done;
+  Gc.full_major ();
+  check_int "all collectable once drained" 0 (live 0 (n - 1))
+
 (* ---- Prng ---- *)
 
 let test_prng_deterministic () =
@@ -259,6 +331,8 @@ let suite =
     ("heap: FIFO on ties", `Quick, test_heap_fifo_ties);
     ("heap: peek", `Quick, test_heap_peek);
     QCheck_alcotest.to_alcotest heap_sorted_prop;
+    QCheck_alcotest.to_alcotest heap_model_prop;
+    ("heap: no retention after pop", `Quick, test_heap_no_retention);
     ("prng: deterministic", `Quick, test_prng_deterministic);
     ("prng: seeds differ", `Quick, test_prng_seeds_differ);
     ("prng: split diverges", `Quick, test_prng_split);

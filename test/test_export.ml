@@ -1,0 +1,126 @@
+(* The JSON exporter: printer/parser round-trips and the structure of
+   an exported run (the fig5a shape: bank workload with contention). *)
+
+open Tm2c_harness
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---- Json printer/parser ---- *)
+
+let sample =
+  Json.Obj
+    [
+      ("name", Json.String "fig5a");
+      ("n", Json.Int 48);
+      ("rate", Json.Float 93.25);
+      ("ok", Json.Bool true);
+      ("none", Json.Null);
+      ( "rows",
+        Json.List
+          [
+            Json.List [ Json.Int 1; Json.Float 2.5 ];
+            Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ];
+          ] );
+      ("escaped", Json.String "line\nbreak \"quoted\" back\\slash\ttab");
+    ]
+
+let test_roundtrip () =
+  check "pretty round-trips" true (Json.of_string (Json.to_string sample) = sample);
+  check "compact round-trips" true
+    (Json.of_string (Json.to_string ~indent:false sample) = sample)
+
+let test_non_finite () =
+  let s = Json.to_string ~indent:false (Json.List [ Json.Float Float.nan ]) in
+  check_string "nan serializes as null" "[null]" s;
+  let s = Json.to_string ~indent:false (Json.Float Float.infinity) in
+  check_string "infinity serializes as null" "null" s
+
+let test_parse_handwritten () =
+  let v =
+    Json.of_string
+      {| { "a": [1, -2.5e1, "xA"], "b": { "c": null }, "d": false } |}
+  in
+  check "nested path" true (Json.path [ "b"; "c" ] v = Some Json.Null);
+  (match Json.member "a" v with
+  | Some (Json.List [ Json.Int 1; Json.Float f; Json.String s ]) ->
+      Alcotest.(check (float 1e-9)) "exponent" (-25.0) f;
+      check_string "unicode escape" "xA" s
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.check_raises "trailing garbage rejected"
+    (Json.Parse_error "at 5: trailing garbage") (fun () ->
+      ignore (Json.of_string "null x"))
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "tm2c_json" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Json.to_file path sample;
+      check "file round-trips" true (Json.of_file path = sample))
+
+(* ---- exported run structure ---- *)
+
+(* A small contended bank run — the fig5a workload shape — must export
+   every metric family the observability layer promises. *)
+let exported_run () =
+  let open Tm2c_core in
+  let open Tm2c_apps in
+  let cfg = Exp.config ~total:8 ~policy:Cm.Fair_cm () in
+  let t = Runtime.create cfg in
+  let accounts = 32 in
+  let bank = Bank.create t ~accounts ~initial:1000 in
+  let r =
+    Workload.drive t ~duration_ns:1.5e6 (Exp.bank_mix bank ~balance:20)
+  in
+  Report.run_json t r
+
+let test_export_fields () =
+  let v = Json.of_string (Json.to_string (exported_run ())) in
+  let int_at p =
+    match Option.bind (Json.path p v) Json.to_int_opt with
+    | Some i -> i
+    | None -> Alcotest.fail (String.concat "." p ^ " missing")
+  in
+  check "commits positive" true (int_at [ "result"; "commits" ] > 0);
+  check "messages positive" true (int_at [ "network"; "sent" ] > 0);
+  check "latency samples" true (int_at [ "network"; "latency_ns"; "count" ] > 0);
+  (* Causality is recorded at the server's decision; the victim's
+     stats abort lands when it observes it. Transactions still in
+     flight at the horizon appear in the former only. *)
+  check "abort causality covers observed aborts" true
+    (int_at [ "aborts"; "total" ] >= int_at [ "result"; "aborts" ]
+    && int_at [ "aborts"; "total" ] > 0);
+  (match Json.path [ "cores" ] v with
+  | Some (Json.List (_ :: _ as cores)) ->
+      List.iter
+        (fun c ->
+          check "per-core commit counter" true (Json.member "commits" c <> None);
+          check "per-core abort counter" true (Json.member "aborts" c <> None))
+        cores
+  | _ -> Alcotest.fail "cores missing");
+  (match Json.path [ "dtm" ] v with
+  | Some (Json.List (_ :: _ as servers)) ->
+      List.iter
+        (fun s ->
+          check "queue-depth stats" true
+            (Json.path [ "queue_depth"; "mean" ] s <> None
+            && Json.path [ "queue_depth"; "max" ] s <> None))
+        servers
+  | _ -> Alcotest.fail "dtm servers missing");
+  match Json.path [ "aborts"; "by_conflict" ] v with
+  | Some (Json.Obj fields) ->
+      Alcotest.(check (list string))
+        "per-conflict-type causality counts" [ "RAW"; "WAW"; "WAR" ]
+        (List.map fst fields)
+  | _ -> Alcotest.fail "by_conflict missing"
+
+let suite =
+  [
+    ("json: round-trip", `Quick, test_roundtrip);
+    ("json: non-finite floats", `Quick, test_non_finite);
+    ("json: handwritten input", `Quick, test_parse_handwritten);
+    ("json: file round-trip", `Quick, test_file_roundtrip);
+    ("export: run structure", `Quick, test_export_fields);
+  ]
