@@ -1,0 +1,134 @@
+(* Observability-overhead gate (the @baseline alias): run the same
+   bank workload with every observability layer off and then on
+   (tracing + phase profiling + time-series sampling), and write the
+   comparison to BENCH_overhead.json.
+
+   Two checks, and the exit status reflects both:
+
+   - Virtual-time neutrality (hard): observability must not perturb
+     the simulation — histograms, spans, the trace ring and the
+     sampler all consume zero virtual time, so the committed
+     throughput must agree within 2% (deterministically it is exactly
+     equal; the tolerance keeps the gate meaningful if that ever
+     changes).
+   - Host-time overhead (soft ceiling): enabling everything may cost
+     real time, but not more than [host_ratio_threshold] x. Host
+     timings are min-of-3 to shed scheduler noise. *)
+
+open Tm2c_core
+open Tm2c_apps
+
+let duration_ns = 5e6
+
+let reps = 3
+
+let virtual_pct_threshold = 2.0
+
+let host_ratio_threshold = 5.0
+
+let bench_once ~observe =
+  let cfg =
+    {
+      Runtime.platform = Tm2c_noc.Platform.scc;
+      total_cores = 16;
+      service_cores = 8;
+      deployment = Runtime.Dedicated;
+      policy = Cm.Fair_cm;
+      wmode = Tx.Lazy;
+      batching = true;
+      max_skew_ns = 3_000.0;
+      seed = 42;
+      mem_words = 1 lsl 20;
+    }
+  in
+  let t = Runtime.create cfg in
+  if observe then begin
+    Runtime.enable_tracing t;
+    Runtime.enable_profiling t;
+    Runtime.enable_timeseries t ~window_ns:(duration_ns /. 16.0)
+  end;
+  let accounts = 256 in
+  let bank = Bank.create t ~accounts ~initial:1000 in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Workload.drive t ~duration_ns (fun _core ctx prng () ->
+        let src = Tm2c_engine.Prng.int prng accounts
+        and dst = Tm2c_engine.Prng.int prng accounts in
+        Bank.tx_transfer ctx bank ~src ~dst ~amount:1)
+  in
+  (r, Unix.gettimeofday () -. t0)
+
+let best ~observe =
+  let result = ref None and host = ref infinity in
+  for _ = 1 to reps do
+    let r, h = bench_once ~observe in
+    (match !result with
+    | Some (prev : Workload.result) when prev.Workload.commits <> r.Workload.commits
+      ->
+        failwith "non-deterministic benchmark run"
+    | _ -> ());
+    result := Some r;
+    host := Float.min !host h
+  done;
+  (Option.get !result, !host)
+
+let side_json (r : Workload.result) host =
+  Tm2c_harness.Json.Obj
+    [
+      ("commits", Tm2c_harness.Json.Int r.Workload.commits);
+      ("aborts", Tm2c_harness.Json.Int r.Workload.aborts);
+      ("throughput_ops_ms", Tm2c_harness.Json.Float r.Workload.throughput_ops_ms);
+      ("host_best_s", Tm2c_harness.Json.Float host);
+    ]
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_overhead.json" in
+  let off, host_off = best ~observe:false in
+  let on, host_on = best ~observe:true in
+  let thr_off = off.Workload.throughput_ops_ms
+  and thr_on = on.Workload.throughput_ops_ms in
+  let virtual_delta_pct =
+    if thr_off > 0.0 then Float.abs (thr_on -. thr_off) /. thr_off *. 100.0
+    else 0.0
+  in
+  let host_ratio = if host_off > 0.0 then host_on /. host_off else 1.0 in
+  let pass =
+    virtual_delta_pct <= virtual_pct_threshold && host_ratio <= host_ratio_threshold
+  in
+  let open Tm2c_harness in
+  Json.to_file path
+    (Json.Obj
+       [
+         ("schema_version", Json.Int 2);
+         ( "benchmark",
+           Json.String
+             "bank transfers, SCC, 16 cores (8 app / 8 DTM), FairCM, lazy, 5ms \
+              virtual" );
+         ("reps", Json.Int reps);
+         ("observability_off", side_json off host_off);
+         ( "observability_on_layers",
+           Json.List
+             [
+               Json.String "tracing";
+               Json.String "phase profiling";
+               Json.String "timeseries";
+             ] );
+         ("observability_on", side_json on host_on);
+         ("virtual_delta_pct", Json.Float virtual_delta_pct);
+         ("virtual_pct_threshold", Json.Float virtual_pct_threshold);
+         ("host_ratio", Json.Float host_ratio);
+         ("host_ratio_threshold", Json.Float host_ratio_threshold);
+         ("pass", Json.Bool pass);
+       ]);
+  Printf.printf
+    "observability off: %d commits, %.2f ops/ms, %.3fs host\n\
+     observability on:  %d commits, %.2f ops/ms, %.3fs host\n\
+     virtual throughput delta %.4f%% (threshold %.1f%%), host ratio %.2fx \
+     (threshold %.1fx)\n\
+     wrote %s\n"
+    off.Workload.commits thr_off host_off on.Workload.commits thr_on host_on
+    virtual_delta_pct virtual_pct_threshold host_ratio host_ratio_threshold path;
+  if not pass then begin
+    prerr_endline "overhead gate FAILED";
+    exit 1
+  end

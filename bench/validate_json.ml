@@ -1,26 +1,49 @@
 (* Smoke-target validator: parse an exported results file and require
-   the metric families the observability layer promises. Exits
-   non-zero (failwith) when the export is malformed or incomplete. *)
+   the metric families the observability layer promises — including the
+   schema-v2 phase attribution, time-series, and trace-ring sections —
+   and check the phase-accounting invariant: per core, the committed
+   phase sums equal the total committed-attempt time (1e-6 relative).
+   Exits non-zero (failwith) when the export is malformed, incomplete,
+   or out of tolerance.
+
+   Accepts both shapes: a harness export ({schema_version, scale,
+   experiments: [{runs: [...]}]}) and a single tm2c-sim --json run
+   record (the run object itself, recognized by its "config" field). *)
 
 open Tm2c_harness
+
+let tolerance = 1e-6
 
 let () =
   let path = Sys.argv.(1) in
   let v = Json.of_file path in
+  let fail fmt = Printf.ksprintf (fun m -> failwith (path ^ ": " ^ m)) fmt in
   let require doc p =
-    if Json.path p doc = None then
-      failwith (Printf.sprintf "%s: missing %s" path (String.concat "." p))
+    if Json.path p doc = None then fail "missing %s" (String.concat "." p)
   in
-  require v [ "schema_version" ];
-  require v [ "scale" ];
-  let first_run =
-    match Json.path [ "experiments" ] v with
-    | Some (Json.List (e :: _)) -> (
-        match Json.member "runs" e with
-        | Some (Json.List (run :: _)) -> run
-        | _ -> failwith (path ^ ": experiment has no runs"))
-    | _ -> failwith (path ^ ": no experiments")
+  (* Collect every run in the file. *)
+  let runs =
+    match Json.member "experiments" v with
+    | Some (Json.List exps) ->
+        require v [ "scale" ];
+        (match Json.member "schema_version" v with
+        | Some (Json.Int 2) -> ()
+        | Some (Json.Int n) -> fail "schema_version %d, expected 2" n
+        | _ -> fail "missing schema_version");
+        List.concat_map
+          (fun e ->
+            match Json.member "runs" e with
+            | Some (Json.List rs) -> rs
+            | _ -> fail "experiment without runs")
+          exps
+    | Some _ -> fail "experiments is not a list"
+    | None ->
+        if Json.member "config" v = None then
+          fail "neither a harness export nor a run record";
+        [ v ]
   in
+  (match runs with [] -> fail "no runs" | _ -> ());
+  let first_run = List.hd runs in
   List.iter (require first_run)
     [
       [ "config"; "policy" ];
@@ -29,9 +52,56 @@ let () =
       [ "cores" ];
       [ "network"; "sent" ];
       [ "network"; "latency_ns"; "count" ];
+      [ "network"; "latency_ns"; "sum" ];
       [ "dtm" ];
       [ "aborts"; "by_conflict"; "RAW" ];
       [ "aborts"; "by_conflict"; "WAW" ];
       [ "aborts"; "by_conflict"; "WAR" ];
+      (* v2 additions *)
+      [ "phases"; "enabled" ];
+      [ "phases"; "names" ];
+      [ "phases"; "committed" ];
+      [ "phases"; "aborted" ];
+      [ "trace"; "dropped" ];
+      [ "trace"; "capacity" ];
+      [ "timeseries"; "window_ns" ];
+      [ "timeseries"; "t_ns" ];
+      [ "timeseries"; "channels"; "commits"; "values" ];
+      [ "timeseries"; "channels"; "queue_depth_mean"; "values" ];
     ];
-  Printf.printf "%s: valid export\n" path
+  (* Phase-accounting invariant, on every run in the file: the
+     instrumentation charges each telescoping segment of a committed
+     attempt to exactly one phase, so the sums must reconcile. *)
+  let checked = ref 0 in
+  List.iteri
+    (fun ri run ->
+      match Json.path [ "phases"; "committed" ] run with
+      | Some (Json.List cores) ->
+          List.iter
+            (fun entry ->
+              let num k =
+                match Option.bind (Json.member k entry) Json.to_float_opt with
+                | Some f -> f
+                | None -> fail "run %d: core entry missing %s" ri k
+              in
+              let core =
+                match Option.bind (Json.member "core" entry) Json.to_int_opt with
+                | Some c -> c
+                | None -> fail "run %d: core entry missing core id" ri
+              in
+              let total = num "total_attempt_ns" in
+              let phases = num "phase_sum_ns" in
+              if Float.abs (phases -. total) > tolerance *. Float.max total 1.0
+              then
+                fail
+                  "run %d core %d: phase sums %.6f ns vs attempt total %.6f ns \
+                   (relative error %.3e > %g)"
+                  ri core phases total
+                  (Float.abs (phases -. total) /. Float.max total 1.0)
+                  tolerance;
+              incr checked)
+            cores
+      | _ -> fail "run %d: phases.committed missing" ri)
+    runs;
+  Printf.printf "%s: valid export (%d runs, %d per-core phase sums within %g)\n"
+    path (List.length runs) !checked tolerance

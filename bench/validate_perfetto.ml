@@ -1,0 +1,17 @@
+(* Smoke-target validator for --perfetto output: well-formed
+   trace_event JSON, monotone per-track timestamps, non-negative
+   durations, and paired flow arrows (see Perfetto.validate). *)
+
+open Tm2c_harness
+
+let () =
+  let path = Sys.argv.(1) in
+  match Perfetto.validate_file path with
+  | Ok () ->
+      let n =
+        match Json.member "traceEvents" (Json.of_file path) with
+        | Some (Json.List l) -> List.length l
+        | _ -> 0
+      in
+      Printf.printf "%s: valid Perfetto timeline (%d events)\n" path n
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)

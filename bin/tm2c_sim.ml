@@ -112,16 +112,29 @@ let report t (r : Workload.result) =
         (Dtm.core s) (Dtm.served s) qmean qmax omean omax)
     (Runtime.servers t)
 
-let dump_trace t =
+let dump_trace t oc =
   let tr = Runtime.trace t in
-  Printf.printf "\n-- event trace: %d events (%d dropped) --\n"
+  Printf.fprintf oc "-- event trace: %d events (capacity %d, %d dropped) --\n"
     (Tm2c_engine.Trace.length tr)
+    (Tm2c_engine.Trace.capacity tr)
     (Tm2c_engine.Trace.dropped tr);
   Tm2c_engine.Trace.iter tr (fun time ev ->
-      Printf.printf "%14.1f  %s\n" time (Event.to_string ev))
+      Printf.fprintf oc "%14.1f  %s\n" time (Event.to_string ev))
 
-let run bench platform cm cores service multitask eager trace duration_ms seed
-    balance accounts buckets updates elastic size input_kb chunk_kb =
+let warn_overflow t =
+  let tr = Runtime.trace t in
+  let dropped = Tm2c_engine.Trace.dropped tr in
+  if dropped > 0 then
+    Printf.eprintf
+      "warning: trace ring overflowed — the %d oldest events were lost \
+       (capacity %d); the dump and any Perfetto export hold only the tail \
+       of the run\n%!"
+      dropped
+      (Tm2c_engine.Trace.capacity tr)
+
+let run bench platform cm cores service multitask eager trace trace_out json
+    perfetto timeseries_ms duration_ms seed balance accounts buckets updates
+    elastic size input_kb chunk_kb =
   let deployment = if multitask then Runtime.Multitask else Runtime.Dedicated in
   let service = match service with Some s -> s | None -> max 1 (cores / 2) in
   let cfg =
@@ -140,7 +153,17 @@ let run bench platform cm cores service multitask eager trace duration_ms seed
   in
   let duration_ns = duration_ms *. 1e6 in
   let t = Runtime.create cfg in
-  if trace then Runtime.enable_tracing t;
+  let tracing = trace || trace_out <> None || perfetto <> None in
+  if tracing then Runtime.enable_tracing t;
+  if json <> None then begin
+    (* The JSON export carries phase attribution and a time-series, so
+       a plain --json run gets both without extra flags. *)
+    Runtime.enable_profiling t;
+    let window_ms =
+      match timeseries_ms with Some w -> w | None -> duration_ms /. 32.0
+    in
+    Runtime.enable_timeseries t ~window_ns:(window_ms *. 1e6)
+  end;
   Printf.printf "TM2C on %s: %d cores (%d app / %d DTM, %s), %s, %s writes\n\n"
     platform.Tm2c_noc.Platform.name cores
     (Array.length (Runtime.app_cores t))
@@ -217,7 +240,35 @@ let run bench platform cm cores service multitask eager trace duration_ms seed
         r
   in
   report t r;
-  if trace then dump_trace t
+  if tracing then warn_overflow t;
+  (match trace_out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> dump_trace t oc);
+      Printf.printf "wrote trace dump to %s\n" path
+  | None ->
+      if trace then begin
+        print_newline ();
+        dump_trace t stdout
+      end);
+  (match json with
+  | Some path ->
+      Tm2c_harness.Json.to_file path (Tm2c_harness.Report.run_json t r);
+      Printf.printf "wrote run JSON to %s\n" path
+  | None -> ());
+  match perfetto with
+  | Some path ->
+      let doc =
+        Tm2c_harness.Perfetto.export ~app:(Runtime.app_cores t)
+          ~dtm:(Runtime.dtm_cores t) (Runtime.trace t)
+      in
+      (* Timeline files get large; skip the pretty-printer. *)
+      Tm2c_harness.Json.to_file ~indent:false path doc;
+      Printf.printf "wrote Perfetto timeline to %s (open in ui.perfetto.dev)\n"
+        path
+  | None -> ()
 
 let cmd =
   let bench =
@@ -252,6 +303,34 @@ let cmd =
              ~doc:"Record the event trace and dump an interleaved log after \
                    the run (keep the run small: the ring holds 64K events).")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the event-trace dump to $(docv) instead of \
+                   interleaving it with the report on stdout. Implies \
+                   tracing.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Export the full run record (result, per-core stats, \
+                   network, DTM, abort causality, per-phase latency \
+                   attribution, time-series) as JSON to $(docv). Enables \
+                   profiling and the simulated-time sampler.")
+  in
+  let perfetto =
+    Arg.(value & opt (some string) None
+         & info [ "perfetto" ] ~docv:"FILE"
+             ~doc:"Export the event trace as a Chrome trace_event timeline \
+                   to $(docv) — open it in ui.perfetto.dev or \
+                   chrome://tracing. Implies tracing.")
+  in
+  let timeseries_ms =
+    Arg.(value & opt (some float) None
+         & info [ "timeseries-ms" ] ~docv:"MS"
+             ~doc:"Sampler window in virtual milliseconds for the --json \
+                   time-series (default: duration/32).")
+  in
   let duration =
     Arg.(value & opt float 50.0 & info [ "duration" ] ~doc:"Virtual milliseconds.")
   in
@@ -285,7 +364,8 @@ let cmd =
   Cmd.v (Cmd.info "tm2c-sim" ~doc)
     Term.(
       const run $ bench $ platform $ cm $ cores $ service $ multitask $ eager
-      $ trace $ duration $ seed $ balance $ accounts $ buckets $ updates
-      $ elastic $ size $ input_kb $ chunk_kb)
+      $ trace $ trace_out $ json $ perfetto $ timeseries_ms $ duration $ seed
+      $ balance $ accounts $ buckets $ updates $ elastic $ size $ input_kb
+      $ chunk_kb)
 
 let () = exit (Cmd.eval cmd)

@@ -20,6 +20,13 @@ type result = {
    fig drivers need no per-experiment wiring. *)
 let observer : (Runtime.t -> result -> unit) option ref = ref None
 
+(* Setup hook: called with the runtime before any process is spawned,
+   so a harness can enable profiling / time-series sampling on every
+   run it drives without per-experiment wiring. *)
+let preflight : (Runtime.t -> unit) option ref = ref None
+
+let run_preflight t = match !preflight with Some f -> f t | None -> ()
+
 let collect t ~events ~duration_ns =
   let stats = Runtime.stats t in
   let ops = Stats.total_ops stats in
@@ -42,6 +49,7 @@ let collect t ~events ~duration_ns =
   r
 
 let drive t ~duration_ns make_op =
+  run_preflight t;
   Runtime.start_services t;
   let sim = Runtime.sim t in
   let stats = Runtime.stats t in
@@ -62,6 +70,7 @@ let drive t ~duration_ns make_op =
   collect t ~events ~duration_ns
 
 let drive_seq t ~duration_ns make_op =
+  run_preflight t;
   let sim = Runtime.sim t in
   let stats = Runtime.stats t in
   let core = (Runtime.app_cores t).(0) in
@@ -81,6 +90,7 @@ let drive_seq t ~duration_ns make_op =
   collect t ~events ~duration_ns
 
 let run_to_completion t ?(horizon_ns = 1e13) work =
+  run_preflight t;
   Runtime.start_services t;
   let sim = Runtime.sim t in
   let stats = Runtime.stats t in

@@ -21,6 +21,11 @@ type result = {
     exporter installs itself here. *)
 val observer : (Tm2c_core.Runtime.t -> result -> unit) option ref
 
+(** Setup hook: when set, every driver calls it with the runtime
+    before spawning any process — the harness uses it to enable
+    profiling and time-series sampling on every run it drives. *)
+val preflight : (Tm2c_core.Runtime.t -> unit) option ref
+
 (** [drive t ~duration_ns make_op] — starts the DTM services, gives
     every application core an operation generator, and simulates
     [duration_ns] of virtual time (hard horizon: livelocked

@@ -114,3 +114,5 @@ let run t ?until () =
 let spawned t = t.n_spawned
 
 let finished t = t.n_finished
+
+let pending t = Heap.length t.events

@@ -57,3 +57,8 @@ val spawned : t -> int
 
 (** Number of processes that ran to completion. *)
 val finished : t -> int
+
+(** Events currently queued. From inside a callback the count excludes
+    the executing event — a recurring event can use this to detect that
+    it is the only remaining activity and stop rescheduling itself. *)
+val pending : t -> int

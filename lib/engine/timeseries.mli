@@ -1,0 +1,37 @@
+(** Windowed time-series sampler driven by simulated time.
+
+    Register channels, then {!start}: every [window_ns] of virtual
+    time a recurring simulator event reads each channel and appends
+    one value. Sampling consumes no virtual time. [Cumulative]
+    channels return a monotone running total and record per-window
+    deltas — an event on a window edge lands in exactly one window —
+    while [Gauge] channels record the instantaneous value.
+
+    The sampler stops once it is the only remaining simulation
+    activity, so queue-draining runs still terminate. *)
+
+type kind = Cumulative | Gauge
+
+type t
+
+val create : window_ns:float -> t
+
+val window_ns : t -> float
+
+(** Completed windows so far. *)
+val n_windows : t -> int
+
+(** [add_channel t ~name kind read] registers a channel. Must be
+    called before {!start}; names must be unique. *)
+val add_channel : t -> name:string -> kind -> (unit -> float) -> unit
+
+(** Begin sampling on [sim]: first window closes one [window_ns] from
+    the current virtual time. Call at most once. *)
+val start : t -> Sim.t -> unit
+
+(** Window-end times, oldest first. *)
+val times : t -> float array
+
+(** (name, kind, per-window values oldest first), in registration
+    order. *)
+val channels : t -> (string * kind * float array) list

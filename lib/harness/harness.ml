@@ -33,11 +33,28 @@ let run_ids ?json ids scale =
      via the workload observer; runs are grouped per experiment id. *)
   let exported = ref [] in
   let current_runs = ref [] in
-  if json <> None then
+  if json <> None then begin
     Tm2c_apps.Workload.observer :=
       Some (fun t r -> current_runs := Report.run_json t r :: !current_runs);
+    (* Every exported run also carries phase attribution and a
+       time-series: the preflight hook fires once per driven runtime,
+       before any process is spawned. 16 windows per throughput run —
+       enough shape to see warm-up and livelock onset without bloating
+       the file. *)
+    Tm2c_apps.Workload.preflight :=
+      Some
+        (fun t ->
+          Tm2c_core.Runtime.enable_profiling t;
+          if Tm2c_core.Runtime.timeseries t = None then
+            Tm2c_core.Runtime.enable_timeseries t
+              ~window_ns:(scale.Exp.window_ns /. 16.0))
+  end;
   Fun.protect
-    ~finally:(fun () -> if json <> None then Tm2c_apps.Workload.observer := None)
+    ~finally:(fun () ->
+      if json <> None then begin
+        Tm2c_apps.Workload.observer := None;
+        Tm2c_apps.Workload.preflight := None
+      end)
     (fun () ->
       List.iter
         (fun id ->
@@ -62,7 +79,9 @@ let run_ids ?json ids scale =
       let doc =
         Json.Obj
           [
-            ("schema_version", Json.Int 1);
+            (* v2: runs gained "phases" / "timeseries" / "trace"
+               sections and histograms gained "sum". *)
+            ("schema_version", Json.Int 2);
             ("scale", Json.String scale.Exp.label);
             ( "experiments",
               Json.List

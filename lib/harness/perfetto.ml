@@ -1,0 +1,302 @@
+(* Chrome trace_event ("Perfetto") export of the event-trace ring:
+   one timeline track per core (application cores show transaction-
+   attempt slices, DTM cores show request-service slices), instant
+   markers for reads/writes/conflicts, and flow arrows linking each
+   lock request to the DTM service that handled it. The output opens
+   directly in ui.perfetto.dev or chrome://tracing.
+
+   Timestamps: the simulator's virtual ns divided by 1e3 — the
+   trace_event "ts" unit is microseconds (fractions are fine, both
+   viewers keep double precision).
+
+   The ring overwrites oldest-first, so a long traced run may hold
+   only the tail of the activity: slices whose begin event was
+   overwritten are dropped, and flow arrows are emitted only when both
+   the request and its service pickup survived in the ring. *)
+
+open Tm2c_core
+open Tm2c_engine
+
+let pid = 1
+
+let us ns = ns /. 1000.0
+
+(* One flow id per (requester, req_id): req_id is per-core monotone,
+   so within one ring window the pair is unique. *)
+let flow_id ~requester ~req_id = (req_id * 4096) + requester
+
+let str s = Json.String s
+
+let common ~ph ~ts ~tid rest =
+  Json.Obj
+    ((("ph", str ph) :: ("ts", Json.Float (us ts)) :: ("pid", Json.Int pid)
+      :: ("tid", Json.Int tid) :: rest))
+
+let instant ~ts ~tid ~name ?(args = []) () =
+  common ~ph:"i" ~ts ~tid
+    (("name", str name) :: ("s", str "t")
+    :: (if args = [] then [] else [ ("args", Json.Obj args) ]))
+
+let slice ~ts ~dur ~tid ~name ?(args = []) () =
+  common ~ph:"X" ~ts ~tid
+    (("name", str name) :: ("dur", Json.Float (us dur))
+    :: (if args = [] then [] else [ ("args", Json.Obj args) ]))
+
+let flow ~ph ~ts ~tid ~id =
+  common ~ph ~ts ~tid
+    (("name", str "lock-req") :: ("cat", str "lock") :: ("id", Json.Int id)
+    :: (if ph = "f" then [ ("bp", str "e") ] else []))
+
+let thread_meta ~tid ~name =
+  Json.Obj
+    [
+      ("ph", str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("name", str "thread_name");
+      ("args", Json.Obj [ ("name", str name) ]);
+    ]
+
+let conflict_str = Types.conflict_to_string
+
+let export ?(app = [||]) ?(dtm = [||]) trace =
+  (* Pass 1: which (requester, req_id) pairs survived on both the
+     request and the service side — only those get flow arrows. *)
+  let sent = Hashtbl.create 256 and picked = Hashtbl.create 256 in
+  Trace.iter trace (fun _ ev ->
+      match ev with
+      | Event.Req_sent { core; req_id; _ } when req_id > 0 ->
+          Hashtbl.replace sent (flow_id ~requester:core ~req_id) ()
+      | Event.Service { requester; req_id; _ } when req_id > 0 ->
+          Hashtbl.replace picked (flow_id ~requester ~req_id) ()
+      | _ -> ());
+  let paired id = Hashtbl.mem sent id && Hashtbl.mem picked id in
+  (* Pass 2: build (ts, event) pairs; attempt and service slices close
+     at their end event and carry the begin timestamp. *)
+  let out = ref [] in
+  let push ts j = out := (ts, j) :: !out in
+  let tracks = Hashtbl.create 64 in
+  let touch tid = Hashtbl.replace tracks tid () in
+  let open_attempt : (int, float * int) Hashtbl.t = Hashtbl.create 64 in
+  let open_service : (int, float * Event.t) Hashtbl.t = Hashtbl.create 64 in
+  Trace.iter trace (fun ts ev ->
+      match ev with
+      | Event.Tx_start { core; attempt } ->
+          touch core;
+          Hashtbl.replace open_attempt core (ts, attempt)
+      | Event.Tx_committed { core; attempt; _ } -> (
+          touch core;
+          match Hashtbl.find_opt open_attempt core with
+          | Some (t0, a0) when a0 = attempt ->
+              Hashtbl.remove open_attempt core;
+              push t0
+                (slice ~ts:t0 ~dur:(ts -. t0) ~tid:core ~name:"tx commit"
+                   ~args:[ ("attempt", Json.Int attempt) ]
+                   ())
+          | _ -> ())
+      | Event.Tx_aborted { core; attempt; conflict } -> (
+          touch core;
+          match Hashtbl.find_opt open_attempt core with
+          | Some (t0, a0) when a0 = attempt ->
+              Hashtbl.remove open_attempt core;
+              push t0
+                (slice ~ts:t0 ~dur:(ts -. t0) ~tid:core ~name:"tx abort"
+                   ~args:
+                     [
+                       ("attempt", Json.Int attempt);
+                       ("cause", str (Event.conflict_opt_to_string conflict));
+                     ]
+                   ())
+          | _ -> ())
+      | Event.Tx_read { core; addr; granted } ->
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:"read"
+               ~args:[ ("addr", Json.Int addr); ("granted", Json.Bool granted) ]
+               ())
+      | Event.Tx_write { core; addr } ->
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:"write" ~args:[ ("addr", Json.Int addr) ] ())
+      | Event.Tx_commit_begin { core; n_writes; _ } ->
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:"commit-begin"
+               ~args:[ ("writes", Json.Int n_writes) ]
+               ())
+      | Event.Req_sent { core; server; req_id; kind; n_addrs } ->
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:kind
+               ~args:[ ("server", Json.Int server); ("addrs", Json.Int n_addrs) ]
+               ());
+          if req_id > 0 then begin
+            let id = flow_id ~requester:core ~req_id in
+            if paired id then push ts (flow ~ph:"s" ~ts ~tid:core ~id)
+          end
+      | Event.Service { server; requester; req_id; _ } ->
+          touch server;
+          Hashtbl.replace open_service server (ts, ev);
+          if req_id > 0 then begin
+            let id = flow_id ~requester ~req_id in
+            if paired id then push ts (flow ~ph:"f" ~ts ~tid:server ~id)
+          end
+      | Event.Service_done { server; requester; req_id } -> (
+          touch server;
+          match Hashtbl.find_opt open_service server with
+          | Some
+              ( t0,
+                Event.Service
+                  { requester = r0; req_id = i0; kind; queue_depth; occupancy; _ }
+              )
+            when r0 = requester && i0 = req_id ->
+              Hashtbl.remove open_service server;
+              push t0
+                (slice ~ts:t0 ~dur:(ts -. t0) ~tid:server ~name:kind
+                   ~args:
+                     [
+                       ("requester", Json.Int requester);
+                       ("req_id", Json.Int req_id);
+                       ("queue_depth", Json.Int queue_depth);
+                       ("occupancy", Json.Int occupancy);
+                     ]
+                   ())
+          | _ -> ())
+      | Event.Lock_conflict { server; requester; enemy; addr; conflict; requester_wins }
+        ->
+          touch server;
+          push ts
+            (instant ~ts ~tid:server ~name:"conflict"
+               ~args:
+                 [
+                   ("type", str (conflict_str conflict));
+                   ("addr", Json.Int addr);
+                   ("requester", Json.Int requester);
+                   ("enemy", Json.Int enemy);
+                   ("requester_wins", Json.Bool requester_wins);
+                 ]
+               ())
+      | Event.Enemy_aborted { server; winner; victim; addr; conflict } ->
+          touch server;
+          push ts
+            (instant ~ts ~tid:server ~name:"enemy-abort"
+               ~args:
+                 [
+                   ("type", str (conflict_str conflict));
+                   ("addr", Json.Int addr);
+                   ("winner", Json.Int winner);
+                   ("victim", Json.Int victim);
+                 ]
+               ())
+      | Event.Barrier { core } ->
+          touch core;
+          push ts (instant ~ts ~tid:core ~name:"barrier" ()));
+  (* Stable sort by begin timestamp: per-track timestamps come out
+     monotone because same-track slices never overlap. *)
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !out)
+  in
+  let is_app = Array.to_list app and is_dtm = Array.to_list dtm in
+  let role tid =
+    if List.mem tid is_dtm then Printf.sprintf "dtm core %d" tid
+    else if List.mem tid is_app then Printf.sprintf "app core %d" tid
+    else Printf.sprintf "core %d" tid
+  in
+  let meta =
+    Json.Obj
+      [
+        ("ph", str "M");
+        ("pid", Json.Int pid);
+        ("name", str "process_name");
+        ("args", Json.Obj [ ("name", str "tm2c-sim") ]);
+      ]
+    :: (Hashtbl.fold (fun tid () acc -> tid :: acc) tracks []
+       |> List.sort compare
+       |> List.map (fun tid -> thread_meta ~tid ~name:(role tid)))
+  in
+  Json.Obj
+    [
+      ("displayTimeUnit", str "ns");
+      ("traceEvents", Json.List (meta @ List.map snd sorted));
+    ]
+
+(* ---- validation ---- *)
+
+(* Structural checker for trace_event JSON as we emit it (and as the
+   viewers require it): every event is an object with a "ph"; non-
+   metadata events carry numeric ts/pid/tid; "X" durations are
+   non-negative; per (pid, tid) the timestamps are non-decreasing in
+   file order; and every flow id has exactly one start and one end. *)
+let validate v =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok x -> f x in
+  let* events =
+    match Json.member "traceEvents" v with
+    | Some (Json.List l) -> Ok l
+    | _ -> Error "traceEvents missing or not a list"
+  in
+  let last_ts : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let flow_s : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let flow_f : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let bump tbl id =
+    Hashtbl.replace tbl id (1 + Option.value ~default:0 (Hashtbl.find_opt tbl id))
+  in
+  let check_one i ev =
+    let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "event %d: %s" i m)) fmt in
+    let num k = Option.bind (Json.member k ev) Json.to_float_opt in
+    let int_f k = Option.bind (Json.member k ev) Json.to_int_opt in
+    match Option.bind (Json.member "ph" ev) Json.to_string_opt with
+    | None -> fail "missing ph"
+    | Some "M" -> Ok ()
+    | Some ph -> (
+        match (num "ts", int_f "pid", int_f "tid") with
+        | None, _, _ -> fail "missing ts"
+        | _, None, _ -> fail "missing pid"
+        | _, _, None -> fail "missing tid"
+        | Some ts, Some pid, Some tid -> (
+            if ts < 0.0 then fail "negative ts"
+            else begin
+              let key = (pid, tid) in
+              match Hashtbl.find_opt last_ts key with
+              | Some prev when ts < prev ->
+                  fail "timestamps not monotone on track %d (%.3f after %.3f)" tid ts
+                    prev
+              | _ -> (
+                  Hashtbl.replace last_ts key ts;
+                  match ph with
+                  | "X" -> (
+                      match num "dur" with
+                      | Some d when d >= 0.0 -> Ok ()
+                      | Some _ -> fail "negative dur"
+                      | None -> fail "X event without dur")
+                  | "s" | "f" -> (
+                      match int_f "id" with
+                      | Some id ->
+                          bump (if ph = "s" then flow_s else flow_f) id;
+                          Ok ()
+                      | None -> fail "flow event without id")
+                  | _ -> Ok ())
+            end))
+  in
+  let rec all i = function
+    | [] -> Ok ()
+    | ev :: rest ->
+        let* () = check_one i ev in
+        all (i + 1) rest
+  in
+  let* () = all 0 events in
+  let* () =
+    Hashtbl.fold
+      (fun id n acc ->
+        let* () = acc in
+        if Hashtbl.find_opt flow_f id = Some n then Ok ()
+        else Error (Printf.sprintf "flow %d: %d start(s) without matching finish" id n))
+      flow_s (Ok ())
+  in
+  Hashtbl.fold
+    (fun id n acc ->
+      let* () = acc in
+      if Hashtbl.mem flow_s id then Ok ()
+      else Error (Printf.sprintf "flow %d: %d finish(es) without a start" id n))
+    flow_f (Ok ())
+
+let validate_file path = validate (Json.of_file path)

@@ -71,6 +71,7 @@ let histogram_json h =
   Json.Obj
     [
       ("count", Json.Int (Histogram.count h));
+      ("sum", Json.Float (Histogram.sum h));
       ("mean", Json.Float (Histogram.mean h));
       ("min", Json.Float (Histogram.min_value h));
       ("max", Json.Float (Histogram.max_value h));
@@ -143,17 +144,104 @@ let aborts_json ~policy obs =
              (Obs.dump obs)) );
     ]
 
+(* One Span aggregate (committed or aborted attempts) as a per-core
+   list. The exported invariant — checked by bench/validate_json — is
+   that on the committed side each core's per-phase sums add up to
+   total_attempt_ns (1e-6 relative): the instrumentation charges every
+   telescoping segment of the attempt to exactly one phase. *)
+let span_json span =
+  let rows = ref [] in
+  for core = Span.n_cores span - 1 downto 0 do
+    if Span.attempts span ~core > 0 then
+      rows :=
+        Json.Obj
+          [
+            ("core", Json.Int core);
+            ("attempts", Json.Int (Span.attempts span ~core));
+            ("total_attempt_ns", Json.Float (Span.attempt_ns span ~core));
+            ("phase_sum_ns", Json.Float (Span.phase_total span ~core));
+            ( "phases",
+              Json.Obj
+                (Array.to_list
+                   (Array.mapi
+                      (fun phase name ->
+                        ( name,
+                          Json.Obj
+                            [
+                              ("sum", Json.Float (Span.sum span ~core ~phase));
+                              ("hist", histogram_json (Span.hist span ~core ~phase));
+                            ] ))
+                      (Span.phases span))) );
+          ]
+        :: !rows
+  done;
+  Json.List !rows
+
+let phases_json t =
+  let committed = Runtime.span_commit t in
+  Json.Obj
+    [
+      ("enabled", Json.Bool (Span.enabled committed));
+      ( "names",
+        Json.List
+          (Array.to_list (Array.map (fun n -> Json.String n) (Span.phases committed)))
+      );
+      ("committed", span_json committed);
+      ("aborted", span_json (Runtime.span_abort t));
+    ]
+
+let timeseries_json ts =
+  let float_row a = Json.List (Array.to_list (Array.map (fun v -> Json.Float v) a)) in
+  Json.Obj
+    [
+      ("window_ns", Json.Float (Timeseries.window_ns ts));
+      ("n_windows", Json.Int (Timeseries.n_windows ts));
+      ("t_ns", float_row (Timeseries.times ts));
+      ( "channels",
+        Json.Obj
+          (List.map
+             (fun (name, kind, values) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ( "kind",
+                       Json.String
+                         (match kind with
+                         | Timeseries.Cumulative -> "cumulative"
+                         | Timeseries.Gauge -> "gauge") );
+                     ("values", float_row values);
+                   ] ))
+             (Timeseries.channels ts)) );
+    ]
+
+let trace_json tr =
+  Json.Obj
+    [
+      ("enabled", Json.Bool (Trace.enabled tr));
+      ("capacity", Json.Int (Trace.capacity tr));
+      ("length", Json.Int (Trace.length tr));
+      (* Events overwritten because the ring wrapped: nonzero means the
+         trace (and any Perfetto export of it) holds only the tail. *)
+      ("dropped", Json.Int (Trace.dropped tr));
+    ]
+
 let run_json t (r : Tm2c_apps.Workload.result) =
   let cfg = Runtime.config t in
   let env = Runtime.env t in
   Json.Obj
-    [
-      ("config", config_json cfg);
-      ("result", result_json r);
-      ( "cores",
-        cores_json (Runtime.stats t) ~n:(Platform.n_cores cfg.Runtime.platform)
-      );
-      ("network", network_json env.System.net);
-      ("dtm", dtm_json (Runtime.servers t));
-      ("aborts", aborts_json ~policy:cfg.Runtime.policy (Runtime.obs t));
-    ]
+    ([
+       ("config", config_json cfg);
+       ("result", result_json r);
+       ( "cores",
+         cores_json (Runtime.stats t) ~n:(Platform.n_cores cfg.Runtime.platform)
+       );
+       ("network", network_json env.System.net);
+       ("dtm", dtm_json (Runtime.servers t));
+       ("aborts", aborts_json ~policy:cfg.Runtime.policy (Runtime.obs t));
+       ("phases", phases_json t);
+       ("trace", trace_json (Runtime.trace t));
+     ]
+    @
+    match Runtime.timeseries t with
+    | Some ts -> [ ("timeseries", timeseries_json ts) ]
+    | None -> [])

@@ -9,6 +9,19 @@ val result_json : Tm2c_apps.Workload.result -> Json.t
 
 val histogram_json : Tm2c_engine.Histogram.t -> Json.t
 
+(** Per-attempt phase attribution (committed and aborted sides of the
+    runtime's {!Tm2c_engine.Span} pair); [enabled: false] with empty
+    core lists when profiling was off. *)
+val phases_json : Tm2c_core.Runtime.t -> Json.t
+
+(** Windowed simulated-time samples (see {!Tm2c_engine.Timeseries}). *)
+val timeseries_json : Tm2c_engine.Timeseries.t -> Json.t
+
+(** Trace-ring status: enabled flag, capacity, events held, and the
+    dropped (overwritten) count. *)
+val trace_json : Tm2c_core.Event.t Tm2c_engine.Trace.t -> Json.t
+
 (** [run_json t r] — the full self-describing record for one run on
-    runtime [t] that produced result [r]. *)
+    runtime [t] that produced result [r]. Includes a ["timeseries"]
+    section when the sampler was enabled. *)
 val run_json : Tm2c_core.Runtime.t -> Tm2c_apps.Workload.result -> Json.t

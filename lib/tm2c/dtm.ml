@@ -18,6 +18,9 @@ type server = {
   mutable q_max : int;
   mutable occ_sum : int;
   mutable occ_max : int;
+  (* Virtual ns spent inside [handle] (pickup to response sent):
+     busy_ns / run duration is the service core's utilization. *)
+  mutable busy_ns : float;
 }
 
 let make ~core =
@@ -31,6 +34,7 @@ let make ~core =
     q_max = 0;
     occ_sum = 0;
     occ_max = 0;
+    busy_ns = 0.0;
   }
 
 let core s = s.core
@@ -48,6 +52,8 @@ let occupancy_stats s =
   if s.served = 0 then (0.0, 0)
   else (float_of_int s.occ_sum /. float_of_int s.served, s.occ_max)
 
+let busy_ns s = s.busy_ns
+
 let trace_on env = Tm2c_engine.Trace.enabled env.System.trace
 
 let emit env ev =
@@ -59,6 +65,31 @@ let emit env ev =
    network layer's receive/send overheads. *)
 let handle_base_cycles = 120
 let per_addr_cycles = 45
+
+let kind_addrs = function
+  | System.Read_lock _ | System.Barrier_reached | System.Exclusive_acquire
+  | System.Exclusive_release -> 1
+  | System.Write_locks l | System.Release_reads l | System.Release_writes l ->
+      List.length l
+
+(* Static strings: allocation-free even at guarded emit sites. *)
+let kind_label = function
+  | System.Read_lock _ -> "read_lock"
+  | System.Write_locks _ -> "write_locks"
+  | System.Release_reads _ -> "release_reads"
+  | System.Release_writes _ -> "release_writes"
+  | System.Barrier_reached -> "barrier"
+  | System.Exclusive_acquire -> "excl_acquire"
+  | System.Exclusive_release -> "excl_release"
+
+(* Deterministic request-processing cost, used by the requester-side
+   phase attribution to split a lock round trip into transit, service
+   and queue components. Conflict resolution (CM calls, status CASes)
+   is intentionally excluded: that time lands in the queue residual. *)
+let service_estimate_ns env ~n_addrs =
+  Platform.cycles_ns
+    (Network.platform env.System.net)
+    (handle_base_cycles + (per_addr_cycles * n_addrs))
 
 let reply env s ~(req : System.request) resp =
   Network.send env.System.net ~src:s.core ~dst:req.tx.m_core
@@ -304,6 +335,7 @@ let exclusive_blocked s =
 
 let handle env s (req : System.request) =
   s.served <- s.served + 1;
+  let pickup_ns = Tm2c_engine.Sim.now env.System.sim in
   (* Sample service-queue depth (requests still waiting behind this
      one) and lock-table occupancy at pickup time. *)
   let qd = Network.pending env.System.net ~self:s.core in
@@ -313,15 +345,18 @@ let handle env s (req : System.request) =
   s.occ_sum <- s.occ_sum + occ;
   if occ > s.occ_max then s.occ_max <- occ;
   if trace_on env then
-    emit env (Event.Service { server = s.core; queue_depth = qd; occupancy = occ });
-  let n_addrs =
-    match req.kind with
-    | System.Read_lock _ | System.Barrier_reached | System.Exclusive_acquire
-    | System.Exclusive_release -> 1
-    | System.Write_locks l | System.Release_reads l | System.Release_writes l ->
-        List.length l
-  in
-  Network.compute env.System.net (handle_base_cycles + (per_addr_cycles * n_addrs));
+    emit env
+      (Event.Service
+         {
+           server = s.core;
+           requester = req.tx.m_core;
+           req_id = req.req_id;
+           kind = kind_label req.kind;
+           queue_depth = qd;
+           occupancy = occ;
+         });
+  Network.compute env.System.net
+    (handle_base_cycles + (per_addr_cycles * kind_addrs req.kind));
   (match req.kind with
   | System.Read_lock addr ->
       if exclusive_blocked s then reply env s ~req (System.Conflicted Raw)
@@ -346,7 +381,12 @@ let handle env s (req : System.request) =
       | Some _ | None -> ())
   | System.Barrier_reached ->
       invalid_arg "Dtm.handle: barrier message routed to a DTM core");
-  maybe_grant_exclusive env s
+  maybe_grant_exclusive env s;
+  s.busy_ns <- s.busy_ns +. (Tm2c_engine.Sim.now env.System.sim -. pickup_ns);
+  if trace_on env then
+    emit env
+      (Event.Service_done
+         { server = s.core; requester = req.tx.m_core; req_id = req.req_id })
 
 let service_loop env s =
   let rec loop () =

@@ -35,6 +35,26 @@ val queue_depth_stats : server -> float * int
 (** (mean, max) lock-table occupancy sampled at each request pickup. *)
 val occupancy_stats : server -> float * int
 
+(** Virtual ns this server spent processing requests (pickup to
+    response sent); divided by the run duration it is the service
+    core's utilization. *)
+val busy_ns : server -> float
+
+(** Short stable label for a request kind ("read_lock",
+    "write_locks", ...), for trace events. Allocation-free. *)
+val kind_label : System.request_kind -> string
+
+(** Addresses carried by a request (1 for the addressless kinds) —
+    the unit the per-address processing cost scales with. *)
+val kind_addrs : System.request_kind -> int
+
+(** Deterministic request-processing cost for a request carrying
+    [n_addrs] addresses, in ns. The requester-side phase attribution
+    uses it to split a lock round trip into transit / service / queue
+    components; conflict-resolution work is excluded (it lands in the
+    queue residual). *)
+val service_estimate_ns : System.env -> n_addrs:int -> float
+
 (** Process one request; sends the response (if any) over the network
     from this server's core. Charges the server's processing cycles. *)
 val handle : System.env -> server -> System.request -> unit

@@ -29,9 +29,25 @@ type t =
       addr : addr;
       conflict : conflict;
     }  (** the winner's abort CAS landed on the victim's status word *)
-  | Service of { server : core_id; queue_depth : int; occupancy : int }
+  | Req_sent of {
+      core : core_id;
+      server : core_id;
+      req_id : int;
+      kind : string;
+      n_addrs : int;
+    }  (** an application core put a service request on the wire *)
+  | Service of {
+      server : core_id;
+      requester : core_id;
+      req_id : int;
+      kind : string;
+      queue_depth : int;
+      occupancy : int;
+    }
       (** a DTM core picked up a request: its input-queue depth and
           lock-table occupancy at that instant *)
+  | Service_done of { server : core_id; requester : core_id; req_id : int }
+      (** the DTM core finished processing (response, if any, sent) *)
   | Barrier of { core : core_id }
 
 let conflict_opt_to_string = function
@@ -62,9 +78,15 @@ let pp fmt = function
   | Enemy_aborted { server; winner; victim; addr; conflict } ->
       Format.fprintf fmt "dtm  %2d  enemy-abort  %s addr=%d core %d aborts core %d"
         server (conflict_to_string conflict) addr winner victim
-  | Service { server; queue_depth; occupancy } ->
-      Format.fprintf fmt "dtm  %2d  serve        queue=%d locks=%d" server queue_depth
-        occupancy
+  | Req_sent { core; server; req_id; kind; n_addrs } ->
+      Format.fprintf fmt "core %2d  req-sent     %s#%d -> dtm %d addrs=%d" core kind
+        req_id server n_addrs
+  | Service { server; requester; req_id; kind; queue_depth; occupancy } ->
+      Format.fprintf fmt "dtm  %2d  serve        %s#%d from core %d queue=%d locks=%d"
+        server kind req_id requester queue_depth occupancy
+  | Service_done { server; requester; req_id } ->
+      Format.fprintf fmt "dtm  %2d  serve-done   #%d from core %d" server req_id
+        requester
   | Barrier { core } -> Format.fprintf fmt "core %2d  barrier" core
 
 let to_string ev = Format.asprintf "%a" pp ev

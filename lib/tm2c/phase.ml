@@ -1,0 +1,32 @@
+(* The phase model: every nanosecond of a transaction attempt is
+   charged to exactly one of these phases (see DESIGN.md, "Phase
+   attribution"). Indices are positions into the per-core scratch
+   array and into [Span] aggregates.
+
+   The read-lock round trip is split three ways using the platform's
+   deterministic messaging costs: wire transit plus software
+   send/receive overheads ([Read_transit]), the DTM core's request-
+   processing cycles ([Read_service]), and the residual — time the
+   request spent queued behind other requests at the service core,
+   plus any conflict-resolution work there ([Read_queue]). *)
+
+let read_transit = 0
+let read_queue = 1
+let read_service = 2
+let compute = 3
+let backoff = 4
+let commit_acquire = 5
+let writeback = 6
+
+let n = 7
+
+let names =
+  [|
+    "read_transit";
+    "read_queue";
+    "read_service";
+    "compute";
+    "backoff";
+    "commit_acquire";
+    "writeback";
+  |]

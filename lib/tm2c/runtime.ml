@@ -42,6 +42,7 @@ type t = {
   root_prng : Prng.t;
   mutable next_spare_reg : int;
   max_reg : int;
+  mutable timeseries : Timeseries.t option;
 }
 
 (* Multitasking deployment: cycles of application computation that a
@@ -106,6 +107,10 @@ let create cfg =
       barrier_seen = Array.make (Platform.n_cores cfg.platform) 0;
       trace = Trace.create ();
       obs = Obs.create ();
+      span_commit =
+        Span.create ~n_cores:(Platform.n_cores cfg.platform) ~phases:Phase.names;
+      span_abort =
+        Span.create ~n_cores:(Platform.n_cores cfg.platform) ~phases:Phase.names;
     }
   in
   let alloc = Alloc.create shmem ~base:1 ~limit:(cfg.mem_words - 1) in
@@ -120,6 +125,7 @@ let create cfg =
     root_prng;
     next_spare_reg = Platform.n_cores cfg.platform;
     max_reg = n_regs;
+    timeseries = None;
   }
 
 let config t = t.cfg
@@ -139,6 +145,66 @@ let trace t = t.env.System.trace
 let obs t = t.env.System.obs
 
 let enable_tracing t = Trace.enable t.env.System.trace
+
+let span_commit t = t.env.System.span_commit
+
+let span_abort t = t.env.System.span_abort
+
+(* Turn on phase attribution: per-attempt scratch accounting in Tx,
+   flushed into the committed/aborted aggregates. *)
+let enable_profiling t =
+  Span.enable t.env.System.span_commit;
+  Span.enable t.env.System.span_abort
+
+let timeseries t = t.timeseries
+
+(* Install and start the simulated-time sampler. Channels:
+   - ops/commits/aborts/messages: per-window deltas of the always-on
+     cumulative counters (throughput and abort-rate curves);
+   - queue_depth_mean: instantaneous mean DTM input-queue depth;
+   - link_msgs_max: the busiest link's per-window message count (the
+     per-link delta is computed against a private snapshot of the
+     link matrix, so the always-on counters stay untouched). *)
+let enable_timeseries t ~window_ns =
+  if t.timeseries <> None then
+    invalid_arg "Runtime.enable_timeseries: already enabled";
+  let ts = Timeseries.create ~window_ns in
+  let stats = t.env.System.stats in
+  let net = t.env.System.net in
+  Timeseries.add_channel ts ~name:"ops" Timeseries.Cumulative (fun () ->
+      float_of_int (Stats.total_ops stats));
+  Timeseries.add_channel ts ~name:"commits" Timeseries.Cumulative (fun () ->
+      float_of_int (Stats.total_commits stats));
+  Timeseries.add_channel ts ~name:"aborts" Timeseries.Cumulative (fun () ->
+      float_of_int (Stats.total_aborts stats));
+  Timeseries.add_channel ts ~name:"messages" Timeseries.Cumulative (fun () ->
+      float_of_int (Network.sent net));
+  Timeseries.add_channel ts ~name:"queue_depth_mean" Timeseries.Gauge (fun () ->
+      let n = Array.length t.dtm_cores in
+      if n = 0 then 0.0
+      else begin
+        let sum = ref 0 in
+        Array.iter
+          (fun core -> sum := !sum + Network.pending net ~self:core)
+          t.dtm_cores;
+        float_of_int !sum /. float_of_int n
+      end);
+  let links = (Network.metrics net).Network.per_link in
+  let prev = Array.map Array.copy links in
+  Timeseries.add_channel ts ~name:"link_msgs_max" Timeseries.Gauge (fun () ->
+      let worst = ref 0 in
+      Array.iteri
+        (fun src row ->
+          Array.iteri
+            (fun dst c ->
+              let d = c - prev.(src).(dst) in
+              prev.(src).(dst) <- c;
+              if d > !worst then worst := d)
+            row)
+        links;
+      float_of_int !worst);
+  Timeseries.start ts t.sim;
+  t.timeseries <- Some ts
 
 (* DTM servers instantiated so far (all of them once services have
    started), in core order — the per-server queue/occupancy stats. *)

@@ -64,6 +64,26 @@ val obs : t -> Obs.t
 (** Turn on event tracing for this runtime's simulation. *)
 val enable_tracing : t -> unit
 
+(** Phase-attribution aggregates (see {!Tm2c_engine.Span} and
+    {!Phase}): committed and aborted attempts accumulate separately,
+    so that per core the committed phase sums equal the summed
+    committed-attempt durations. Disabled until {!enable_profiling}. *)
+val span_commit : t -> Tm2c_engine.Span.t
+
+val span_abort : t -> Tm2c_engine.Span.t
+
+(** Turn on per-attempt phase attribution. *)
+val enable_profiling : t -> unit
+
+(** The simulated-time sampler, once {!enable_timeseries} has run. *)
+val timeseries : t -> Tm2c_engine.Timeseries.t option
+
+(** Install and start a windowed sampler driven by simulated time
+    (channels: ops, commits, aborts, messages per window; mean DTM
+    queue depth; busiest-link message count). Call before {!run};
+    at most once. *)
+val enable_timeseries : t -> window_ns:float -> unit
+
 (** DTM servers instantiated so far (all of them once
     [start_services] has run), in core order. *)
 val servers : t -> Dtm.server list

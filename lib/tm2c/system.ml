@@ -29,6 +29,11 @@ type env = {
   mutable serve_defer_cycles : int;
   trace : Event.t Tm2c_engine.Trace.t;
   obs : Obs.t;
+  (* Phase attribution (see Phase): committed and aborted attempts
+     aggregate separately so the committed invariant — per core, the
+     phase sums equal the summed attempt durations — stays exact. *)
+  span_commit : Tm2c_engine.Span.t;
+  span_abort : Tm2c_engine.Span.t;
 }
 
 let local_now env ~core = Tm2c_engine.Sim.now env.sim +. env.skew.(core)

@@ -63,6 +63,13 @@ type env = {
       (** event-trace ring buffer; disabled by default — emit sites
           guard with [Trace.enabled] so untraced runs allocate nothing *)
   obs : Obs.t;  (** abort-causality accounting (always on) *)
+  span_commit : Tm2c_engine.Span.t;
+      (** phase attribution of committed attempts (see {!Phase});
+          disabled by default — per core, the phase sums equal the
+          summed committed-attempt durations *)
+  span_abort : Tm2c_engine.Span.t;
+      (** phase attribution of aborted attempts, including the
+          between-attempt CM backoff *)
 }
 
 (** A core's local clock reading ([Sim.now] plus its skew). *)

@@ -37,6 +37,12 @@ type ctx = {
   mutable req_counter : int;
   mutable backoff_ns : float;
   stats : Stats.core;
+  (* Phase attribution scratch (see Phase / Span): the current
+     attempt's per-phase ns, flushed into the env's committed or
+     aborted aggregate when the attempt's outcome is known. *)
+  ph_scratch : float array;
+  mutable ph_mark : float;  (* last charged boundary, Sim.now *)
+  mutable ph_attempt_start : float;
 }
 
 let make env ~core ~prng ~wmode =
@@ -62,6 +68,9 @@ let make env ~core ~prng ~wmode =
     req_counter = 0;
     backoff_ns = backoff_initial_ns;
     stats = Stats.core env.System.stats core;
+    ph_scratch = Array.make Phase.n 0.0;
+    ph_mark = 0.0;
+    ph_attempt_start = 0.0;
   }
 
 let core ctx = ctx.core
@@ -78,6 +87,47 @@ let emit ctx ev =
 let stats ctx = ctx.stats
 
 let committed ctx = ctx.committed
+
+(* Phase attribution (Span): guarded like tracing — one boolean read
+   and no float work when profiling is off. Durations use [Sim.now]
+   throughout (the per-core skew is constant, so local durations are
+   identical), and the scratch protocol telescopes: every segment
+   between [ph_mark] boundaries is charged to exactly one phase, so
+   the flushed phases sum to the attempt's duration. *)
+let prof_on ctx = Span.enabled ctx.env.System.span_commit
+
+let sim_now ctx = Sim.now ctx.env.System.sim
+
+let ph_charge ctx phase =
+  let now = sim_now ctx in
+  ctx.ph_scratch.(phase) <- ctx.ph_scratch.(phase) +. (now -. ctx.ph_mark);
+  ctx.ph_mark <- now
+
+(* Split a read-lock round trip into transit / service / queue using
+   the platform's deterministic costs. Transit covers both flights
+   plus the four software send/receive overheads; service is the DTM
+   core's request-processing cycles; the queue residual absorbs
+   waiting behind other requests, conflict-resolution work at the
+   server, and float rounding. Components are clamped so they always
+   sum to the measured round trip. *)
+let ph_charge_read ctx ~dst t0 =
+  let now = sim_now ctx in
+  let rt = now -. t0 in
+  let net = ctx.env.System.net in
+  let p = Network.platform net in
+  let transit =
+    (2.0 *. (Platform.send_overhead_ns p +. Platform.recv_overhead_ns p))
+    +. (2.0 *. Platform.flight_ns p ~active:(Network.active net) ~src:ctx.core ~dst)
+  in
+  let transit = Float.min transit rt in
+  let service =
+    Float.min (Dtm.service_estimate_ns ctx.env ~n_addrs:1) (rt -. transit)
+  in
+  let queue = rt -. transit -. service in
+  ctx.ph_scratch.(Phase.read_transit) <- ctx.ph_scratch.(Phase.read_transit) +. transit;
+  ctx.ph_scratch.(Phase.read_service) <- ctx.ph_scratch.(Phase.read_service) +. service;
+  ctx.ph_scratch.(Phase.read_queue) <- ctx.ph_scratch.(Phase.read_queue) +. queue;
+  ctx.ph_mark <- now
 
 let local_now ctx = System.local_now ctx.env ~core:ctx.core
 
@@ -129,6 +179,16 @@ let await ctx req_id =
 let send_request ctx ~dst kind =
   ctx.req_counter <- ctx.req_counter + 1;
   let req_id = ctx.req_counter in
+  if trace_on ctx then
+    emit ctx
+      (Event.Req_sent
+         {
+           core = ctx.core;
+           server = dst;
+           req_id;
+           kind = Dtm.kind_label kind;
+           n_addrs = Dtm.kind_addrs kind;
+         });
   Network.send ctx.env.System.net ~src:ctx.core ~dst
     (System.Req { tx = meta ctx; kind; req_id });
   await ctx req_id
@@ -175,6 +235,11 @@ let begin_attempt ctx =
     (status_encode ctx Status.Pending);
   ctx.tx_start <- local_now ctx;
   ctx.in_tx <- true;
+  if prof_on ctx then begin
+    Array.fill ctx.ph_scratch 0 Phase.n 0.0;
+    ctx.ph_attempt_start <- sim_now ctx;
+    ctx.ph_mark <- ctx.ph_attempt_start
+  end;
   if trace_on ctx then
     emit ctx (Event.Tx_start { core = ctx.core; attempt = ctx.attempt })
 
@@ -191,8 +256,13 @@ let release_all ctx =
 (* Transactional read: Algorithm 4, plus the two elastic variants. *)
 let locked_read ctx addr =
   check_status ctx;
-  match send_request ctx ~dst:(ctx.env.System.owner_of addr) (System.Read_lock addr) with
+  let dst = ctx.env.System.owner_of addr in
+  let prof = prof_on ctx in
+  if prof then ph_charge ctx Phase.compute;
+  let t0 = if prof then sim_now ctx else 0.0 in
+  match send_request ctx ~dst (System.Read_lock addr) with
   | System.Granted ->
+      if prof then ph_charge_read ctx ~dst t0;
       if trace_on ctx then
         emit ctx (Event.Tx_read { core = ctx.core; addr; granted = true });
       let v = Shmem.read ctx.env.System.shmem ~core:ctx.core addr in
@@ -200,6 +270,7 @@ let locked_read ctx addr =
       ctx.reads_held <- addr :: ctx.reads_held;
       v
   | System.Conflicted c ->
+      if prof then ph_charge_read ctx ~dst t0;
       if trace_on ctx then
         emit ctx (Event.Tx_read { core = ctx.core; addr; granted = false });
       raise (Abort_exn (Some c))
@@ -263,12 +334,17 @@ let write ctx addr v =
     if trace_on ctx then emit ctx (Event.Tx_write { core = ctx.core; addr });
     if ctx.wmode = Eager && not (List.mem addr ctx.writes_held) then begin
       check_status ctx;
+      if prof_on ctx then ph_charge ctx Phase.compute;
       match
         send_request ctx ~dst:(ctx.env.System.owner_of addr)
           (System.Write_locks [ addr ])
       with
-      | System.Granted -> ctx.writes_held <- addr :: ctx.writes_held
-      | System.Conflicted c -> raise (Abort_exn (Some c))
+      | System.Granted ->
+          if prof_on ctx then ph_charge ctx Phase.commit_acquire;
+          ctx.writes_held <- addr :: ctx.writes_held
+      | System.Conflicted c ->
+          if prof_on ctx then ph_charge ctx Phase.commit_acquire;
+          raise (Abort_exn (Some c))
     end
   end
   end
@@ -280,6 +356,7 @@ let abort _ctx = raise (Abort_exn None)
    validate any remaining elastic-read window, persist the write set,
    release every lock and update the metadata. *)
 let commit ctx =
+  if prof_on ctx then ph_charge ctx Phase.compute;
   if trace_on ctx then
     emit ctx
       (Event.Tx_commit_begin
@@ -295,8 +372,12 @@ let commit ctx =
     (fun (dst, addrs) ->
       check_status ctx;
       match send_request ctx ~dst (System.Write_locks addrs) with
-      | System.Granted -> ctx.writes_held <- addrs @ ctx.writes_held
-      | System.Conflicted c -> raise (Abort_exn (Some c)))
+      | System.Granted ->
+          if prof_on ctx then ph_charge ctx Phase.commit_acquire;
+          ctx.writes_held <- addrs @ ctx.writes_held
+      | System.Conflicted c ->
+          if prof_on ctx then ph_charge ctx Phase.commit_acquire;
+          raise (Abort_exn (Some c)))
     (commit_groups ctx to_acquire);
   let committing =
     Atomic_reg.cas ctx.env.System.regs ~core:ctx.core ~reg:ctx.core
@@ -314,6 +395,14 @@ let commit ctx =
   Shmem.write_burst ctx.env.System.shmem ~core:ctx.core
     (List.rev_map (fun a -> (a, Hashtbl.find ctx.write_buf a)) ctx.write_order);
   release_all ctx;
+  (* Everything from the status CAS through write-back and lock
+     release is one phase; flushing here makes the committed phase
+     sums telescope to exactly this attempt's duration. *)
+  if prof_on ctx then begin
+    ph_charge ctx Phase.writeback;
+    Span.flush ctx.env.System.span_commit ~core:ctx.core ctx.ph_scratch
+      ~total:(sim_now ctx -. ctx.ph_attempt_start)
+  end;
   let elapsed = local_now ctx -. ctx.tx_start in
   if trace_on ctx then
     emit ctx
@@ -340,10 +429,22 @@ let abort_cleanup ctx conflict =
   if trace_on ctx then
     emit ctx (Event.Tx_aborted { core = ctx.core; attempt = ctx.attempt; conflict });
   release_all ctx;
+  (* The unwind — release messages and whatever ran since the last
+     boundary — is charged to writeback; the backoff below happens
+     between attempts, so it is added to the aborted aggregate
+     directly rather than through the attempt scratch. *)
+  if prof_on ctx then begin
+    ph_charge ctx Phase.writeback;
+    Span.flush ctx.env.System.span_abort ~core:ctx.core ctx.ph_scratch
+      ~total:(sim_now ctx -. ctx.ph_attempt_start)
+  end;
   ctx.attempt <- ctx.attempt + 1;
   ctx.in_tx <- false;
   if Cm.uses_backoff ctx.env.System.policy then begin
-    Sim.delay (Prng.float ctx.prng *. ctx.backoff_ns);
+    let d = Prng.float ctx.prng *. ctx.backoff_ns in
+    Sim.delay d;
+    if prof_on ctx then
+      Span.add ctx.env.System.span_abort ~core:ctx.core ~phase:Phase.backoff d;
     ctx.backoff_ns <- Float.min (ctx.backoff_ns *. 2.0) backoff_cap_ns
   end
 

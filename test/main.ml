@@ -11,4 +11,5 @@ let () =
       ("integration", Test_integration.suite);
       ("harness", Test_harness.suite);
       ("export", Test_export.suite);
+      ("profile", Test_profile.suite);
     ]
