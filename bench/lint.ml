@@ -1,0 +1,132 @@
+(* Source lint over lib/: the simulator must stay deterministic and
+   typed, so the scanner forbids, in any .ml/.mli under lib/,
+
+   - wall-clock reads ([Unix.gettimeofday], [Sys.time]) — virtual
+     time comes from the engine; host time is observability-only;
+   - [Obj.magic] — the one sanctioned use is the heap's dummy slot;
+   - naked [failwith "..."] on a bare string literal — failures must
+     carry context (format the message, or use a typed error);
+
+   and requires every module in lib/tm2c and lib/engine to publish an
+   interface file. Waivers are explicit and file-scoped, listed below
+   with their justification.
+
+   Usage: lint <lib-root>. Exits 1 and prints file:line: rule for
+   every finding. *)
+
+(* (file suffix, pattern) pairs exempted from the ban. *)
+let waivers =
+  [
+    (* Host-side wall-clock benchmarking is the harness's job; the
+       measured quantity is real elapsed time, not simulated time. *)
+    ("lib/harness/harness.ml", "Unix.gettimeofday");
+    (* The imperative binary heap needs an inhabitant of an arbitrary
+       element type for its backing-array dummy slot; the cast is
+       confined to that one constant and documented in place. *)
+    ("lib/engine/heap.ml", "Obj.magic");
+  ]
+
+let mli_required_dirs = [ "tm2c"; "engine" ]
+
+let findings = ref []
+
+let report file line rule =
+  findings := Printf.sprintf "%s:%d: %s" file line rule :: !findings
+
+let contains_at line pat i =
+  i + String.length pat <= String.length line
+  && String.sub line i (String.length pat) = pat
+
+let contains line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i = i + m <= n && (contains_at line pat i || go (i + 1)) in
+  go 0
+
+(* [failwith] whose argument starts with a string literal. *)
+let naked_failwith line =
+  let n = String.length line in
+  let pat = "failwith" in
+  let rec skip_blank i = if i < n && (line.[i] = ' ' || line.[i] = '(') then skip_blank (i + 1) else i in
+  let rec go i =
+    if i + String.length pat > n then false
+    else if contains_at line pat i then
+      let j = skip_blank (i + String.length pat) in
+      (j < n && line.[j] = '"') || go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let waived file pat =
+  List.exists
+    (fun (suffix, p) ->
+      p = pat
+      && String.length file >= String.length suffix
+      && String.sub file (String.length file - String.length suffix)
+           (String.length suffix)
+         = suffix)
+    waivers
+
+let scan_file file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lineno = ref 0 in
+      try
+        while true do
+          let line = input_line ic in
+          incr lineno;
+          List.iter
+            (fun pat ->
+              if contains line pat && not (waived file pat) then
+                report file !lineno
+                  (Printf.sprintf "forbidden call %s (virtual time / typed code only)" pat))
+            [ "Unix.gettimeofday"; "Sys.time"; "Obj.magic" ];
+          if naked_failwith line then
+            report file !lineno
+              "naked failwith on a string literal — format a contextual message"
+        done
+      with End_of_file -> ())
+
+let rec walk dir =
+  Array.iter
+    (fun entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then walk path
+      else if
+        Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+      then scan_file path)
+    (Sys.readdir dir)
+
+let check_mli_coverage root =
+  List.iter
+    (fun sub ->
+      let dir = Filename.concat root sub in
+      if Sys.file_exists dir && Sys.is_directory dir then
+        Array.iter
+          (fun entry ->
+            let path = Filename.concat dir entry in
+            if Filename.check_suffix entry ".ml" && not (Sys.is_directory path)
+            then
+              let mli = path ^ "i" in
+              if not (Sys.file_exists mli) then
+                report path 1
+                  "module has no interface file (.mli required in this \
+                   directory)")
+          (Sys.readdir dir))
+    mli_required_dirs
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
+  if not (Sys.file_exists root && Sys.is_directory root) then begin
+    Printf.eprintf "lint: library root %s not found\n" root;
+    exit 2
+  end;
+  walk root;
+  check_mli_coverage root;
+  match List.sort compare !findings with
+  | [] -> print_endline "lint: clean"
+  | fs ->
+      List.iter prerr_endline fs;
+      Printf.eprintf "lint: %d finding(s)\n" (List.length fs);
+      exit 1

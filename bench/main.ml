@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let run_bench ids full smoke json list_only =
+let run_bench ids full smoke json check list_only =
   if list_only then begin
     print_endline "Available experiments:";
     List.iter
@@ -25,8 +25,14 @@ let run_bench ids full smoke json list_only =
     let ids = if ids = [] then [ "all"; "micro" ] else ids in
     let micro = List.mem "micro" ids in
     let ids = List.filter (fun id -> id <> "micro") ids in
-    if ids <> [] then Tm2c_harness.Harness.run_ids ?json ids scale;
-    if micro then Micro.run ()
+    let failures =
+      if ids <> [] then Tm2c_harness.Harness.run_ids ?json ~check ids scale else 0
+    in
+    if micro then Micro.run ();
+    if failures > 0 then begin
+      Printf.eprintf "\n%d checker violation(s) — see above\n%!" failures;
+      exit 1
+    end
   end
 
 let ids_arg =
@@ -51,6 +57,13 @@ let json_arg =
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let check_arg =
+  let doc =
+    "Replay every run's event history through the serializability, lock \
+     protocol, and liveness checkers; exit nonzero on any violation."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
 let list_arg =
   let doc = "List available experiments and exit." in
   Arg.(value & flag & info [ "list" ] ~doc)
@@ -59,6 +72,8 @@ let cmd =
   let doc = "Regenerate the tables and figures of the TM2C paper (EuroSys 2012)" in
   Cmd.v
     (Cmd.info "tm2c-bench" ~doc)
-    Term.(const run_bench $ ids_arg $ full_arg $ smoke_arg $ json_arg $ list_arg)
+    Term.(
+      const run_bench $ ids_arg $ full_arg $ smoke_arg $ json_arg $ check_arg
+      $ list_arg)
 
 let () = exit (Cmd.eval cmd)

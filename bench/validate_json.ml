@@ -57,6 +57,7 @@ let () =
       [ "aborts"; "by_conflict"; "RAW" ];
       [ "aborts"; "by_conflict"; "WAW" ];
       [ "aborts"; "by_conflict"; "WAR" ];
+      [ "aborts"; "by_conflict"; "STATUS" ];
       (* v2 additions *)
       [ "phases"; "enabled" ];
       [ "phases"; "names" ];

@@ -133,8 +133,8 @@ let warn_overflow t =
       (Tm2c_engine.Trace.capacity tr)
 
 let run bench platform cm cores service multitask eager trace trace_out json
-    perfetto timeseries_ms duration_ms seed balance accounts buckets updates
-    elastic size input_kb chunk_kb =
+    perfetto timeseries_ms check history witness duration_ms seed balance
+    accounts buckets updates elastic size input_kb chunk_kb =
   let deployment = if multitask then Runtime.Multitask else Runtime.Dedicated in
   let service = match service with Some s -> s | None -> max 1 (cores / 2) in
   let cfg =
@@ -155,6 +155,16 @@ let run bench platform cm cores service multitask eager trace trace_out json
   let t = Runtime.create cfg in
   let tracing = trace || trace_out <> None || perfetto <> None in
   if tracing then Runtime.enable_tracing t;
+  (* The checkers need the complete history, not the 64K ring tail:
+     tap the trace's sink before any process runs. *)
+  let collector =
+    if check || history <> None then begin
+      let c = Tm2c_check.Collector.create () in
+      Tm2c_check.Collector.attach c (Runtime.trace t);
+      Some c
+    end
+    else None
+  in
   if json <> None then begin
     (* The JSON export carries phase attribution and a time-series, so
        a plain --json run gets both without extra flags. *)
@@ -258,7 +268,7 @@ let run bench platform cm cores service multitask eager trace trace_out json
       Tm2c_harness.Json.to_file path (Tm2c_harness.Report.run_json t r);
       Printf.printf "wrote run JSON to %s\n" path
   | None -> ());
-  match perfetto with
+  (match perfetto with
   | Some path ->
       let doc =
         Tm2c_harness.Perfetto.export ~app:(Runtime.app_cores t)
@@ -268,7 +278,35 @@ let run bench platform cm cores service multitask eager trace trace_out json
       Tm2c_harness.Json.to_file ~indent:false path doc;
       Printf.printf "wrote Perfetto timeline to %s (open in ui.perfetto.dev)\n"
         path
+  | None -> ());
+  match collector with
   | None -> ()
+  | Some c ->
+      let events = Tm2c_check.Collector.to_list c in
+      (match history with
+      | Some path ->
+          Tm2c_check.Histlog.save path events;
+          Printf.printf "wrote history log to %s (%d events)\n" path
+            (List.length events)
+      | None -> ());
+      if check then begin
+        let result = Tm2c_check.Check.run events in
+        print_newline ();
+        Format.printf "%a" Tm2c_check.Check.pp_summary result;
+        if not (Tm2c_check.Check.passed result) then begin
+          Format.printf "%a" Tm2c_check.Check.pp_witness result;
+          (match witness with
+          | Some path ->
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  output_string oc (Tm2c_check.Check.report_string result));
+              Printf.printf "wrote witness to %s\n" path
+          | None -> ());
+          exit 1
+        end
+      end
 
 let cmd =
   let bench =
@@ -331,6 +369,27 @@ let cmd =
              ~doc:"Sampler window in virtual milliseconds for the --json \
                    time-series (default: duration/32).")
   in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Replay the run's complete event history through the \
+                   serializability oracle, the DS-Lock protocol checker, and \
+                   the liveness monitor; print a verdict and exit nonzero \
+                   (with a witness) on any violation.")
+  in
+  let history =
+    Arg.(value & opt (some string) None
+         & info [ "history" ] ~docv:"FILE"
+             ~doc:"Write the complete event history (not just the 64K ring \
+                   tail) as a machine-readable log to $(docv) — replay it \
+                   later with tm2c-check.")
+  in
+  let witness =
+    Arg.(value & opt (some string) None
+         & info [ "witness" ] ~docv:"FILE"
+             ~doc:"With --check: on failure, also write the checker verdict \
+                   and violation witness to $(docv).")
+  in
   let duration =
     Arg.(value & opt float 50.0 & info [ "duration" ] ~doc:"Virtual milliseconds.")
   in
@@ -364,8 +423,8 @@ let cmd =
   Cmd.v (Cmd.info "tm2c-sim" ~doc)
     Term.(
       const run $ bench $ platform $ cm $ cores $ service $ multitask $ eager
-      $ trace $ trace_out $ json $ perfetto $ timeseries_ms $ duration $ seed
-      $ balance $ accounts $ buckets $ updates $ elastic $ size $ input_kb
-      $ chunk_kb)
+      $ trace $ trace_out $ json $ perfetto $ timeseries_ms $ check $ history
+      $ witness $ duration $ seed $ balance $ accounts $ buckets $ updates
+      $ elastic $ size $ input_kb $ chunk_kb)
 
 let () = exit (Cmd.eval cmd)

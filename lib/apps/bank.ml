@@ -15,9 +15,8 @@ type t = {
 
 let create runtime ~accounts ~initial =
   let base = Alloc.alloc (Runtime.alloc runtime) ~words:accounts in
-  let shmem = Runtime.shmem runtime in
   for i = 0 to accounts - 1 do
-    Shmem.poke shmem (base + i) initial
+    Runtime.host_write runtime (base + i) initial
   done;
   { runtime; base; n = accounts; lock_reg = Runtime.spare_reg runtime; spinners = 0 }
 

@@ -17,7 +17,7 @@ type t = {
 let create runtime ~n_buckets =
   if n_buckets < 1 then invalid_arg "Hashtable.create: need at least one bucket";
   let base = Alloc.alloc (Runtime.alloc runtime) ~words:(1 + n_buckets) in
-  Shmem.poke (Runtime.shmem runtime) base n_buckets;
+  Runtime.host_write runtime base n_buckets;
   { runtime; base; n_buckets }
 
 let n_buckets t = t.n_buckets
@@ -53,11 +53,10 @@ let add_op (a : Access.t) t k ~node =
   let slot, ptr, key = locate a t k in
   if ptr <> 0 && key = k then false
   else begin
-    let shmem = Runtime.shmem t.runtime in
     (* The node is private until the commit makes [slot] point at it
        (weak atomicity: private data needs no wrapping). *)
-    Shmem.poke shmem node k;
-    Shmem.poke shmem (node + 1) ptr;
+    Runtime.host_write t.runtime node k;
+    Runtime.host_write t.runtime (node + 1) ptr;
     a.write slot node;
     true
   end
@@ -186,9 +185,9 @@ let populate t prng ~n ~key_range =
       in
       let slot, ptr = find_slot (t.base + 1 + hash t k) in
       let node = new_node t in
-      Shmem.poke sh node k;
-      Shmem.poke sh (node + 1) ptr;
-      Shmem.poke sh slot node;
+      Runtime.host_write t.runtime node k;
+      Runtime.host_write t.runtime (node + 1) ptr;
+      Runtime.host_write t.runtime slot node;
       incr inserted
     end
   done

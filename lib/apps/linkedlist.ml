@@ -16,7 +16,7 @@ let elastic_of_mode = function
 
 let create runtime =
   let base = Alloc.alloc (Runtime.alloc runtime) ~words:1 in
-  Shmem.poke (Runtime.shmem runtime) base 0;
+  Runtime.host_write runtime base 0;
   { runtime; base }
 
 let locate (a : Access.t) t k =
@@ -39,9 +39,8 @@ let add_op (a : Access.t) t k ~node =
   let slot, ptr, key = locate a t k in
   if ptr <> 0 && key = k then false
   else begin
-    let shmem = Runtime.shmem t.runtime in
-    Shmem.poke shmem node k;
-    Shmem.poke shmem (node + 1) ptr;
+    Runtime.host_write t.runtime node k;
+    Runtime.host_write t.runtime (node + 1) ptr;
     a.write slot node;
     true
   end
@@ -138,9 +137,9 @@ let populate t prng ~n ~key_range =
     let slot, ptr, key = find_slot t.base in
     if not (ptr <> 0 && key = k) then begin
       let node = new_node t in
-      Shmem.poke sh node k;
-      Shmem.poke sh (node + 1) ptr;
-      Shmem.poke sh slot node;
+      Runtime.host_write t.runtime node k;
+      Runtime.host_write t.runtime (node + 1) ptr;
+      Runtime.host_write t.runtime slot node;
       incr inserted
     end
   done

@@ -1,0 +1,127 @@
+(* Checker orchestration: reconstruct the history, run every checker,
+   and render a human-readable verdict plus (on failure) a witness. *)
+
+type result = {
+  history : History.t;
+  serial : Serial.report;
+  lockset : Lockset.report;
+  liveness : Liveness.report;
+}
+
+let default_liveness_budget = 1000
+
+let run ?(liveness_budget = default_liveness_budget) events =
+  let history = History.build events in
+  {
+    history;
+    serial = Serial.analyze history;
+    lockset = Lockset.analyze events;
+    liveness = Liveness.analyze ~budget:liveness_budget history;
+  }
+
+let n_failures r =
+  List.length r.history.History.anomalies
+  + List.length r.serial.Serial.corruption
+  + (match r.serial.Serial.cycle with Some _ -> 1 | None -> 0)
+  + List.length r.lockset.Lockset.violations
+  + List.length r.liveness.Liveness.violations
+
+let passed r = n_failures r = 0
+
+let txn_label (r : result) i =
+  let a = r.serial.Serial.txns.(i) in
+  Format.asprintf "T%d[core %d attempt %d, published @%.0fns]" i
+    a.History.a_core a.History.a_number a.History.a_publish_time
+
+let count_outcomes (h : History.t) =
+  List.fold_left
+    (fun (c, ab, u) (a : History.attempt) ->
+      match a.History.a_outcome with
+      | History.Committed _ -> (c + 1, ab, u)
+      | History.Aborted _ -> (c, ab + 1, u)
+      | History.Unfinished -> (c, ab, u + 1))
+    (0, 0, 0) h.History.attempts
+
+let pp_summary fmt r =
+  let committed, aborted, unfinished = count_outcomes r.history in
+  let status ok = if ok then "OK  " else "FAIL" in
+  Format.fprintf fmt
+    "history  %s  %d events, %d attempts (%d committed, %d aborted, %d \
+     unfinished), %d anomalies@."
+    (status (r.history.History.anomalies = []))
+    r.history.History.n_events
+    (List.length r.history.History.attempts)
+    committed aborted unfinished
+    (List.length r.history.History.anomalies);
+  Format.fprintf fmt
+    "serial   %s  %d txns, %d reads checked (%d elastic skipped), %d initial \
+     bindings, %d corrupt, %s@."
+    (status (Serial.ok r.serial))
+    (Array.length r.serial.Serial.txns)
+    r.serial.Serial.n_reads_checked r.serial.Serial.n_reads_skipped
+    r.serial.Serial.n_initial_bound
+    (List.length r.serial.Serial.corruption)
+    (match r.serial.Serial.cycle with
+    | None -> "acyclic"
+    | Some c -> Printf.sprintf "CYCLE of %d txns" (List.length c.Serial.c_txns));
+  Format.fprintf fmt "lockset  %s  %d grants replayed, %d violations@."
+    (status (Lockset.ok r.lockset))
+    r.lockset.Lockset.n_grants
+    (List.length r.lockset.Lockset.violations);
+  Format.fprintf fmt "liveness %s  max abort chain %s, budget %d@."
+    (status (Liveness.ok r.liveness))
+    (match r.liveness.Liveness.max_chain with
+    | None -> "0"
+    | Some ch -> Printf.sprintf "%d (core %d)" ch.Liveness.ch_len ch.Liveness.ch_core)
+    r.liveness.Liveness.budget
+
+let pp_witness fmt r =
+  if r.history.History.anomalies <> [] then begin
+    Format.fprintf fmt "@.== history anomalies (verdicts below are void) ==@.";
+    List.iter
+      (fun (an : History.anomaly) ->
+        Format.fprintf fmt "  seq %d @%.0fns: %s@." an.History.an_seq
+          an.History.an_time an.History.an_message)
+      r.history.History.anomalies
+  end;
+  List.iter
+    (fun msg -> Format.fprintf fmt "@.== value corruption ==@.  %s@." msg)
+    r.serial.Serial.corruption;
+  (match r.serial.Serial.cycle with
+  | None -> ()
+  | Some c ->
+      Format.fprintf fmt
+        "@.== serializability violation: conflict-graph cycle ==@.";
+      List.iter
+        (fun (e : Serial.edge) ->
+          Format.fprintf fmt "  %s --%s addr=%d @seq %d--> %s@."
+            (txn_label r e.Serial.e_from)
+            (Serial.edge_kind_to_string e.Serial.e_kind)
+            e.Serial.e_addr e.Serial.e_seq
+            (txn_label r e.Serial.e_to))
+        c.Serial.c_edges;
+      Format.fprintf fmt
+        "  no serial order of these transactions explains the observed reads@.");
+  if r.lockset.Lockset.violations <> [] then begin
+    Format.fprintf fmt "@.== lock protocol violations ==@.";
+    List.iter
+      (fun (v : Lockset.violation) ->
+        Format.fprintf fmt "  seq %d @%.0fns: %s@." v.Lockset.v_seq
+          v.Lockset.v_time v.Lockset.v_message)
+      r.lockset.Lockset.violations
+  end;
+  if r.liveness.Liveness.violations <> [] then begin
+    Format.fprintf fmt "@.== liveness violations ==@.";
+    List.iter
+      (fun (ch : Liveness.chain) ->
+        Format.fprintf fmt
+          "  core %d aborted %d consecutive attempts (from attempt %d, \
+           %.0fns..%.0fns) — budget %d@."
+          ch.Liveness.ch_core ch.Liveness.ch_len ch.Liveness.ch_first_attempt
+          ch.Liveness.ch_start_time ch.Liveness.ch_end_time
+          r.liveness.Liveness.budget)
+      r.liveness.Liveness.violations
+  end
+
+let report_string r =
+  Format.asprintf "%a%a" pp_summary r pp_witness r

@@ -1,0 +1,35 @@
+(** Checker orchestration.
+
+    [run events] reconstructs the per-attempt history and runs the
+    three checkers: the serializability oracle ({!Serial}), the
+    DS-Lock protocol checker ({!Lockset}), and the liveness monitor
+    ({!Liveness}). The event stream comes from a live {!Collector}
+    tap or a {!Histlog} file. *)
+
+type result = {
+  history : History.t;
+  serial : Serial.report;
+  lockset : Lockset.report;
+  liveness : Liveness.report;
+}
+
+val default_liveness_budget : int
+
+val run :
+  ?liveness_budget:int -> (float * Tm2c_core.Event.t) list -> result
+
+(** Total violations across all checkers (history anomalies count). *)
+val n_failures : result -> int
+
+val passed : result -> bool
+
+(** One line per checker: OK/FAIL plus headline numbers. *)
+val pp_summary : Format.formatter -> result -> unit
+
+(** Full violation detail; for a conflict-graph cycle, the minimal
+    witness — offending transactions and, per hop, the edge kind,
+    address, and inducing sequence point. Empty when {!passed}. *)
+val pp_witness : Format.formatter -> result -> unit
+
+(** Summary followed by witness, as a string. *)
+val report_string : result -> string

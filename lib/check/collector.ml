@@ -1,0 +1,50 @@
+(* Complete-history capture: a growable array fed by the trace's sink,
+   so the checkers see every event of the run even when the 64K ring
+   wraps. Attachment also enables tracing (emit sites are guarded on
+   [Trace.enabled]). *)
+
+open Tm2c_core
+
+type t = {
+  mutable times : float array;
+  mutable events : Event.t array;
+  mutable len : int;
+}
+
+let create () = { times = [||]; events = [||]; len = 0 }
+
+let grow c ev =
+  let cap = Array.length c.times in
+  let cap' = if cap = 0 then 4096 else 2 * cap in
+  let times = Array.make cap' 0.0 in
+  let events = Array.make cap' ev in
+  Array.blit c.times 0 times 0 c.len;
+  Array.blit c.events 0 events 0 c.len;
+  c.times <- times;
+  c.events <- events
+
+let push c ts ev =
+  if c.len = Array.length c.times then grow c ev;
+  c.times.(c.len) <- ts;
+  c.events.(c.len) <- ev;
+  c.len <- c.len + 1
+
+let attach c trace =
+  Tm2c_engine.Trace.set_sink trace (Some (fun ts ev -> push c ts ev));
+  Tm2c_engine.Trace.enable trace
+
+let detach trace = Tm2c_engine.Trace.set_sink trace None
+
+let length c = c.len
+
+let iter c f =
+  for i = 0 to c.len - 1 do
+    f c.times.(i) c.events.(i)
+  done
+
+let to_list c =
+  let acc = ref [] in
+  for i = c.len - 1 downto 0 do
+    acc := (c.times.(i), c.events.(i)) :: !acc
+  done;
+  !acc

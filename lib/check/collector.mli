@@ -1,0 +1,26 @@
+(** Complete-history capture for the checkers.
+
+    The trace ring keeps only the most recent 64K events; the checkers
+    need the whole run. A collector taps the trace's sink (see
+    {!Tm2c_engine.Trace.set_sink}) and accumulates every recorded
+    event in order, without dropping. *)
+
+open Tm2c_core
+
+type t
+
+val create : unit -> t
+
+(** [attach c trace] installs [c] as the trace's sink and enables
+    tracing (emit sites are guarded on [Trace.enabled]). *)
+val attach : t -> Event.t Tm2c_engine.Trace.t -> unit
+
+(** Remove any installed sink (tracing stays enabled). *)
+val detach : Event.t Tm2c_engine.Trace.t -> unit
+
+val length : t -> int
+
+(** In-order iteration over (timestamp, event). *)
+val iter : t -> (float -> Event.t -> unit) -> unit
+
+val to_list : t -> (float * Event.t) list

@@ -1,0 +1,206 @@
+(* Machine-readable history log: one event per line,
+
+     <timestamp> <TAG> <fields...>
+
+   space-separated, timestamps and durations in OCaml hex-float
+   notation ("%h") so virtual times round-trip exactly — the checkers
+   compare replayed instants for equality and a decimal detour would
+   corrupt ties. The format is append-only and versioned by the
+   header line; tm2c-check refuses logs with an unknown header. *)
+
+open Tm2c_core
+open Types
+
+let header = "# tm2c-history v1"
+
+let bool01 b = if b then "1" else "0"
+
+let conflict_of_string = function
+  | "RAW" -> Raw
+  | "WAW" -> Waw
+  | "WAR" -> War
+  | s -> failwith (Printf.sprintf "unknown conflict label %S" s)
+
+let conflict_opt_of_string = function
+  | "STATUS" -> None
+  | s -> Some (conflict_of_string s)
+
+let write_event oc time ev =
+  let p fmt = Printf.fprintf oc fmt in
+  p "%h " time;
+  (match ev with
+  | Event.Tx_start { core; attempt; elastic } ->
+      p "TXS %d %d %s" core attempt (bool01 elastic)
+  | Event.Tx_read { core; addr; granted; value } ->
+      p "TXR %d %d %s %d" core addr (bool01 granted) value
+  | Event.Tx_write { core; addr; value } -> p "TXW %d %d %d" core addr value
+  | Event.Tx_commit_begin { core; attempt; n_writes } ->
+      p "CB %d %d %d" core attempt n_writes
+  | Event.Host_write { addr; value } -> p "HW %d %d" addr value
+  | Event.Rlock_released { core; addr } -> p "RLR %d %d" core addr
+  | Event.Wlock_granted { core; addrs } ->
+      p "WLK %d %s" core (String.concat "," (List.map string_of_int addrs))
+  | Event.Tx_publish { core; attempt; n_writes } ->
+      p "PUB %d %d %d" core attempt n_writes
+  | Event.Tx_committed { core; attempt; duration_ns } ->
+      p "COM %d %d %h" core attempt duration_ns
+  | Event.Tx_aborted { core; attempt; conflict } ->
+      p "ABO %d %d %s" core attempt (Event.conflict_opt_to_string conflict)
+  | Event.Lock_conflict { server; requester; enemy; addr; conflict; requester_wins }
+    ->
+      p "CFL %d %d %d %d %s %s" server requester enemy addr
+        (conflict_to_string conflict)
+        (bool01 requester_wins)
+  | Event.Enemy_aborted { server; winner; victim; addr; conflict } ->
+      p "ENA %d %d %d %d %s" server winner victim addr (conflict_to_string conflict)
+  | Event.Req_sent { core; server; req_id; kind; n_addrs } ->
+      p "REQ %d %d %d %s %d" core server req_id kind n_addrs
+  | Event.Service { server; requester; req_id; kind; queue_depth; occupancy } ->
+      p "SRV %d %d %d %s %d %d" server requester req_id kind queue_depth occupancy
+  | Event.Service_done { server; requester; req_id } ->
+      p "SRD %d %d %d" server requester req_id
+  | Event.Barrier { core } -> p "BAR %d" core);
+  p "\n"
+
+let write oc events =
+  Printf.fprintf oc "%s\n" header;
+  List.iter (fun (time, ev) -> write_event oc time ev) events
+
+let save path events =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc events)
+
+let parse_error lineno msg =
+  failwith (Printf.sprintf "history log line %d: %s" lineno msg)
+
+let parse_line lineno line =
+  let int s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> parse_error lineno (Printf.sprintf "bad integer %S" s)
+  in
+  let flag s =
+    match s with
+    | "0" -> false
+    | "1" -> true
+    | _ -> parse_error lineno (Printf.sprintf "bad flag %S" s)
+  in
+  match String.split_on_char ' ' line with
+  | time_s :: tag :: fields -> (
+      let time =
+        match float_of_string_opt time_s with
+        | Some t -> t
+        | None -> parse_error lineno (Printf.sprintf "bad timestamp %S" time_s)
+      in
+      let ev =
+        match (tag, fields) with
+        | "TXS", [ core; attempt; elastic ] ->
+            Event.Tx_start
+              { core = int core; attempt = int attempt; elastic = flag elastic }
+        | "TXR", [ core; addr; granted; value ] ->
+            Event.Tx_read
+              { core = int core; addr = int addr; granted = flag granted; value = int value }
+        | "TXW", [ core; addr; value ] ->
+            Event.Tx_write { core = int core; addr = int addr; value = int value }
+        | "CB", [ core; attempt; n_writes ] ->
+            Event.Tx_commit_begin
+              { core = int core; attempt = int attempt; n_writes = int n_writes }
+        | "HW", [ addr; value ] ->
+            Event.Host_write { addr = int addr; value = int value }
+        | "RLR", [ core; addr ] ->
+            Event.Rlock_released { core = int core; addr = int addr }
+        | "WLK", [ core; addrs ] ->
+            Event.Wlock_granted
+              {
+                core = int core;
+                addrs =
+                  (if addrs = "" then []
+                   else List.map int (String.split_on_char ',' addrs));
+              }
+        | "PUB", [ core; attempt; n_writes ] ->
+            Event.Tx_publish
+              { core = int core; attempt = int attempt; n_writes = int n_writes }
+        | "COM", [ core; attempt; dur ] ->
+            let duration_ns =
+              match float_of_string_opt dur with
+              | Some d -> d
+              | None -> parse_error lineno (Printf.sprintf "bad duration %S" dur)
+            in
+            Event.Tx_committed { core = int core; attempt = int attempt; duration_ns }
+        | "ABO", [ core; attempt; conflict ] ->
+            Event.Tx_aborted
+              {
+                core = int core;
+                attempt = int attempt;
+                conflict = conflict_opt_of_string conflict;
+              }
+        | "CFL", [ server; requester; enemy; addr; conflict; wins ] ->
+            Event.Lock_conflict
+              {
+                server = int server;
+                requester = int requester;
+                enemy = int enemy;
+                addr = int addr;
+                conflict = conflict_of_string conflict;
+                requester_wins = flag wins;
+              }
+        | "ENA", [ server; winner; victim; addr; conflict ] ->
+            Event.Enemy_aborted
+              {
+                server = int server;
+                winner = int winner;
+                victim = int victim;
+                addr = int addr;
+                conflict = conflict_of_string conflict;
+              }
+        | "REQ", [ core; server; req_id; kind; n_addrs ] ->
+            Event.Req_sent
+              {
+                core = int core;
+                server = int server;
+                req_id = int req_id;
+                kind;
+                n_addrs = int n_addrs;
+              }
+        | "SRV", [ server; requester; req_id; kind; queue_depth; occupancy ] ->
+            Event.Service
+              {
+                server = int server;
+                requester = int requester;
+                req_id = int req_id;
+                kind;
+                queue_depth = int queue_depth;
+                occupancy = int occupancy;
+              }
+        | "SRD", [ server; requester; req_id ] ->
+            Event.Service_done
+              { server = int server; requester = int requester; req_id = int req_id }
+        | "BAR", [ core ] -> Event.Barrier { core = int core }
+        | _ ->
+            parse_error lineno
+              (Printf.sprintf "unrecognized record %S" (String.concat " " (tag :: fields)))
+      in
+      (time, ev))
+  | _ -> parse_error lineno "short line"
+
+let read ic =
+  (match input_line ic with
+  | h when h = header -> ()
+  | h -> failwith (Printf.sprintf "unknown history log header %S" h)
+  | exception End_of_file ->
+      failwith (Printf.sprintf "empty history log: expected %S header" header));
+  let events = ref [] in
+  let lineno = ref 1 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if line <> "" && line.[0] <> '#' then
+         events := parse_line !lineno line :: !events
+     done
+   with End_of_file -> ());
+  List.rev !events
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)

@@ -1,0 +1,25 @@
+(** Machine-readable history log.
+
+    One event per line: [<timestamp> <TAG> <fields...>], space
+    separated, with timestamps and durations in hex-float notation so
+    virtual times round-trip exactly. Written by [tm2c-sim --history]
+    and replayed by [tm2c-check]. The first line is a version header;
+    readers refuse unknown versions. *)
+
+open Tm2c_core
+
+val header : string
+
+val write_event : out_channel -> float -> Event.t -> unit
+
+(** Header plus one line per event. *)
+val write : out_channel -> (float * Event.t) list -> unit
+
+val save : string -> (float * Event.t) list -> unit
+
+(** Parse a log back into the event stream; raises [Failure] with the
+    offending line number on malformed input. Blank lines and [#]
+    comments after the header are skipped. *)
+val read : in_channel -> (float * Event.t) list
+
+val load : string -> (float * Event.t) list

@@ -1,0 +1,207 @@
+(* Reconstruct per-attempt transaction records from the event stream.
+
+   Events arrive in record order, which is execution order: the trace
+   is written sequentially by the single-threaded simulator, so the
+   sequence number assigned here is a total order consistent with the
+   simulated machine's actual interleaving — including ties in virtual
+   time, which the timestamps alone cannot break. All checkers compare
+   sequence numbers, never raw timestamps. *)
+
+open Tm2c_core
+
+type outcome =
+  | Committed of { duration_ns : float }
+  | Aborted of { conflict : Types.conflict option }
+  | Unfinished  (** open when the history ends (run-horizon truncation) *)
+
+type read = {
+  r_addr : Types.addr;
+  r_value : int;
+  r_time : float;
+  r_seq : int;
+}
+
+type attempt = {
+  a_core : Types.core_id;
+  a_number : int;  (* the core's attempt counter *)
+  a_elastic : bool;
+  a_start_time : float;
+  a_start_seq : int;
+  mutable a_reads : read list;  (* program order *)
+  mutable a_refused : bool;  (* some read lock was refused *)
+  mutable a_writes : (Types.addr * int) list;  (* final value per address *)
+  mutable a_wlocks : (int * Types.addr list) list;  (* (seq, batch), trace order *)
+  mutable a_rlock_released : (int * Types.addr) list;  (* elastic-early *)
+  mutable a_commit_begin_seq : int option;
+  mutable a_publish_seq : int option;
+  mutable a_publish_time : float;
+  mutable a_doomed_seq : int option;  (* first enemy-abort CAS landed *)
+  mutable a_end_time : float;
+  mutable a_end_seq : int;
+  mutable a_outcome : outcome;
+}
+
+type anomaly = { an_seq : int; an_time : float; an_message : string }
+
+type t = {
+  attempts : attempt list;  (* in Tx_start order *)
+  host_writes : (int * Types.addr * int) list;  (* (seq, addr, value) *)
+  anomalies : anomaly list;  (* structural inconsistencies in the stream *)
+  n_events : int;
+  n_orphans : int;  (* events before their core's first Tx_start *)
+}
+
+let committed_attempts t =
+  List.filter (fun a -> match a.a_outcome with Committed _ -> true | _ -> false)
+    t.attempts
+
+(* Replace-or-append keyed on address, preserving first-store order. *)
+let update_write writes addr value =
+  let rec go = function
+    | [] -> [ (addr, value) ]
+    | (a, _) :: rest when a = addr -> (a, value) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  go writes
+
+let build events =
+  let open_attempts : (Types.core_id, attempt) Hashtbl.t = Hashtbl.create 64 in
+  let started : (Types.core_id, unit) Hashtbl.t = Hashtbl.create 64 in
+  let attempts = ref [] and anomalies = ref [] in
+  let host_writes = ref [] in
+  let n_events = ref 0 and n_orphans = ref 0 in
+  let anomaly seq time fmt =
+    Printf.ksprintf
+      (fun m -> anomalies := { an_seq = seq; an_time = time; an_message = m } :: !anomalies)
+      fmt
+  in
+  let close seq time a outcome =
+    a.a_end_time <- time;
+    a.a_end_seq <- seq;
+    a.a_outcome <- outcome;
+    a.a_reads <- List.rev a.a_reads;
+    a.a_wlocks <- List.rev a.a_wlocks;
+    a.a_rlock_released <- List.rev a.a_rlock_released;
+    Hashtbl.remove open_attempts a.a_core
+  in
+  (* An event attributable to a core's current attempt; events arriving
+     before the core's first Tx_start (a truncated stream) are counted
+     as orphans, later unattributable events are anomalies. *)
+  let with_open seq time core what f =
+    match Hashtbl.find_opt open_attempts core with
+    | Some a -> f a
+    | None ->
+        if Hashtbl.mem started core then
+          anomaly seq time "core %d: %s outside any attempt" core what
+        else incr n_orphans
+  in
+  List.iteri
+    (fun seq (time, ev) ->
+      incr n_events;
+      match ev with
+      | Event.Tx_start { core; attempt; elastic } ->
+          (match Hashtbl.find_opt open_attempts core with
+          | Some prev ->
+              anomaly seq time
+                "core %d: attempt %d started while attempt %d still open" core
+                attempt prev.a_number;
+              close seq time prev Unfinished
+          | None -> ());
+          Hashtbl.replace started core ();
+          let a =
+            {
+              a_core = core;
+              a_number = attempt;
+              a_elastic = elastic;
+              a_start_time = time;
+              a_start_seq = seq;
+              a_reads = [];
+              a_refused = false;
+              a_writes = [];
+              a_wlocks = [];
+              a_rlock_released = [];
+              a_commit_begin_seq = None;
+              a_publish_seq = None;
+              a_publish_time = 0.0;
+              a_doomed_seq = None;
+              a_end_time = time;
+              a_end_seq = seq;
+              a_outcome = Unfinished;
+            }
+          in
+          Hashtbl.replace open_attempts core a;
+          attempts := a :: !attempts
+      | Event.Tx_read { core; addr; granted; value } ->
+          with_open seq time core "tx-read" (fun a ->
+              if granted then
+                a.a_reads <-
+                  { r_addr = addr; r_value = value; r_time = time; r_seq = seq }
+                  :: a.a_reads
+              else a.a_refused <- true)
+      | Event.Tx_write { core; addr; value } ->
+          with_open seq time core "tx-write" (fun a ->
+              a.a_writes <- update_write a.a_writes addr value)
+      | Event.Rlock_released { core; addr } ->
+          with_open seq time core "rlock-release" (fun a ->
+              a.a_rlock_released <- (seq, addr) :: a.a_rlock_released)
+      | Event.Wlock_granted { core; addrs } ->
+          with_open seq time core "wlock" (fun a ->
+              a.a_wlocks <- (seq, addrs) :: a.a_wlocks)
+      | Event.Tx_commit_begin { core; attempt; _ } ->
+          with_open seq time core "commit-begin" (fun a ->
+              if a.a_number <> attempt then
+                anomaly seq time "core %d: commit-begin for attempt %d inside %d"
+                  core attempt a.a_number;
+              a.a_commit_begin_seq <- Some seq)
+      | Event.Tx_publish { core; attempt; _ } ->
+          with_open seq time core "publish" (fun a ->
+              if a.a_number <> attempt then
+                anomaly seq time "core %d: publish for attempt %d inside %d" core
+                  attempt a.a_number;
+              (match a.a_publish_seq with
+              | Some _ -> anomaly seq time "core %d: attempt %d published twice" core attempt
+              | None -> ());
+              a.a_publish_seq <- Some seq;
+              a.a_publish_time <- time)
+      | Event.Tx_committed { core; attempt; duration_ns } ->
+          with_open seq time core "committed" (fun a ->
+              if a.a_number <> attempt then
+                anomaly seq time "core %d: commit of attempt %d inside %d" core
+                  attempt a.a_number;
+              close seq time a (Committed { duration_ns }))
+      | Event.Tx_aborted { core; attempt; conflict } ->
+          with_open seq time core "aborted" (fun a ->
+              if a.a_number <> attempt then
+                anomaly seq time "core %d: abort of attempt %d inside %d" core
+                  attempt a.a_number;
+              close seq time a (Aborted { conflict }))
+      | Event.Enemy_aborted { victim; _ } ->
+          (* The CAS can only land on a live pending attempt; anything
+             else is a protocol violation reported by the lockset
+             checker, which replays these events itself. Here we only
+             mark the doom point for liveness/serializability use. *)
+          (match Hashtbl.find_opt open_attempts victim with
+          | Some a when a.a_doomed_seq = None -> a.a_doomed_seq <- Some seq
+          | Some _ | None -> ())
+      | Event.Host_write { addr; value } ->
+          (* Attributed to no attempt: setup and private-node init. *)
+          host_writes := (seq, addr, value) :: !host_writes
+      | Event.Lock_conflict _ | Event.Req_sent _ | Event.Service _
+      | Event.Service_done _ | Event.Barrier _ ->
+          ())
+    events;
+  (* Attempts still open: close in place as Unfinished. *)
+  Hashtbl.iter
+    (fun _ a ->
+      a.a_outcome <- Unfinished;
+      a.a_reads <- List.rev a.a_reads;
+      a.a_wlocks <- List.rev a.a_wlocks;
+      a.a_rlock_released <- List.rev a.a_rlock_released)
+    open_attempts;
+  {
+    attempts = List.rev !attempts;
+    host_writes = List.rev !host_writes;
+    anomalies = List.rev !anomalies;
+    n_events = !n_events;
+    n_orphans = !n_orphans;
+  }

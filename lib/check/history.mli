@@ -1,0 +1,73 @@
+(** Per-attempt history reconstruction.
+
+    Turns the flat [(timestamp, event)] stream captured by
+    {!Collector} into one record per transaction attempt, keyed by
+    sequence number — the position of each event in the stream, which
+    is the simulator's actual execution order (virtual timestamps can
+    tie; sequence numbers cannot). All downstream checkers reason in
+    sequence order. *)
+
+open Tm2c_core
+
+type outcome =
+  | Committed of { duration_ns : float }
+  | Aborted of { conflict : Types.conflict option }
+  | Unfinished
+      (** still open when the history ends — normal when the run hits
+          its horizon with fibers mid-transaction; never a violation *)
+
+type read = {
+  r_addr : Types.addr;
+  r_value : int;  (** the word the memory sample returned *)
+  r_time : float;
+  r_seq : int;
+}
+
+type attempt = {
+  a_core : Types.core_id;
+  a_number : int;
+  a_elastic : bool;
+  a_start_time : float;
+  a_start_seq : int;
+  mutable a_reads : read list;  (** granted reads, program order *)
+  mutable a_refused : bool;
+  mutable a_writes : (Types.addr * int) list;
+      (** final buffered value per address, first-store order *)
+  mutable a_wlocks : (int * Types.addr list) list;
+      (** write-lock batches granted, as (seq, addrs) *)
+  mutable a_rlock_released : (int * Types.addr) list;
+      (** elastic-early read-lock releases, as (seq, addr) *)
+  mutable a_commit_begin_seq : int option;
+  mutable a_publish_seq : int option;
+      (** sequence point at which the write set became visible *)
+  mutable a_publish_time : float;
+  mutable a_doomed_seq : int option;
+      (** first enemy-abort CAS that landed on this attempt *)
+  mutable a_end_time : float;
+  mutable a_end_seq : int;
+  mutable a_outcome : outcome;
+}
+
+type anomaly = { an_seq : int; an_time : float; an_message : string }
+
+type t = {
+  attempts : attempt list;  (** in [Tx_start] order *)
+  host_writes : (int * Types.addr * int) list;
+      (** host-side stores ([Event.Host_write]) as (seq, addr, value):
+          benchmark setup and weak-atomicity private-node
+          initialization, attributed to no attempt *)
+  anomalies : anomaly list;
+      (** structural inconsistencies in the stream itself (nested
+          attempts, commit of a different attempt number, double
+          publish, ...) — any of these voids the other checkers'
+          verdicts *)
+  n_events : int;
+  n_orphans : int;
+      (** events seen before their core's first [Tx_start]; nonzero
+          only for truncated streams *)
+}
+
+val build : (float * Event.t) list -> t
+
+(** Attempts with [Committed] outcome, in start order. *)
+val committed_attempts : t -> attempt list

@@ -1,0 +1,81 @@
+(* FairCM liveness monitor: bound the abort chains.
+
+   The contention managers promise progress — FairCM by effective-time
+   priority aging (an aborted core's priority only improves), the
+   greedy family by timestamp order. Under any of them a single atomic
+   block should commit within a bounded number of attempts for the
+   workloads we run. The monitor walks each core's attempts in order
+   and measures the longest run of consecutive aborts between commits;
+   a run reaching the configured budget is reported with its span, so
+   a starvation or livelock regression in the CM shows up as a checker
+   failure instead of a silently slow run. A run still open at the
+   horizon counts: starvation at the end of the run is starvation. *)
+
+type chain = {
+  ch_core : int;
+  ch_len : int;  (* consecutive aborted attempts *)
+  ch_first_attempt : int;
+  ch_start_time : float;
+  ch_end_time : float;
+}
+
+type report = {
+  budget : int;
+  max_chain : chain option;  (* the longest abort run observed *)
+  violations : chain list;  (* runs whose length reached the budget *)
+}
+
+let ok r = r.violations = []
+
+let analyze ~budget (h : History.t) =
+  let per_core : (int, History.attempt list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (a : History.attempt) ->
+      match Hashtbl.find_opt per_core a.History.a_core with
+      | Some r -> r := a :: !r
+      | None -> Hashtbl.add per_core a.History.a_core (ref [ a ]))
+    h.History.attempts;
+  let max_chain = ref None and violations = ref [] in
+  let consider ch =
+    if ch.ch_len > 0 then begin
+      (match !max_chain with
+      | Some m when m.ch_len >= ch.ch_len -> ()
+      | _ -> max_chain := Some ch);
+      if ch.ch_len >= budget then violations := ch :: !violations
+    end
+  in
+  Hashtbl.iter
+    (fun core attempts_rev ->
+      let attempts = List.rev !attempts_rev in
+      let run = ref None in
+      let flush () =
+        (match !run with Some ch -> consider ch | None -> ());
+        run := None
+      in
+      List.iter
+        (fun (a : History.attempt) ->
+          match a.History.a_outcome with
+          | History.Aborted _ ->
+              run :=
+                Some
+                  (match !run with
+                  | None ->
+                      {
+                        ch_core = core;
+                        ch_len = 1;
+                        ch_first_attempt = a.History.a_number;
+                        ch_start_time = a.History.a_start_time;
+                        ch_end_time = a.History.a_end_time;
+                      }
+                  | Some ch ->
+                      { ch with ch_len = ch.ch_len + 1; ch_end_time = a.History.a_end_time })
+          | History.Committed _ -> flush ()
+          | History.Unfinished -> ())
+        attempts;
+      flush ())
+    per_core;
+  {
+    budget;
+    max_chain = !max_chain;
+    violations = List.sort (fun a b -> compare b.ch_len a.ch_len) !violations;
+  }

@@ -1,0 +1,25 @@
+(** FairCM liveness monitor.
+
+    Measures, per core, the longest run of consecutive aborted
+    attempts between commits; a run whose length reaches the
+    configured budget is a violation — a starvation or livelock
+    regression in the contention manager. Runs still open when the
+    history ends count. *)
+
+type chain = {
+  ch_core : int;
+  ch_len : int;  (** consecutive aborted attempts *)
+  ch_first_attempt : int;
+  ch_start_time : float;
+  ch_end_time : float;
+}
+
+type report = {
+  budget : int;
+  max_chain : chain option;  (** longest abort run observed, any core *)
+  violations : chain list;  (** runs with [ch_len >= budget], longest first *)
+}
+
+val analyze : budget:int -> History.t -> report
+
+val ok : report -> bool

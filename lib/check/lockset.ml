@@ -1,0 +1,253 @@
+(* DS-Lock protocol checker: replay the event stream against a shadow
+   lock table and validate the two-phase discipline.
+
+   The shadow is driven by the trace's grant/revoke/end events, not by
+   the (untraced, fire-and-forget) release messages, so it must free
+   locks no later than the real table does — otherwise a legal grant
+   racing a release still in flight would look like a conflict. The
+   release point differs per outcome: an aborting attempt sends its
+   releases and emits [Tx_aborted] in the same instant, so the abort
+   event precedes every arrival; a committing attempt sends them at
+   its publish point and only emits [Tx_committed] after the
+   write-burst latency, during which releases can already land and
+   the freed addresses be re-granted. The shadow therefore drops an
+   attempt's locks at [Tx_publish] (after the write-back-under-lock
+   check) or at its abort, whichever comes first. A shadow conflict
+   at a grant then means two attempts genuinely held incompatible
+   locks at once.
+
+   Rules enforced, in replay (sequence) order:
+
+   - a granted read on an address write-locked by another live
+     attempt is a visible-read violation (the writer should have been
+     revoked first, with an [Enemy_aborted] preceding the grant) —
+     unless the holder is already doomed (an earlier enemy CAS landed
+     on it, possibly at another address): its status word reads
+     Aborted, so servers revoke its stale entries on sight without a
+     second [Enemy_aborted]. The shadow mirrors that revocation;
+   - a write-lock grant on an address read- or write-locked by
+     another live attempt is an exclusivity violation, with the same
+     stale-entry exemption for doomed holders;
+   - [Rlock_released] from a non-elastic attempt breaks two-phase
+     locking (only elastic windows may shrink before the end);
+   - at [Tx_publish], every address of the attempt's write set must
+     be write-locked by it (write-back under lock);
+   - an [Enemy_aborted] CAS landing on an attempt past its publish
+     point, or on a core whose last attempt committed and whose next
+     has not started, hit a committed victim — impossible when the
+     protocol is honest, because the status word reads Committing
+     from the commit CAS until the next attempt begins. A CAS landing
+     on a core whose last attempt *aborted* is the benign in-flight
+     revocation race: the victim's status word still reads (attempt,
+     Pending) until its next [begin_attempt] rewrites it. *)
+
+open Tm2c_core
+
+type violation = { v_seq : int; v_time : float; v_message : string }
+
+type live = {
+  l_attempt : int;
+  l_elastic : bool;
+  mutable l_published : bool;
+  mutable l_doomed : bool;
+      (* an enemy-abort CAS landed on this attempt: its remaining lock
+         entries are stale and servers revoke them without a further
+         [Enemy_aborted] *)
+  mutable l_writes : Types.addr list;  (* addresses stored so far *)
+}
+
+type report = {
+  violations : violation list;
+  n_grants : int;  (* read + write lock grants replayed *)
+}
+
+let ok r = r.violations = []
+
+let analyze events =
+  let violations = ref [] and n_grants = ref 0 in
+  let violation seq time fmt =
+    Printf.ksprintf
+      (fun m -> violations := { v_seq = seq; v_time = time; v_message = m } :: !violations)
+      fmt
+  in
+  (* addr -> cores holding a read lock / the core holding the write
+     lock. A core may hold both (read-to-write upgrade). *)
+  let rlocks : (Types.addr, Types.core_id list) Hashtbl.t = Hashtbl.create 512 in
+  let wlocks : (Types.addr, Types.core_id) Hashtbl.t = Hashtbl.create 512 in
+  let live : (Types.core_id, live) Hashtbl.t = Hashtbl.create 64 in
+  (* How each core's most recent attempt ended — after a commit the
+     status word reads Committing until the next begin, so an abort
+     CAS landing then is a protocol violation; after an abort the
+     word still reads Pending, so a landing CAS is the benign
+     in-flight revocation race. *)
+  let last_outcome : (Types.core_id, [ `Committed | `Aborted ]) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let readers addr =
+    match Hashtbl.find_opt rlocks addr with Some l -> l | None -> []
+  in
+  let doomed core =
+    match Hashtbl.find_opt live core with
+    | Some l -> l.l_doomed
+    | None -> false
+  in
+  let add_reader addr core =
+    if not (List.mem core (readers addr)) then
+      Hashtbl.replace rlocks addr (core :: readers addr)
+  in
+  let drop_reader addr core =
+    match List.filter (fun c -> c <> core) (readers addr) with
+    | [] -> Hashtbl.remove rlocks addr
+    | l -> Hashtbl.replace rlocks addr l
+  in
+  let drop_core_locks core =
+    let held_r =
+      Hashtbl.fold (fun a cs acc -> if List.mem core cs then a :: acc else acc)
+        rlocks []
+    in
+    List.iter (fun a -> drop_reader a core) held_r;
+    let held_w =
+      Hashtbl.fold (fun a c acc -> if c = core then a :: acc else acc) wlocks []
+    in
+    List.iter (fun a -> Hashtbl.remove wlocks a) held_w
+  in
+  List.iteri
+    (fun seq (time, ev) ->
+      match ev with
+      | Event.Tx_start { core; attempt; elastic } ->
+          (* Nested-start anomalies are History's department; here we
+             just reset the core's shadow state. *)
+          drop_core_locks core;
+          Hashtbl.replace live core
+            {
+              l_attempt = attempt;
+              l_elastic = elastic;
+              l_published = false;
+              l_doomed = false;
+              l_writes = [];
+            }
+      | Event.Tx_read { core; addr; granted; _ } ->
+          if granted then begin
+            incr n_grants;
+            (match Hashtbl.find_opt wlocks addr with
+            | Some w when w <> core ->
+                if doomed w then
+                  (* Stale entry of a doomed writer: the server revoked
+                     it on sight (status already Aborted). *)
+                  Hashtbl.remove wlocks addr
+                else
+                  violation seq time
+                    "read grant to core %d on addr %d while core %d holds the \
+                     write lock"
+                    core addr w
+            | Some _ | None -> ());
+            add_reader addr core
+          end
+      | Event.Tx_write { core; addr; _ } -> (
+          match Hashtbl.find_opt live core with
+          | Some l -> if not (List.mem addr l.l_writes) then l.l_writes <- addr :: l.l_writes
+          | None -> ())
+      | Event.Wlock_granted { core; addrs } ->
+          List.iter
+            (fun addr ->
+              incr n_grants;
+              (match Hashtbl.find_opt wlocks addr with
+              | Some w when w <> core && not (doomed w) ->
+                  violation seq time
+                    "write-lock grant to core %d on addr %d while core %d holds \
+                     the write lock"
+                    core addr w
+              | Some _ | None -> ());
+              List.iter
+                (fun r ->
+                  if r <> core then
+                    if doomed r then drop_reader addr r
+                    else
+                      violation seq time
+                        "write-lock grant to core %d on addr %d while core %d \
+                         holds a read lock"
+                        core addr r)
+                (readers addr);
+              Hashtbl.replace wlocks addr core)
+            addrs
+      | Event.Rlock_released { core; addr } ->
+          (match Hashtbl.find_opt live core with
+          | Some l when not l.l_elastic ->
+              violation seq time
+                "core %d released its read lock on addr %d mid-attempt in a \
+                 non-elastic transaction (two-phase violation)"
+                core addr
+          | Some _ -> ()
+          | None ->
+              violation seq time
+                "core %d released a read lock on addr %d outside any attempt"
+                core addr);
+          if not (List.mem core (readers addr)) then
+            violation seq time
+              "core %d released a read lock on addr %d it does not hold" core addr;
+          drop_reader addr core
+      | Event.Tx_publish { core; _ } ->
+          (match Hashtbl.find_opt live core with
+          | Some l ->
+              l.l_published <- true;
+              List.iter
+                (fun addr ->
+                  match Hashtbl.find_opt wlocks addr with
+                  | Some w when w = core -> ()
+                  | Some w ->
+                      violation seq time
+                        "core %d writing back addr %d write-locked by core %d"
+                        core addr w
+                  | None ->
+                      violation seq time
+                        "core %d writing back addr %d without holding its write \
+                         lock"
+                        core addr)
+                l.l_writes
+          | None -> ());
+          (* Release messages go out at the publish point and can be
+             serviced before [Tx_committed] is emitted — free the
+             shadow locks now so re-grants of the released addresses
+             are not misread as conflicts. *)
+          drop_core_locks core
+      | Event.Tx_committed { core; _ } ->
+          drop_core_locks core;
+          Hashtbl.remove live core;
+          Hashtbl.replace last_outcome core `Committed
+      | Event.Tx_aborted { core; _ } ->
+          drop_core_locks core;
+          Hashtbl.remove live core;
+          Hashtbl.replace last_outcome core `Aborted
+      | Event.Enemy_aborted { victim; addr; winner; _ } ->
+          (match Hashtbl.find_opt live victim with
+          | Some l when l.l_published ->
+              violation seq time
+                "enemy-abort CAS by core %d landed on core %d (addr %d) after \
+                 its publish point — victim was already committed"
+                winner victim addr
+          | Some l -> l.l_doomed <- true
+          | None -> (
+              match Hashtbl.find_opt last_outcome victim with
+              | Some `Committed ->
+                  violation seq time
+                    "enemy-abort CAS by core %d landed on core %d (addr %d) \
+                     after its commit and before its next attempt — the \
+                     status word reads Committing there, the CAS must fail"
+                    winner victim addr
+              | Some `Aborted | None ->
+                  (* Benign in-flight revocation: the victim already
+                     aborted on its own, its status word still reads
+                     Pending until the next begin_attempt. *)
+                  ()));
+          (* The server revokes the victim's conflicting entry before
+             granting the winner. *)
+          drop_reader addr victim;
+          (match Hashtbl.find_opt wlocks addr with
+          | Some w when w = victim -> Hashtbl.remove wlocks addr
+          | Some _ | None -> ())
+      | Event.Tx_commit_begin _ | Event.Host_write _ | Event.Lock_conflict _
+      | Event.Req_sent _ | Event.Service _ | Event.Service_done _
+      | Event.Barrier _ ->
+          ())
+    events;
+  { violations = List.rev !violations; n_grants = !n_grants }

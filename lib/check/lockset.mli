@@ -1,0 +1,21 @@
+(** DS-Lock protocol checker.
+
+    Replays the event stream against a shadow lock table and validates
+    the two-phase discipline: reads never see a foreign write lock,
+    write-lock grants are exclusive against live holders, only elastic
+    attempts shrink their read set before the end, write-back happens
+    under write locks, and enemy-abort CASes never land on victims
+    past their publish point. See the implementation header for the
+    exact rules and why the shadow is conservative in the right
+    direction. *)
+
+type violation = { v_seq : int; v_time : float; v_message : string }
+
+type report = {
+  violations : violation list;
+  n_grants : int;  (** read + write lock grants replayed *)
+}
+
+val analyze : (float * Tm2c_core.Event.t) list -> report
+
+val ok : report -> bool

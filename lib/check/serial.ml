@@ -1,0 +1,277 @@
+(* Serializability oracle: a multi-version serialization-graph test
+   over the committed transactions of a reconstructed history.
+
+   Committed attempts are replayed in publish order against versioned
+   shared memory — every write installs a new version stamped with the
+   writer's publish sequence point. Each granted read is then resolved
+   to the version it actually observed by matching the traced (seq,
+   value) pair: normally the latest version published before the
+   sample instant, otherwise an older (stale) or later version with
+   the observed value. The resolution induces the usual MVSG edges
+
+     WR  T' -> T    T read the version T' installed
+     WW  T' -> T''  consecutive versions of one address
+     RW  T  -> T''  T read a version that T'' overwrote next
+
+   and the history is serializable iff this graph is acyclic. A cycle
+   is reported with a minimal witness: the transactions on it and, for
+   each hop, the edge kind, address, and inducing sequence point.
+
+   Initial memory state is untraced (the harness populates structures
+   with host-side pokes before the measured region), so every address
+   starts from a lazily-bound initial version: the first read that
+   can only be explained by the initial state binds its value. *)
+
+open Tm2c_core
+
+type edge_kind = Wr | Ww | Rw
+
+let edge_kind_to_string = function Wr -> "WR" | Ww -> "WW" | Rw -> "RW"
+
+type edge = {
+  e_from : int;
+  e_to : int;
+  e_kind : edge_kind;
+  e_addr : Types.addr;
+  e_seq : int;
+}
+
+type cycle = { c_txns : int list; c_edges : edge list }
+
+type report = {
+  txns : History.attempt array;
+  n_reads_checked : int;
+  n_reads_skipped : int;
+  n_initial_bound : int;
+  corruption : string list;
+  cycle : cycle option;
+}
+
+let ok r = r.corruption = [] && r.cycle = None
+
+(* A version of one address. [v_writer = None] is the lazily-bound
+   initial version; its [v_pub_seq] of -1 precedes every event. *)
+type version = {
+  v_writer : int option;
+  mutable v_value : int option;
+  v_pub_seq : int;
+}
+
+let pub_key (a : History.attempt) =
+  match a.History.a_publish_seq with Some s -> s | None -> a.History.a_end_seq
+
+exception Found_cycle of int list
+
+(* Iterative three-color DFS; a gray successor closes a cycle, which
+   we read back off the parent chain. *)
+let find_cycle n succ =
+  let state = Array.make n 0 and parent = Array.make n (-1) in
+  try
+    for s = 0 to n - 1 do
+      if state.(s) = 0 then begin
+        state.(s) <- 1;
+        let stack = ref [ (s, ref (succ s)) ] in
+        while !stack <> [] do
+          let u, rest = List.hd !stack in
+          match !rest with
+          | [] ->
+              state.(u) <- 2;
+              stack := List.tl !stack
+          | v :: tl ->
+              rest := tl;
+              if state.(v) = 0 then begin
+                state.(v) <- 1;
+                parent.(v) <- u;
+                stack := (v, ref (succ v)) :: !stack
+              end
+              else if state.(v) = 1 then begin
+                let rec walk acc x =
+                  if x = v then v :: acc else walk (x :: acc) parent.(x)
+                in
+                raise (Found_cycle (walk [] u))
+              end
+        done
+      end
+    done;
+    None
+  with Found_cycle c -> Some c
+
+let analyze (h : History.t) =
+  let txns = Array.of_list (History.committed_attempts h) in
+  Array.sort (fun a b -> compare (pub_key a) (pub_key b)) txns;
+  let n = Array.length txns in
+  (* Versioned memory: oldest-first version array per address, index 0
+     always the initial version. Committed write sets and host-side
+     stores ([Event.Host_write]: setup, private-node initialization —
+     external versions with no graph node) interleave by their
+     sequence points. *)
+  let versions : (Types.addr, version array) Hashtbl.t = Hashtbl.create 256 in
+  let bottom () = { v_writer = None; v_value = None; v_pub_seq = -1 } in
+  let pending : (Types.addr, version list) Hashtbl.t = Hashtbl.create 256 in
+  let push addr v =
+    let prev =
+      match Hashtbl.find_opt pending addr with Some vs -> vs | None -> []
+    in
+    Hashtbl.replace pending addr (v :: prev)
+  in
+  Array.iteri
+    (fun i a ->
+      List.iter
+        (fun (addr, value) ->
+          push addr
+            { v_writer = Some i; v_value = Some value; v_pub_seq = pub_key a })
+        a.History.a_writes)
+    txns;
+  List.iter
+    (fun (seq, addr, value) ->
+      push addr { v_writer = None; v_value = Some value; v_pub_seq = seq })
+    h.History.host_writes;
+  Hashtbl.iter
+    (fun addr vs ->
+      let sorted =
+        List.sort (fun a b -> compare a.v_pub_seq b.v_pub_seq) (bottom () :: vs)
+      in
+      Hashtbl.replace versions addr (Array.of_list sorted))
+    pending;
+  let get_versions addr =
+    match Hashtbl.find_opt versions addr with
+    | Some vs -> vs
+    | None ->
+        let vs = [| bottom () |] in
+        Hashtbl.replace versions addr vs;
+        vs
+  in
+  (* Edge set keyed on (from, to); the first inducing observation is
+     kept as the witness detail. *)
+  let edges : (int * int, edge) Hashtbl.t = Hashtbl.create 1024 in
+  let add_edge e_from e_to e_kind e_addr e_seq =
+    if e_from <> e_to && not (Hashtbl.mem edges (e_from, e_to)) then
+      Hashtbl.add edges (e_from, e_to) { e_from; e_to; e_kind; e_addr; e_seq }
+  in
+  (* The next transactional version at or after index [j] — external
+     (host-write) versions have no graph node and are skipped. *)
+  let next_writer vs j =
+    let rec go j =
+      if j >= Array.length vs then None
+      else match vs.(j).v_writer with Some w -> Some (w, j) | None -> go (j + 1)
+    in
+    go j
+  in
+  (* WW edges: the installed version order per address, linking each
+     transactional writer to the next one. *)
+  Hashtbl.iter
+    (fun addr vs ->
+      for j = 0 to Array.length vs - 2 do
+        match vs.(j).v_writer with
+        | Some w -> (
+            match next_writer vs (j + 1) with
+            | Some (w', j') -> add_edge w w' Ww addr vs.(j').v_pub_seq
+            | None -> ())
+        | None -> ()
+      done)
+    versions;
+  let n_reads_checked = ref 0 in
+  let n_reads_skipped = ref 0 in
+  let n_initial_bound = ref 0 in
+  let corruption = ref [] in
+  let bind v value =
+    v.v_value <- Some value;
+    incr n_initial_bound
+  in
+  (* Resolve one read to the version index it observed, or None when
+     the value matches no version (corruption). Preference order:
+     the timing-predicted version, then the nearest stale version,
+     then a future version, then binding the initial version. *)
+  let resolve vs (r : History.read) =
+    let n = Array.length vs in
+    let pred = ref 0 in
+    for j = 0 to n - 1 do
+      if vs.(j).v_pub_seq < r.History.r_seq then pred := j
+    done;
+    let matches j =
+      match vs.(j).v_value with Some v -> v = r.History.r_value | None -> false
+    in
+    if matches !pred then Some !pred
+    else if vs.(!pred).v_value = None then begin
+      bind vs.(!pred) r.History.r_value;
+      Some !pred
+    end
+    else begin
+      let found = ref (-1) in
+      for j = 0 to !pred - 1 do
+        if matches j then found := j
+      done;
+      if !found >= 0 then Some !found
+      else begin
+        for j = n - 1 downto !pred + 1 do
+          if matches j then found := j
+        done;
+        if !found >= 0 then Some !found
+        else if vs.(0).v_value = None then begin
+          bind vs.(0) r.History.r_value;
+          Some 0
+        end
+        else None
+      end
+    end
+  in
+  Array.iteri
+    (fun i a ->
+      if a.History.a_elastic then
+        (* Elastic attempts intentionally run a relaxed model (window
+           validation instead of full read locking): their partial
+           read traces are excluded from the strict oracle. *)
+        n_reads_skipped := !n_reads_skipped + List.length a.History.a_reads
+      else
+        List.iter
+          (fun (r : History.read) ->
+            incr n_reads_checked;
+            let vs = get_versions r.History.r_addr in
+            match resolve vs r with
+            | None ->
+                corruption :=
+                  Printf.sprintf
+                    "core %d attempt %d read addr=%d value=%d at seq %d: value \
+                     matches no installed version"
+                    a.History.a_core a.History.a_number r.History.r_addr
+                    r.History.r_value r.History.r_seq
+                  :: !corruption
+            | Some j -> (
+                (match vs.(j).v_writer with
+                | Some w -> add_edge w i Wr r.History.r_addr r.History.r_seq
+                | None -> ());
+                match next_writer vs (j + 1) with
+                | Some (w, _) -> add_edge i w Rw r.History.r_addr r.History.r_seq
+                | None -> ()))
+          a.History.a_reads)
+    txns;
+  let succs = Array.make (max n 1) [] in
+  Hashtbl.iter (fun (f, t) _ -> succs.(f) <- t :: succs.(f)) edges;
+  (* Deterministic traversal order for a stable witness. *)
+  Array.iteri (fun i l -> succs.(i) <- List.sort_uniq compare l) succs;
+  let cycle =
+    match find_cycle n (fun u -> succs.(u)) with
+    | None -> None
+    | Some nodes ->
+        let hops =
+          match nodes with
+          | [] -> []
+          | first :: _ ->
+              let rec pair = function
+                | [ last ] -> [ (last, first) ]
+                | x :: (y :: _ as rest) -> (x, y) :: pair rest
+                | [] -> []
+              in
+              pair nodes
+        in
+        let c_edges = List.map (fun k -> Hashtbl.find edges k) hops in
+        Some { c_txns = nodes; c_edges }
+  in
+  {
+    txns;
+    n_reads_checked = !n_reads_checked;
+    n_reads_skipped = !n_reads_skipped;
+    n_initial_bound = !n_initial_bound;
+    corruption = List.rev !corruption;
+    cycle;
+  }

@@ -1,0 +1,51 @@
+(** Serializability oracle: multi-version serialization-graph test.
+
+    Committed transactions are replayed in publish order against
+    versioned shared memory; each granted read is resolved (by its
+    traced sequence point and observed value) to the version it
+    actually saw, inducing WR / WW / RW dependency edges. The
+    committed history is serializable iff the graph is acyclic; a
+    cycle is returned with a minimal witness.
+
+    Initial memory state is untraced (host-side pokes populate the
+    benchmark structures before the measured region), so each address
+    carries a lazily-bound initial version: the first read only
+    explicable by the initial state binds its value.
+
+    Elastic attempts are excluded from read checking — their read
+    traces are intentionally partial and their consistency model is
+    weaker by design. Their writes still install versions. *)
+
+type edge_kind = Wr | Ww | Rw
+
+val edge_kind_to_string : edge_kind -> string
+
+type edge = {
+  e_from : int;  (** txn index in {!report.txns} *)
+  e_to : int;
+  e_kind : edge_kind;
+  e_addr : Tm2c_core.Types.addr;
+  e_seq : int;  (** sequence point of the inducing observation *)
+}
+
+type cycle = {
+  c_txns : int list;  (** txn indices along the cycle, in order *)
+  c_edges : edge list;  (** one edge per hop, closing edge last *)
+}
+
+type report = {
+  txns : History.attempt array;
+      (** committed transactions in publish order; edge endpoints
+          index into this array *)
+  n_reads_checked : int;
+  n_reads_skipped : int;  (** reads of elastic attempts *)
+  n_initial_bound : int;  (** addresses whose initial version got bound *)
+  corruption : string list;
+      (** reads whose observed value matches no installed version *)
+  cycle : cycle option;
+}
+
+val analyze : History.t -> report
+
+(** No corruption and no cycle. *)
+val ok : report -> bool

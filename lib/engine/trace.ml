@@ -16,6 +16,10 @@ type 'a t = {
   mutable head : int;  (* next write position *)
   mutable len : int;  (* live entries, <= capacity *)
   mutable dropped : int;
+  (* Optional tap fed every recorded event before it enters the ring:
+     unlike the ring it never drops, so a history checker or streaming
+     log sees the complete run even when the ring wraps. *)
+  mutable sink : (float -> 'a -> unit) option;
 }
 
 let create ?(capacity = 65_536) () =
@@ -28,6 +32,7 @@ let create ?(capacity = 65_536) () =
     head = 0;
     len = 0;
     dropped = 0;
+    sink = None;
   }
 
 let enabled t = t.enabled
@@ -49,8 +54,11 @@ let clear t =
   (* Release event references so a cleared trace retains nothing. *)
   t.events <- [||]
 
+let set_sink t sink = t.sink <- sink
+
 let record t ~now ev =
   if t.enabled then begin
+    (match t.sink with Some f -> f now ev | None -> ());
     if Array.length t.events = 0 then t.events <- Array.make t.capacity ev;
     t.times.(t.head) <- now;
     t.events.(t.head) <- ev;

@@ -36,6 +36,13 @@ val clear : 'a t -> unit
     disabled — but guard with {!enabled} to avoid constructing [ev]. *)
 val record : 'a t -> now:float -> 'a -> unit
 
+(** [set_sink t (Some f)] installs a tap called with every recorded
+    event (before it enters the ring). Unlike the ring, the sink never
+    drops events: history checkers and streaming log writers use it to
+    observe the complete run even when the ring wraps. [None]
+    uninstalls. Recording still requires {!enabled}. *)
+val set_sink : 'a t -> (float -> 'a -> unit) option -> unit
+
 (** Oldest-first iteration over (timestamp, event). *)
 val iter : 'a t -> (float -> 'a -> unit) -> unit
 

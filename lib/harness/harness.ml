@@ -27,15 +27,39 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_ids ?json ids scale =
+let run_ids ?json ?(check = false) ids scale =
   let ids = if List.mem "all" ids then List.map (fun e -> e.id) all else ids in
   (* With an export file, capture every run each experiment performs
      via the workload observer; runs are grouped per experiment id. *)
   let exported = ref [] in
   let current_runs = ref [] in
-  if json <> None then begin
+  let check_failures = ref 0 in
+  (* Per-runtime history taps for --check: the preflight hook attaches
+     a collector before any process is spawned; the observer looks it
+     up (by physical identity — the runtime is the key) and replays
+     the completed run through the checkers. *)
+  let collectors : (Tm2c_core.Runtime.t * Tm2c_check.Collector.t) list ref =
+    ref []
+  in
+  let check_run t =
+    match List.assq_opt t !collectors with
+    | None -> ()
+    | Some c ->
+        collectors := List.filter (fun (t', _) -> t' != t) !collectors;
+        Tm2c_check.Collector.detach (Tm2c_core.Runtime.trace t);
+        let result = Tm2c_check.Check.run (Tm2c_check.Collector.to_list c) in
+        if not (Tm2c_check.Check.passed result) then begin
+          check_failures := !check_failures + Tm2c_check.Check.n_failures result;
+          Printf.eprintf "check FAILED:\n%s%!"
+            (Tm2c_check.Check.report_string result)
+        end
+  in
+  if json <> None || check then begin
     Tm2c_apps.Workload.observer :=
-      Some (fun t r -> current_runs := Report.run_json t r :: !current_runs);
+      Some
+        (fun t r ->
+          if json <> None then current_runs := Report.run_json t r :: !current_runs;
+          if check then check_run t);
     (* Every exported run also carries phase attribution and a
        time-series: the preflight hook fires once per driven runtime,
        before any process is spawned. 16 windows per throughput run —
@@ -44,14 +68,21 @@ let run_ids ?json ids scale =
     Tm2c_apps.Workload.preflight :=
       Some
         (fun t ->
-          Tm2c_core.Runtime.enable_profiling t;
-          if Tm2c_core.Runtime.timeseries t = None then
-            Tm2c_core.Runtime.enable_timeseries t
-              ~window_ns:(scale.Exp.window_ns /. 16.0))
+          if json <> None then begin
+            Tm2c_core.Runtime.enable_profiling t;
+            if Tm2c_core.Runtime.timeseries t = None then
+              Tm2c_core.Runtime.enable_timeseries t
+                ~window_ns:(scale.Exp.window_ns /. 16.0)
+          end;
+          if check && not (List.mem_assq t !collectors) then begin
+            let c = Tm2c_check.Collector.create () in
+            Tm2c_check.Collector.attach c (Tm2c_core.Runtime.trace t);
+            collectors := (t, c) :: !collectors
+          end)
   end;
   Fun.protect
     ~finally:(fun () ->
-      if json <> None then begin
+      if json <> None || check then begin
         Tm2c_apps.Workload.observer := None;
         Tm2c_apps.Workload.preflight := None
       end)
@@ -73,7 +104,7 @@ let run_ids ?json ids scale =
                 (Unix.gettimeofday () -. t0)
           | None -> invalid_arg (Printf.sprintf "unknown experiment %S" id))
         ids);
-  match json with
+  (match json with
   | None -> ()
   | Some path ->
       let doc =
@@ -97,4 +128,5 @@ let run_ids ?json ids scale =
           ]
       in
       Json.to_file path doc;
-      Printf.printf "\nwrote %s\n%!" path
+      Printf.printf "\nwrote %s\n%!" path);
+  !check_failures

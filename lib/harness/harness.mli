@@ -11,10 +11,14 @@ val all : experiment list
 
 val find : string -> experiment option
 
-(** [run_ids ?json ids scale] runs the named experiments (["all"]
-    expands to every experiment); raises [Invalid_argument] on unknown
-    ids. With [~json:path], every run each experiment performs is
-    captured (see {!Tm2c_apps.Workload.observer}) and the collected
-    results plus observability metrics ({!Report.run_json}) are written
-    to [path], grouped per experiment id. *)
-val run_ids : ?json:string -> string list -> Exp.scale -> unit
+(** [run_ids ?json ?check ids scale] runs the named experiments
+    (["all"] expands to every experiment); raises [Invalid_argument]
+    on unknown ids. With [~json:path], every run each experiment
+    performs is captured (see {!Tm2c_apps.Workload.observer}) and the
+    collected results plus observability metrics ({!Report.run_json})
+    are written to [path], grouped per experiment id. With
+    [~check:true], every run's complete event history is tapped (see
+    {!Tm2c_check.Collector}) and replayed through the checkers
+    ({!Tm2c_check.Check}); failures are reported on stderr. Returns
+    the total number of checker violations (0 without [~check]). *)
+val run_ids : ?json:string -> ?check:bool -> string list -> Exp.scale -> int

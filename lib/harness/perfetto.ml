@@ -81,7 +81,7 @@ let export ?(app = [||]) ?(dtm = [||]) trace =
   let open_service : (int, float * Event.t) Hashtbl.t = Hashtbl.create 64 in
   Trace.iter trace (fun ts ev ->
       match ev with
-      | Event.Tx_start { core; attempt } ->
+      | Event.Tx_start { core; attempt; _ } ->
           touch core;
           Hashtbl.replace open_attempt core (ts, attempt)
       | Event.Tx_committed { core; attempt; _ } -> (
@@ -108,20 +108,48 @@ let export ?(app = [||]) ?(dtm = [||]) trace =
                      ]
                    ())
           | _ -> ())
-      | Event.Tx_read { core; addr; granted } ->
+      | Event.Tx_read { core; addr; granted; value } ->
           touch core;
           push ts
             (instant ~ts ~tid:core ~name:"read"
-               ~args:[ ("addr", Json.Int addr); ("granted", Json.Bool granted) ]
+               ~args:
+                 [
+                   ("addr", Json.Int addr);
+                   ("granted", Json.Bool granted);
+                   ("value", Json.Int value);
+                 ]
                ())
-      | Event.Tx_write { core; addr } ->
+      | Event.Tx_write { core; addr; value } ->
           touch core;
           push ts
-            (instant ~ts ~tid:core ~name:"write" ~args:[ ("addr", Json.Int addr) ] ())
+            (instant ~ts ~tid:core ~name:"write"
+               ~args:[ ("addr", Json.Int addr); ("value", Json.Int value) ]
+               ())
       | Event.Tx_commit_begin { core; n_writes; _ } ->
           touch core;
           push ts
             (instant ~ts ~tid:core ~name:"commit-begin"
+               ~args:[ ("writes", Json.Int n_writes) ]
+               ())
+      | Event.Host_write _ ->
+          (* Host-side store: no core to attribute a timeline row to. *)
+          ()
+      | Event.Rlock_released { core; addr } ->
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:"rlock-release"
+               ~args:[ ("addr", Json.Int addr) ]
+               ())
+      | Event.Wlock_granted { core; addrs } ->
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:"wlock"
+               ~args:[ ("addrs", Json.Int (List.length addrs)) ]
+               ())
+      | Event.Tx_publish { core; n_writes; _ } ->
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:"publish"
                ~args:[ ("writes", Json.Int n_writes) ]
                ())
       | Event.Req_sent { core; server; req_id; kind; n_addrs } ->

@@ -119,7 +119,12 @@ let dtm_json servers =
            ])
        servers)
 
-let aborts_json ~policy obs =
+(* [status] is the status-CAS abort count (remote revocations noticed
+   at the victim), summed over cores: those aborts have no CM
+   arbitration record in [obs], so they surface under the "STATUS"
+   key — the same label [Event.conflict_opt_to_string] renders for
+   the [None] cause. *)
+let aborts_json ~policy ~status obs =
   Json.Obj
     [
       ("policy", Json.String (Cm.name policy));
@@ -128,7 +133,8 @@ let aborts_json ~policy obs =
         Json.Obj
           (List.map
              (fun (c, n) -> (Types.conflict_to_string c, Json.Int n))
-             (Obs.by_conflict obs)) );
+             (Obs.by_conflict obs)
+          @ [ ("STATUS", Json.Int status) ]) );
       ( "causality",
         Json.List
           (List.map
@@ -237,7 +243,14 @@ let run_json t (r : Tm2c_apps.Workload.result) =
        );
        ("network", network_json env.System.net);
        ("dtm", dtm_json (Runtime.servers t));
-       ("aborts", aborts_json ~policy:cfg.Runtime.policy (Runtime.obs t));
+       ( "aborts",
+         let stats = Runtime.stats t in
+         let status = ref 0 in
+         for i = 0 to Platform.n_cores cfg.Runtime.platform - 1 do
+           status := !status + (Stats.core stats i).Stats.aborts_status
+         done;
+         aborts_json ~policy:cfg.Runtime.policy ~status:!status
+           (Runtime.obs t) );
        ("phases", phases_json t);
        ("trace", trace_json (Runtime.trace t));
      ]

@@ -1,7 +1,12 @@
-(* Typed trace events spanning the whole stack. Recorded into the
-   environment's ring buffer ([System.env.trace]) only when tracing is
-   enabled; every emit site guards with [Trace.enabled] so the
-   constructors below are never allocated on untraced runs. *)
+(** Typed trace events spanning the whole stack.
+
+    Recorded into the environment's ring buffer ([System.env.trace])
+    only when tracing is enabled; every emit site guards with
+    [Trace.enabled] so the constructors below are never allocated on
+    untraced runs. The checkers in [Tm2c_check] reconstruct complete
+    per-attempt histories from these events, so the documented
+    timestamp semantics (sample instants, visibility instants) are
+    load-bearing. *)
 
 open Types
 
@@ -89,59 +94,11 @@ type t =
       (** the DTM core finished processing (response, if any, sent) *)
   | Barrier of { core : core_id }
 
-(* [None] is the status-CAS abort path (see [Tx_aborted] above): the
-   label must match the JSON export's by_conflict key and the stats
-   field [aborts_status]. *)
-let conflict_opt_to_string = function
-  | Some c -> conflict_to_string c
-  | None -> "STATUS"
+(** Conflict label of an abort cause; [None] (the status-CAS abort
+    path documented on {!Tx_aborted}) renders as ["STATUS"] — the same
+    key the JSON export uses in [aborts.by_conflict]. *)
+val conflict_opt_to_string : conflict option -> string
 
-let pp fmt = function
-  | Tx_start { core; attempt; elastic } ->
-      Format.fprintf fmt "core %2d  tx-start     attempt=%d%s" core attempt
-        (if elastic then " elastic" else "")
-  | Tx_read { core; addr; granted; value } ->
-      if granted then
-        Format.fprintf fmt "core %2d  tx-read      addr=%d granted value=%d" core
-          addr value
-      else Format.fprintf fmt "core %2d  tx-read      addr=%d refused" core addr
-  | Tx_write { core; addr; value } ->
-      Format.fprintf fmt "core %2d  tx-write     addr=%d value=%d" core addr value
-  | Tx_commit_begin { core; attempt; n_writes } ->
-      Format.fprintf fmt "core %2d  commit-begin attempt=%d writes=%d" core attempt
-        n_writes
-  | Host_write { addr; value } ->
-      Format.fprintf fmt "host     host-write   addr=%d value=%d" addr value
-  | Rlock_released { core; addr } ->
-      Format.fprintf fmt "core %2d  rlock-rel    addr=%d" core addr
-  | Wlock_granted { core; addrs } ->
-      Format.fprintf fmt "core %2d  wlock        addrs=%s" core
-        (String.concat "," (List.map string_of_int addrs))
-  | Tx_publish { core; attempt; n_writes } ->
-      Format.fprintf fmt "core %2d  publish      attempt=%d writes=%d" core attempt
-        n_writes
-  | Tx_committed { core; attempt; duration_ns } ->
-      Format.fprintf fmt "core %2d  committed    attempt=%d span=%.0fns" core attempt
-        duration_ns
-  | Tx_aborted { core; attempt; conflict } ->
-      Format.fprintf fmt "core %2d  aborted      attempt=%d cause=%s" core attempt
-        (conflict_opt_to_string conflict)
-  | Lock_conflict { server; requester; enemy; addr; conflict; requester_wins } ->
-      Format.fprintf fmt "dtm  %2d  conflict     %s addr=%d core %d vs core %d -> %s"
-        server (conflict_to_string conflict) addr requester enemy
-        (if requester_wins then "requester wins" else "requester loses")
-  | Enemy_aborted { server; winner; victim; addr; conflict } ->
-      Format.fprintf fmt "dtm  %2d  enemy-abort  %s addr=%d core %d aborts core %d"
-        server (conflict_to_string conflict) addr winner victim
-  | Req_sent { core; server; req_id; kind; n_addrs } ->
-      Format.fprintf fmt "core %2d  req-sent     %s#%d -> dtm %d addrs=%d" core kind
-        req_id server n_addrs
-  | Service { server; requester; req_id; kind; queue_depth; occupancy } ->
-      Format.fprintf fmt "dtm  %2d  serve        %s#%d from core %d queue=%d locks=%d"
-        server kind req_id requester queue_depth occupancy
-  | Service_done { server; requester; req_id } ->
-      Format.fprintf fmt "dtm  %2d  serve-done   #%d from core %d" server req_id
-        requester
-  | Barrier { core } -> Format.fprintf fmt "core %2d  barrier" core
+val pp : Format.formatter -> t -> unit
 
-let to_string ev = Format.asprintf "%a" pp ev
+val to_string : t -> string

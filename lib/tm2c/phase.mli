@@ -1,0 +1,31 @@
+(** The phase model: every nanosecond of a transaction attempt is
+    charged to exactly one of these phases (see DESIGN.md, "Phase
+    attribution"). Indices are positions into the per-core scratch
+    array and into [Span] aggregates.
+
+    The read-lock round trip is split three ways using the platform's
+    deterministic messaging costs: wire transit plus software
+    send/receive overheads ({!read_transit}), the DTM core's request-
+    processing cycles ({!read_service}), and the residual — time the
+    request spent queued behind other requests at the service core,
+    plus any conflict-resolution work there ({!read_queue}). *)
+
+val read_transit : int
+
+val read_queue : int
+
+val read_service : int
+
+val compute : int
+
+val backoff : int
+
+val commit_acquire : int
+
+val writeback : int
+
+(** Number of phases; valid indices are [0 .. n - 1]. *)
+val n : int
+
+(** Display names, indexed by phase. *)
+val names : string array

@@ -146,6 +146,16 @@ let obs t = t.env.System.obs
 
 let enable_tracing t = Trace.enable t.env.System.trace
 
+(* Host-side store with a trace record: benchmark setup (populate)
+   and weak-atomicity private-node initialization go through here so
+   the checkers see every untraced-core write as an external version
+   of the address instead of value corruption. *)
+let host_write t addr value =
+  Shmem.poke t.env.System.shmem addr value;
+  let tr = t.env.System.trace in
+  if Trace.enabled tr then
+    Trace.record tr ~now:(Sim.now t.sim) (Event.Host_write { addr; value })
+
 let span_commit t = t.env.System.span_commit
 
 let span_abort t = t.env.System.span_abort

@@ -64,6 +64,13 @@ val obs : t -> Obs.t
 (** Turn on event tracing for this runtime's simulation. *)
 val enable_tracing : t -> unit
 
+(** Host-side store with a trace record ([Event.Host_write]):
+    benchmark setup and weak-atomicity private-node initialization
+    must go through here (not bare [Shmem.poke]) so the checkers see
+    every untraced-core write as an external version of the address.
+    Costs nothing when tracing is off. *)
+val host_write : t -> Types.addr -> int -> unit
+
 (** Phase-attribution aggregates (see {!Tm2c_engine.Span} and
     {!Phase}): committed and aborted attempts accumulate separately,
     so that per core the committed phase sums equal the summed

@@ -241,7 +241,9 @@ let begin_attempt ctx =
     ctx.ph_mark <- ctx.ph_attempt_start
   end;
   if trace_on ctx then
-    emit ctx (Event.Tx_start { core = ctx.core; attempt = ctx.attempt })
+    emit ctx
+      (Event.Tx_start
+         { core = ctx.core; attempt = ctx.attempt; elastic = ctx.elastic <> Enone })
 
 let release_all ctx =
   List.iter
@@ -263,16 +265,19 @@ let locked_read ctx addr =
   match send_request ctx ~dst (System.Read_lock addr) with
   | System.Granted ->
       if prof then ph_charge_read ctx ~dst t0;
-      if trace_on ctx then
-        emit ctx (Event.Tx_read { core = ctx.core; addr; granted = true });
       let v = Shmem.read ctx.env.System.shmem ~core:ctx.core addr in
+      (* Emitted after the sample so the event timestamp is the
+         instant the value was actually observed — the oracle's
+         versioned replay depends on it. *)
+      if trace_on ctx then
+        emit ctx (Event.Tx_read { core = ctx.core; addr; granted = true; value = v });
       Hashtbl.replace ctx.read_buf addr v;
       ctx.reads_held <- addr :: ctx.reads_held;
       v
   | System.Conflicted c ->
       if prof then ph_charge_read ctx ~dst t0;
       if trace_on ctx then
-        emit ctx (Event.Tx_read { core = ctx.core; addr; granted = false });
+        emit ctx (Event.Tx_read { core = ctx.core; addr; granted = false; value = 0 });
       raise (Abort_exn (Some c))
 
 let elastic_early_read ctx addr =
@@ -285,6 +290,8 @@ let elastic_early_read ctx addr =
          (the cost that limits elastic-early's speedup, Fig. 7a). *)
       send_release ctx ~dst:(ctx.env.System.owner_of oldest)
         (System.Release_reads [ oldest ]);
+      if trace_on ctx then
+        emit ctx (Event.Rlock_released { core = ctx.core; addr = oldest });
       ctx.reads_held <- List.filter (fun x -> x <> oldest) ctx.reads_held;
       Hashtbl.remove ctx.read_buf oldest
   | _ -> ());
@@ -329,9 +336,11 @@ let write ctx addr v =
   else begin
   let fresh = not (Hashtbl.mem ctx.write_buf addr) in
   Hashtbl.replace ctx.write_buf addr v;
+  (* Every store is traced (not just the first per address): the last
+     Tx_write per address carries the value the commit publishes. *)
+  if trace_on ctx then emit ctx (Event.Tx_write { core = ctx.core; addr; value = v });
   if fresh then begin
     ctx.write_order <- addr :: ctx.write_order;
-    if trace_on ctx then emit ctx (Event.Tx_write { core = ctx.core; addr });
     if ctx.wmode = Eager && not (List.mem addr ctx.writes_held) then begin
       check_status ctx;
       if prof_on ctx then ph_charge ctx Phase.compute;
@@ -341,6 +350,8 @@ let write ctx addr v =
       with
       | System.Granted ->
           if prof_on ctx then ph_charge ctx Phase.commit_acquire;
+          if trace_on ctx then
+            emit ctx (Event.Wlock_granted { core = ctx.core; addrs = [ addr ] });
           ctx.writes_held <- addr :: ctx.writes_held
       | System.Conflicted c ->
           if prof_on ctx then ph_charge ctx Phase.commit_acquire;
@@ -374,6 +385,8 @@ let commit ctx =
       match send_request ctx ~dst (System.Write_locks addrs) with
       | System.Granted ->
           if prof_on ctx then ph_charge ctx Phase.commit_acquire;
+          if trace_on ctx then
+            emit ctx (Event.Wlock_granted { core = ctx.core; addrs });
           ctx.writes_held <- addrs @ ctx.writes_held
       | System.Conflicted c ->
           if prof_on ctx then ph_charge ctx Phase.commit_acquire;
@@ -390,6 +403,18 @@ let commit ctx =
       if Shmem.read ctx.env.System.shmem ~core:ctx.core a <> v then
         raise (Abort_exn (Some War)))
     ctx.eread_window;
+  (* The publish event is stamped here, immediately before the burst:
+     [write_burst] applies the data at call time and charges latency
+     afterwards, so this timestamp is the exact instant the write set
+     becomes visible to other cores. *)
+  if trace_on ctx then
+    emit ctx
+      (Event.Tx_publish
+         {
+           core = ctx.core;
+           attempt = ctx.attempt;
+           n_writes = List.length ctx.write_order;
+         });
   (* Atomic in simulated time: a run horizon must not be able to
      freeze this fiber with the write set half applied. *)
   Shmem.write_burst ctx.env.System.shmem ~core:ctx.core

@@ -12,4 +12,5 @@ let () =
       ("harness", Test_harness.suite);
       ("export", Test_export.suite);
       ("profile", Test_profile.suite);
+      ("check", Test_check.suite);
     ]

@@ -1,0 +1,295 @@
+(* Checker-stack tests: a clean workload must replay clean through
+   all three checkers, the history log must round-trip exactly, the
+   contention-manager decision events must agree with the observed
+   outcomes, and — the teeth — a seeded window-edge serializability
+   bug (non-atomic write-back, the class fixed in PR 1) must be
+   caught by the oracle with a cycle witness. *)
+
+open Tm2c_core
+open Tm2c_check
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg ?(total = 8) ?(service = 4) ?(seed = 42) () =
+  {
+    Runtime.platform = Tm2c_noc.Platform.scc;
+    total_cores = total;
+    service_cores = service;
+    deployment = Runtime.Dedicated;
+    policy = Cm.Fair_cm;
+    wmode = Tx.Lazy;
+    batching = true;
+    max_skew_ns = 3_000.0;
+    seed;
+    mem_words = 1 lsl 18;
+  }
+
+(* A contended counter run with the collector tapped in: every core
+   increments one shared word, so the trace carries plenty of
+   arbitrations, enemy aborts, and status-CAS aborts. *)
+let collect_counter ?(per_core = 50) () =
+  let c = cfg () in
+  let t = Runtime.create c in
+  let col = Collector.create () in
+  Collector.attach col (Runtime.trace t);
+  let counter = Tm2c_memory.Alloc.alloc (Runtime.alloc t) ~words:1 in
+  Runtime.start_services t;
+  Array.iter
+    (fun core ->
+      let ctx = Runtime.app_ctx t core in
+      Runtime.spawn_app t core (fun () ->
+          for _ = 1 to per_core do
+            Tx.atomic ctx (fun () ->
+                Tx.write ctx counter (Tx.read ctx counter + 1));
+            Runtime.poll_service t ~core
+          done))
+    (Runtime.app_cores t);
+  let _ = Runtime.run t ~until:1e12 () in
+  Collector.detach (Runtime.trace t);
+  Collector.to_list col
+
+let test_clean_run_passes () =
+  let events = collect_counter () in
+  let r = Check.run events in
+  check "clean counter run passes all checkers" true (Check.passed r);
+  check_int "no failures" 0 (Check.n_failures r);
+  check "some transactions checked" true
+    (Array.length r.Check.serial.Serial.txns > 0);
+  check "some grants replayed" true (r.Check.lockset.Lockset.n_grants > 0)
+
+let test_histlog_roundtrip () =
+  let events = collect_counter ~per_core:10 () in
+  check "trace nonempty" true (events <> []);
+  let path = Filename.temp_file "tm2c_hist" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Histlog.save path events;
+      let loaded = Histlog.load path in
+      check_int "same event count" (List.length events) (List.length loaded);
+      (* Hex-float timestamps make the round-trip exact, so plain
+         structural equality must hold. *)
+      check "events round-trip exactly" true (events = loaded))
+
+let test_histlog_rejects_garbage () =
+  let path = Filename.temp_file "tm2c_hist" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# not a history log\n";
+      close_out oc;
+      check "unknown header rejected" true
+        (match Histlog.load path with
+        | _ -> false
+        | exception Failure _ -> true))
+
+(* One decision event per CM arbitration: a server resolves at most
+   one request per virtual instant, so two identical [Lock_conflict]
+   payloads at the same timestamp would mean a double emission. *)
+let test_one_decision_per_arbitration () =
+  let events = collect_counter () in
+  let seen = Hashtbl.create 256 in
+  let n = ref 0 in
+  List.iter
+    (fun (time, ev) ->
+      match ev with
+      | Event.Lock_conflict _ ->
+          incr n;
+          check "no duplicate decision event" false (Hashtbl.mem seen (time, ev));
+          Hashtbl.add seen (time, ev) ()
+      | _ -> ())
+    events;
+  check "arbitrations observed" true (!n > 0)
+
+(* [requester_wins] agreement, winning direction: every enemy-abort
+   CAS is preceded by a decision at the same server/requester/address
+   that went the winner's way. *)
+let test_enemy_abort_follows_winning_decision () =
+  let events = Array.of_list (collect_counter ()) in
+  let n_ena = ref 0 in
+  Array.iteri
+    (fun i (_, ev) ->
+      match ev with
+      | Event.Enemy_aborted { server; winner; addr; _ } ->
+          incr n_ena;
+          let rec back j =
+            if j < 0 then
+              Alcotest.failf
+                "no Lock_conflict precedes the Enemy_aborted at seq %d" i
+            else
+              match snd events.(j) with
+              | Event.Lock_conflict
+                  { server = s; requester; addr = a; requester_wins; _ }
+                when s = server && requester = winner && a = addr ->
+                  check "decision preceding the CAS was a win" true
+                    requester_wins
+              | _ -> back (j - 1)
+          in
+          back (i - 1)
+      | _ -> ())
+    events;
+  check "enemy aborts observed" true (!n_ena > 0)
+
+(* [requester_wins] agreement, losing direction: a requester that
+   loses an arbitration receives a Conflicted reply, so the attempt
+   it was running must end in [Tx_aborted] — never [Tx_committed]. *)
+let test_losing_requester_aborts () =
+  let events = Array.of_list (collect_counter ()) in
+  let n_losses = ref 0 in
+  Array.iteri
+    (fun i (_, ev) ->
+      match ev with
+      | Event.Lock_conflict { requester; requester_wins = false; _ } ->
+          incr n_losses;
+          let rec next j =
+            if j >= Array.length events then () (* horizon: unfinished *)
+            else
+              match snd events.(j) with
+              | Event.Tx_committed { core; _ } when core = requester ->
+                  Alcotest.failf
+                    "core %d committed the attempt in which it lost the \
+                     arbitration at seq %d"
+                    requester i
+              | Event.Tx_aborted { core; _ } when core = requester -> ()
+              | _ -> next (j + 1)
+          in
+          next (i + 1)
+      | _ -> ())
+    events;
+  check "lost arbitrations observed" true (!n_losses > 0)
+
+(* The mutation test: replay the trace a *non-atomic* write-back
+   would leave behind — the bug class PR 1 fixed, where a run horizon
+   (or an interleaved reader) could observe the write set half
+   applied. T0 buffers A:=1, B:=1 and publishes; T1 reads the new A
+   but the old B from inside the write-back window. No lock rule is
+   broken (T0's releases go out at its publish point), yet the
+   history is not serializable: T0 -> T1 on A (WR) and T1 -> T0 on B
+   (RW) close a cycle the oracle must report. *)
+let test_mutation_nonatomic_writeback_caught () =
+  let a = 100 and b = 101 in
+  let e k = k in
+  let events =
+    [
+      (1.0, Event.Tx_start { core = 0; attempt = 1; elastic = false });
+      (2.0, Event.Tx_start { core = 1; attempt = 1; elastic = false });
+      (3.0, Event.Tx_read { core = 0; addr = a; granted = true; value = 0 });
+      (4.0, Event.Tx_read { core = 0; addr = b; granted = true; value = 0 });
+      (5.0, Event.Tx_write { core = 0; addr = a; value = 1 });
+      (6.0, Event.Tx_write { core = 0; addr = b; value = 1 });
+      (7.0, Event.Tx_commit_begin { core = 0; attempt = 1; n_writes = 2 });
+      (8.0, Event.Wlock_granted { core = 0; addrs = [ a; b ] });
+      (9.0, Event.Tx_publish { core = 0; attempt = 1; n_writes = 2 });
+      (* the fractured window: A already visible, B not yet *)
+      (10.0, Event.Tx_read { core = 1; addr = a; granted = true; value = 1 });
+      (11.0, Event.Tx_read { core = 1; addr = b; granted = true; value = 0 });
+      (12.0, Event.Tx_committed { core = 0; attempt = 1; duration_ns = 11.0 });
+      (13.0, Event.Tx_commit_begin { core = 1; attempt = 1; n_writes = 0 });
+      (14.0, Event.Tx_publish { core = 1; attempt = 1; n_writes = 0 });
+      (15.0, Event.Tx_committed { core = 1; attempt = 1; duration_ns = 13.0 });
+    ]
+    |> List.map e
+  in
+  let r = Check.run events in
+  check "history itself is well-formed" true
+    (r.Check.history.History.anomalies = []);
+  check "lock discipline is clean (the bug is not a lock bug)" true
+    (Lockset.ok r.Check.lockset);
+  check "oracle rejects the history" false (Serial.ok r.Check.serial);
+  check "overall verdict fails" false (Check.passed r);
+  (match r.Check.serial.Serial.cycle with
+  | None -> Alcotest.fail "expected a conflict-graph cycle"
+  | Some c ->
+      check_int "minimal witness: both transactions on the cycle" 2
+        (List.length c.Serial.c_txns);
+      let kinds =
+        List.map (fun ed -> ed.Serial.e_kind) c.Serial.c_edges
+        |> List.sort_uniq compare
+      in
+      check "cycle mixes WR and RW dependencies" true
+        (kinds = [ Serial.Wr; Serial.Rw ] || kinds = [ Serial.Rw; Serial.Wr ]));
+  let report = Check.report_string r in
+  check "witness names the cycle" true
+    (let contains s sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i =
+         i + m <= n && (String.sub s i m = sub || go (i + 1))
+       in
+       go 0
+     in
+     contains report "cycle")
+
+(* The same two transactions with an atomic write-back (T1 reads both
+   words after the burst) must sail through: the oracle's rejection
+   above is specific to the fractured window, not to the shape. *)
+let test_atomic_writeback_passes () =
+  let a = 100 and b = 101 in
+  let events =
+    [
+      (1.0, Event.Tx_start { core = 0; attempt = 1; elastic = false });
+      (2.0, Event.Tx_start { core = 1; attempt = 1; elastic = false });
+      (3.0, Event.Tx_read { core = 0; addr = a; granted = true; value = 0 });
+      (4.0, Event.Tx_read { core = 0; addr = b; granted = true; value = 0 });
+      (5.0, Event.Tx_write { core = 0; addr = a; value = 1 });
+      (6.0, Event.Tx_write { core = 0; addr = b; value = 1 });
+      (7.0, Event.Tx_commit_begin { core = 0; attempt = 1; n_writes = 2 });
+      (8.0, Event.Wlock_granted { core = 0; addrs = [ a; b ] });
+      (9.0, Event.Tx_publish { core = 0; attempt = 1; n_writes = 2 });
+      (10.0, Event.Tx_read { core = 1; addr = a; granted = true; value = 1 });
+      (11.0, Event.Tx_read { core = 1; addr = b; granted = true; value = 1 });
+      (12.0, Event.Tx_committed { core = 0; attempt = 1; duration_ns = 11.0 });
+      (13.0, Event.Tx_commit_begin { core = 1; attempt = 1; n_writes = 0 });
+      (14.0, Event.Tx_publish { core = 1; attempt = 1; n_writes = 0 });
+      (15.0, Event.Tx_committed { core = 1; attempt = 1; duration_ns = 13.0 });
+    ]
+  in
+  let r = Check.run events in
+  check "atomic write-back passes" true (Check.passed r)
+
+let test_liveness_budget () =
+  (* Synthetic starving core: [budget] consecutive aborts trip the
+     monitor; one fewer stays clean. *)
+  let mk n =
+    List.concat
+      (List.init n (fun i ->
+           let t = float_of_int (i * 2) in
+           [
+             (t, Event.Tx_start { core = 0; attempt = i + 1; elastic = false });
+             ( t +. 1.0,
+               Event.Tx_aborted { core = 0; attempt = i + 1; conflict = None }
+             );
+           ]))
+  in
+  let r = Check.run ~liveness_budget:5 (mk 5) in
+  check "budget-length chain trips the monitor" false
+    (Liveness.ok r.Check.liveness);
+  let r = Check.run ~liveness_budget:5 (mk 4) in
+  check "shorter chain is clean" true (Liveness.ok r.Check.liveness)
+
+let test_status_label () =
+  Alcotest.(check string)
+    "status-CAS abort label" "STATUS"
+    (Event.conflict_opt_to_string None)
+
+let suite =
+  [
+    Alcotest.test_case "clean counter run passes" `Slow test_clean_run_passes;
+    Alcotest.test_case "histlog round-trips exactly" `Quick
+      test_histlog_roundtrip;
+    Alcotest.test_case "histlog rejects unknown header" `Quick
+      test_histlog_rejects_garbage;
+    Alcotest.test_case "one decision event per arbitration" `Slow
+      test_one_decision_per_arbitration;
+    Alcotest.test_case "enemy abort follows a winning decision" `Slow
+      test_enemy_abort_follows_winning_decision;
+    Alcotest.test_case "losing requester aborts" `Slow
+      test_losing_requester_aborts;
+    Alcotest.test_case "mutation: non-atomic write-back caught" `Quick
+      test_mutation_nonatomic_writeback_caught;
+    Alcotest.test_case "atomic write-back passes" `Quick
+      test_atomic_writeback_passes;
+    Alcotest.test_case "liveness budget" `Quick test_liveness_budget;
+    Alcotest.test_case "STATUS abort label" `Quick test_status_label;
+  ]

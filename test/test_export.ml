@@ -112,7 +112,8 @@ let test_export_fields () =
   match Json.path [ "aborts"; "by_conflict" ] v with
   | Some (Json.Obj fields) ->
       Alcotest.(check (list string))
-        "per-conflict-type causality counts" [ "RAW"; "WAW"; "WAR" ]
+        "per-conflict-type causality counts"
+        [ "RAW"; "WAW"; "WAR"; "STATUS" ]
         (List.map fst fields)
   | _ -> Alcotest.fail "by_conflict missing"
 
