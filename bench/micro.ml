@@ -27,6 +27,7 @@ let mk_holder core =
     h_est_start_ns = float_of_int (core * 17);
     h_committed = core;
     h_effective_ns = float_of_int (core * 29);
+    h_granted_ns = 0.0;
   }
 
 let bench_locktable =

@@ -26,9 +26,12 @@ let () =
     match Json.member "experiments" v with
     | Some (Json.List exps) ->
         require v [ "scale" ];
+        (* v2 exports (no "faults" section) are still accepted; the
+           faults rules below only run on runs that carry the section,
+           which v3 makes mandatory. *)
         (match Json.member "schema_version" v with
-        | Some (Json.Int 2) -> ()
-        | Some (Json.Int n) -> fail "schema_version %d, expected 2" n
+        | Some (Json.Int (2 | 3)) -> ()
+        | Some (Json.Int n) -> fail "schema_version %d, expected 2 or 3" n
         | _ -> fail "missing schema_version");
         List.concat_map
           (fun e ->
@@ -70,6 +73,42 @@ let () =
       [ "timeseries"; "channels"; "commits"; "values" ];
       [ "timeseries"; "channels"; "queue_depth_mean"; "values" ];
     ];
+  (* v3 faults section: mandatory when the export is schema v3 (single
+     run records always carry it), checked for internal consistency on
+     every run that has it. *)
+  (match Json.member "schema_version" v with
+  | Some (Json.Int 3) | None ->
+      List.iter (require first_run)
+        [
+          [ "faults"; "plan" ];
+          [ "faults"; "injected" ];
+          [ "faults"; "resends" ];
+          [ "faults"; "leases_reclaimed" ];
+        ]
+  | _ -> ());
+  List.iteri
+    (fun ri run ->
+      match Json.member "faults" run with
+      | None -> ()
+      | Some f ->
+          let count k =
+            match Option.bind (Json.member k f) Json.to_int_opt with
+            | Some n when n >= 0 -> n
+            | Some n -> fail "run %d: faults.%s negative (%d)" ri k n
+            | None -> fail "run %d: faults.%s missing or not an integer" ri k
+          in
+          let injected = count "injected" in
+          let parts =
+            count "dropped" + count "duplicated" + count "delayed"
+            + count "crashes"
+          in
+          if injected <> parts then
+            fail "run %d: faults.injected %d <> breakdown sum %d" ri injected
+              parts;
+          ignore (count "resends");
+          ignore (count "absorbed");
+          ignore (count "leases_reclaimed"))
+    runs;
   (* Phase-accounting invariant, on every run in the file: the
      instrumentation charges each telescoping segment of a committed
      attempt to exactly one phase, so the sums must reconcile. *)

@@ -94,6 +94,21 @@ let report t (r : Workload.result) =
             addr)
       (Obs.dump obs)
   end;
+  let fl = Runtime.faults t in
+  let fc = Tm2c_noc.Fault.counters fl in
+  if
+    Tm2c_noc.Fault.injected fl > 0
+    || fc.Tm2c_noc.Fault.resends > 0
+    || fc.Tm2c_noc.Fault.leases_reclaimed > 0
+  then
+    Printf.printf
+      "faults        %10d injected (drop %d, dup %d, delay %d, crash %d); %d \
+       resends, %d absorbed, %d leases reclaimed\n"
+      (Tm2c_noc.Fault.injected fl)
+      fc.Tm2c_noc.Fault.dropped fc.Tm2c_noc.Fault.duplicated
+      fc.Tm2c_noc.Fault.delayed fc.Tm2c_noc.Fault.crashes
+      fc.Tm2c_noc.Fault.resends fc.Tm2c_noc.Fault.absorbed
+      fc.Tm2c_noc.Fault.leases_reclaimed;
   let net = (Runtime.env t).System.net in
   let m = Tm2c_noc.Network.metrics net in
   let lat = m.Tm2c_noc.Network.latency in
@@ -132,9 +147,18 @@ let warn_overflow t =
       dropped
       (Tm2c_engine.Trace.capacity tr)
 
-let run bench platform cm cores service multitask eager trace trace_out json
-    perfetto timeseries_ms check history witness duration_ms seed balance
-    accounts buckets updates elastic size input_kb chunk_kb =
+let fault_plan_conv =
+  let parse s =
+    match Tm2c_noc.Fault.of_spec s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Tm2c_noc.Fault.to_spec p))
+
+let run bench platform cm cores service multitask eager fault_plan timeout_ns
+    lease_ns trace trace_out json perfetto timeseries_ms check history witness
+    duration_ms seed balance accounts buckets updates elastic size input_kb
+    chunk_kb =
   let deployment = if multitask then Runtime.Multitask else Runtime.Dedicated in
   let service = match service with Some s -> s | None -> max 1 (cores / 2) in
   let cfg =
@@ -153,6 +177,11 @@ let run bench platform cm cores service multitask eager trace trace_out json
   in
   let duration_ns = duration_ms *. 1e6 in
   let t = Runtime.create cfg in
+  (match fault_plan with
+  | Some plan -> Runtime.set_fault_plan t plan
+  | None -> ());
+  if timeout_ns > 0.0 || lease_ns > 0.0 then
+    Runtime.set_hardening t ~timeout_ns ~lease_ns ();
   let tracing = trace || trace_out <> None || perfetto <> None in
   if tracing then Runtime.enable_tracing t;
   (* The checkers need the complete history, not the 64K ring tail:
@@ -335,6 +364,28 @@ let cmd =
   let eager =
     Arg.(value & flag & info [ "eager" ] ~doc:"Eager write-lock acquisition.")
   in
+  let fault_plan =
+    Arg.(value & opt (some fault_plan_conv) None
+         & info [ "fault-plan" ] ~docv:"SPEC"
+             ~doc:"Deterministic fault plan, e.g. \
+                   $(b,drop=0.01,dup=0.02,delay=0.05\\@2000,stall=8\\@1e6+5e5,crash=3\\@2e6) \
+                   or $(b,none). Faults draw from their own PRNG stream, so \
+                   $(b,none) is bit-for-bit the unfaulted run.")
+  in
+  let timeout_ns =
+    Arg.(value & opt float 0.0
+         & info [ "timeout-ns" ] ~docv:"NS"
+             ~doc:"DTM request timeout in virtual ns (0 disables): resend \
+                   with the same sequence number on expiry, exponential \
+                   backoff, duplicates absorbed server-side.")
+  in
+  let lease_ns =
+    Arg.(value & opt float 0.0
+         & info [ "lease-ns" ] ~docv:"NS"
+             ~doc:"Lock lease in virtual ns (0 disables): a holder blocking \
+                   a request past its lease is reclaimed under a status-word \
+                   CAS (recovers orphan locks of crashed cores).")
+  in
   let trace =
     Arg.(value & flag
          & info [ "trace" ]
@@ -423,8 +474,9 @@ let cmd =
   Cmd.v (Cmd.info "tm2c-sim" ~doc)
     Term.(
       const run $ bench $ platform $ cm $ cores $ service $ multitask $ eager
-      $ trace $ trace_out $ json $ perfetto $ timeseries_ms $ check $ history
-      $ witness $ duration $ seed $ balance $ accounts $ buckets $ updates
-      $ elastic $ size $ input_kb $ chunk_kb)
+      $ fault_plan $ timeout_ns $ lease_ns $ trace $ trace_out $ json
+      $ perfetto $ timeseries_ms $ check $ history $ witness $ duration $ seed
+      $ balance $ accounts $ buckets $ updates $ elastic $ size $ input_kb
+      $ chunk_kb)
 
 let () = exit (Cmd.eval cmd)

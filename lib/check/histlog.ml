@@ -11,7 +11,11 @@
 open Tm2c_core
 open Types
 
-let header = "# tm2c-history v1"
+(* v2 added the fault/hardening records (DRP DUP RSN CRS LSR); v1 logs
+   are still accepted on read. *)
+let header = "# tm2c-history v2"
+
+let header_v1 = "# tm2c-history v1"
 
 let bool01 b = if b then "1" else "0"
 
@@ -59,7 +63,14 @@ let write_event oc time ev =
       p "SRV %d %d %d %s %d %d" server requester req_id kind queue_depth occupancy
   | Event.Service_done { server; requester; req_id } ->
       p "SRD %d %d %d" server requester req_id
-  | Event.Barrier { core } -> p "BAR %d" core);
+  | Event.Barrier { core } -> p "BAR %d" core
+  | Event.Msg_dropped { src; dst } -> p "DRP %d %d" src dst
+  | Event.Msg_duplicated { src; dst } -> p "DUP %d %d" src dst
+  | Event.Req_resent { core; server; req_id; nth } ->
+      p "RSN %d %d %d %d" core server req_id nth
+  | Event.Core_crashed { core; attempt } -> p "CRS %d %d" core attempt
+  | Event.Lease_reclaimed { server; victim; addr; aborted } ->
+      p "LSR %d %d %d %s" server victim addr (bool01 aborted));
   p "\n"
 
 let write oc events =
@@ -176,6 +187,27 @@ let parse_line lineno line =
             Event.Service_done
               { server = int server; requester = int requester; req_id = int req_id }
         | "BAR", [ core ] -> Event.Barrier { core = int core }
+        | "DRP", [ src; dst ] -> Event.Msg_dropped { src = int src; dst = int dst }
+        | "DUP", [ src; dst ] ->
+            Event.Msg_duplicated { src = int src; dst = int dst }
+        | "RSN", [ core; server; req_id; nth ] ->
+            Event.Req_resent
+              {
+                core = int core;
+                server = int server;
+                req_id = int req_id;
+                nth = int nth;
+              }
+        | "CRS", [ core; attempt ] ->
+            Event.Core_crashed { core = int core; attempt = int attempt }
+        | "LSR", [ server; victim; addr; aborted ] ->
+            Event.Lease_reclaimed
+              {
+                server = int server;
+                victim = int victim;
+                addr = int addr;
+                aborted = flag aborted;
+              }
         | _ ->
             parse_error lineno
               (Printf.sprintf "unrecognized record %S" (String.concat " " (tag :: fields)))
@@ -185,7 +217,7 @@ let parse_line lineno line =
 
 let read ic =
   (match input_line ic with
-  | h when h = header -> ()
+  | h when h = header || h = header_v1 -> ()
   | h -> failwith (Printf.sprintf "unknown history log header %S" h)
   | exception End_of_file ->
       failwith (Printf.sprintf "empty history log: expected %S header" header));

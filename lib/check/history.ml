@@ -186,8 +186,16 @@ let build events =
       | Event.Host_write { addr; value } ->
           (* Attributed to no attempt: setup and private-node init. *)
           host_writes := (seq, addr, value) :: !host_writes
+      | Event.Core_crashed { core; _ } ->
+          (* Crash-stop: the core's open attempt ends here, Unfinished —
+             exactly like run-horizon truncation, so no checker treats
+             its open locks or missing end event as a violation. *)
+          (match Hashtbl.find_opt open_attempts core with
+          | Some a -> close seq time a Unfinished
+          | None -> ())
       | Event.Lock_conflict _ | Event.Req_sent _ | Event.Service _
-      | Event.Service_done _ | Event.Barrier _ ->
+      | Event.Service_done _ | Event.Barrier _ | Event.Msg_dropped _
+      | Event.Msg_duplicated _ | Event.Req_resent _ | Event.Lease_reclaimed _ ->
           ())
     events;
   (* Attempts still open: close in place as Unfinished. *)

@@ -245,9 +245,40 @@ let analyze events =
           (match Hashtbl.find_opt wlocks addr with
           | Some w when w = victim -> Hashtbl.remove wlocks addr
           | Some _ | None -> ())
+      | Event.Lease_reclaimed { victim; addr; aborted; _ } ->
+          (* Lease expiry revoked the victim's entry on [addr]. When the
+             reclaim CAS landed ([aborted]) the victim's live attempt
+             was killed exactly like an [Enemy_aborted] — same publish
+             check, same dooming. A stale reclaim (the entry's attempt
+             had already ended: the holder crashed between attempts, or
+             its release was dropped) touches no live attempt and is
+             never a violation. *)
+          (if aborted then
+             match Hashtbl.find_opt live victim with
+             | Some l when l.l_published ->
+                 violation seq time
+                   "lease reclaim aborted core %d (addr %d) after its publish \
+                    point — victim was already committed"
+                   victim addr
+             | Some l -> l.l_doomed <- true
+             | None -> ());
+          drop_reader addr victim;
+          (match Hashtbl.find_opt wlocks addr with
+          | Some w when w = victim -> Hashtbl.remove wlocks addr
+          | Some _ | None -> ())
+      | Event.Core_crashed _ ->
+          (* Crash-stop releases nothing: the core's shadow locks stay
+             held (a grant over them without an [Enemy_aborted] or
+             [Lease_reclaimed] is still a violation) and its open
+             attempt simply never ends — which breaks no rule here, so
+             a crashed core's dangling attempt is not a 2PL violation.
+             The status word still reads Pending, so the entries are
+             not doomed-stale either: only a CAS event may revoke them. *)
+          ()
       | Event.Tx_commit_begin _ | Event.Host_write _ | Event.Lock_conflict _
       | Event.Req_sent _ | Event.Service _ | Event.Service_done _
-      | Event.Barrier _ ->
+      | Event.Barrier _ | Event.Msg_dropped _ | Event.Msg_duplicated _
+      | Event.Req_resent _ ->
           ())
     events;
   { violations = List.rev !violations; n_grants = !n_grants }

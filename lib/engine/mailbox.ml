@@ -31,3 +31,30 @@ let recv mb =
           mb.waiter <- Some resume)
 
 let try_recv mb = Queue.take_opt mb.queue
+
+let recv_timeout mb ~timeout_ns =
+  match Queue.take_opt mb.queue with
+  | Some v -> Some v
+  | None ->
+      Sim.suspend (fun resume ->
+          if mb.waiter <> None then
+            invalid_arg "Mailbox.recv_timeout: mailbox already has a waiter";
+          let fired = ref false in
+          let rec wait v =
+            if not !fired then begin
+              fired := true;
+              resume (Some v)
+            end
+          and cancel () =
+            if not !fired then begin
+              fired := true;
+              (* Only uninstall our own waiter: a later [recv] may have
+                 replaced it after a delivery already resumed us. *)
+              (match mb.waiter with
+              | Some w when w == wait -> mb.waiter <- None
+              | _ -> ());
+              resume None
+            end
+          in
+          mb.waiter <- Some wait;
+          Sim.schedule mb.sim ~at:(Sim.now mb.sim +. timeout_ns) cancel)

@@ -25,3 +25,10 @@ val recv : 'a t -> 'a
 
 (** Non-blocking receive. *)
 val try_recv : 'a t -> 'a option
+
+(** [recv_timeout mb ~timeout_ns] blocks like {!recv} but gives up
+    after [timeout_ns] of virtual time, returning [None]. The timeout
+    event is inert once a message has arrived (and vice versa), and a
+    timed-out waiter is uninstalled so the mailbox can be received on
+    again. *)
+val recv_timeout : 'a t -> timeout_ns:float -> 'a option

@@ -21,6 +21,19 @@ let split t =
   let seed = next64 t in
   { state = mix seed }
 
+(* FNV-1a over the label, folded into the parent's *current* state.
+   The parent is not advanced: a labelled child can be added (e.g. the
+   fault stream) without perturbing any stream later forked from [t]
+   via [split]. *)
+let split_label t ~label =
+  let h =
+    String.fold_left
+      (fun acc c ->
+        Int64.mul (Int64.logxor acc (Int64.of_int (Char.code c))) 0x100000001B3L)
+      0xCBF29CE484222325L label
+  in
+  { state = mix (Int64.logxor (mix t.state) (Int64.add h golden_gamma)) }
+
 let next t = Int64.to_int (next64 t) land max_int
 
 (* Rejection sampling: [next] is uniform on [0, max_int], and plain

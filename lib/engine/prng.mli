@@ -11,6 +11,13 @@ val create : seed:int -> t
     core) without perturbing [t]'s own sequence statistics. *)
 val split : t -> t
 
+(** [split_label t ~label] derives an independent child stream from
+    [t]'s current state and [label] {e without advancing} [t]:
+    unlike {!split} it draws nothing from the parent, so introducing a
+    labelled consumer leaves every other stream derived from [t]
+    bit-for-bit unchanged. Distinct labels give distinct streams. *)
+val split_label : t -> label:string -> t
+
 (** Next raw 64-bit value (as an OCaml [int], so 63 bits, non-negative). *)
 val next : t -> int
 

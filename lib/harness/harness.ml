@@ -111,8 +111,10 @@ let run_ids ?json ?(check = false) ids scale =
         Json.Obj
           [
             (* v2: runs gained "phases" / "timeseries" / "trace"
-               sections and histograms gained "sum". *)
-            ("schema_version", Json.Int 2);
+               sections and histograms gained "sum". v3: runs gained a
+               "faults" section (fault-injection and hardening
+               counters, present and all-zero even on clean runs). *)
+            ("schema_version", Json.Int 3);
             ("scale", Json.String scale.Exp.label);
             ( "experiments",
               Json.List

@@ -218,7 +218,57 @@ let export ?(app = [||]) ?(dtm = [||]) trace =
                ())
       | Event.Barrier { core } ->
           touch core;
-          push ts (instant ~ts ~tid:core ~name:"barrier" ()));
+          push ts (instant ~ts ~tid:core ~name:"barrier" ())
+      | Event.Msg_dropped { src; dst } ->
+          touch src;
+          push ts
+            (instant ~ts ~tid:src ~name:"msg-dropped"
+               ~args:[ ("dst", Json.Int dst) ]
+               ())
+      | Event.Msg_duplicated { src; dst } ->
+          touch src;
+          push ts
+            (instant ~ts ~tid:src ~name:"msg-dup"
+               ~args:[ ("dst", Json.Int dst) ]
+               ())
+      | Event.Req_resent { core; server; req_id; nth } ->
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:"req-resent"
+               ~args:
+                 [
+                   ("server", Json.Int server);
+                   ("req_id", Json.Int req_id);
+                   ("nth", Json.Int nth);
+                 ]
+               ())
+      | Event.Core_crashed { core; attempt } -> (
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:"crashed"
+               ~args:[ ("attempt", Json.Int attempt) ]
+               ());
+          (* Close the open attempt slice, if any — a crashed core
+             never emits its own end event. *)
+          match Hashtbl.find_opt open_attempt core with
+          | Some (t0, a0) ->
+              Hashtbl.remove open_attempt core;
+              push t0
+                (slice ~ts:t0 ~dur:(ts -. t0) ~tid:core ~name:"tx crashed"
+                   ~args:[ ("attempt", Json.Int a0) ]
+                   ())
+          | None -> ())
+      | Event.Lease_reclaimed { server; victim; addr; aborted } ->
+          touch server;
+          push ts
+            (instant ~ts ~tid:server ~name:"lease-reclaim"
+               ~args:
+                 [
+                   ("victim", Json.Int victim);
+                   ("addr", Json.Int addr);
+                   ("aborted", Json.Bool aborted);
+                 ]
+               ()));
   (* Stable sort by begin timestamp: per-track timestamps come out
      monotone because same-track slices never overlap. *)
   let sorted =

@@ -231,6 +231,36 @@ let trace_json tr =
       ("dropped", Json.Int (Trace.dropped tr));
     ]
 
+(* Fault-injection and hardening accounting (schema v3). [injected] is
+   the headline count — every fault the plan actually fired (drops +
+   duplications + delay spikes + crashes) — next to the hardening
+   reactions it provoked ([resends], [absorbed], [leases_reclaimed]).
+   Always present, all-zero on an un-faulted run, so consumers can diff
+   faulted and clean runs without a shape change. *)
+let faults_json t =
+  let f = Runtime.faults t in
+  let c = Fault.counters f in
+  let env = Runtime.env t in
+  Json.Obj
+    [
+      ("plan", Json.String (Fault.to_spec (Fault.plan f)));
+      ("injected", Json.Int (Fault.injected f));
+      ("dropped", Json.Int c.Fault.dropped);
+      ("duplicated", Json.Int c.Fault.duplicated);
+      ("delayed", Json.Int c.Fault.delayed);
+      ("crashes", Json.Int c.Fault.crashes);
+      ("resends", Json.Int c.Fault.resends);
+      ("absorbed", Json.Int c.Fault.absorbed);
+      ("leases_reclaimed", Json.Int c.Fault.leases_reclaimed);
+      ("timeout_ns", Json.Float env.System.req_timeout_ns);
+      ("lease_ns", Json.Float env.System.lease_ns);
+      ( "crashed_cores",
+        Json.List
+          (List.init (Platform.n_cores (Runtime.config t).Runtime.platform) Fun.id
+          |> List.filter (fun core -> Fault.is_crashed f ~core)
+          |> List.map (fun core -> Json.Int core)) );
+    ]
+
 let run_json t (r : Tm2c_apps.Workload.result) =
   let cfg = Runtime.config t in
   let env = Runtime.env t in
@@ -251,6 +281,7 @@ let run_json t (r : Tm2c_apps.Workload.result) =
          done;
          aborts_json ~policy:cfg.Runtime.policy ~status:!status
            (Runtime.obs t) );
+       ("faults", faults_json t);
        ("phases", phases_json t);
        ("trace", trace_json (Runtime.trace t));
      ]

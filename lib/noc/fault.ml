@@ -1,0 +1,298 @@
+(* Deterministic fault-injection plans for the simulated substrate.
+
+   A [plan] is pure data: per-link message perturbations (drop,
+   duplication, bounded delay spikes), DS-server stall windows, and
+   crash-stop points for chosen cores. A [t] pairs a plan with its own
+   PRNG stream (derived via [Prng.split_label], so the stream's mere
+   existence never perturbs baseline schedules) plus counters and the
+   crashed-core table. An empty plan draws nothing from the PRNG, which
+   is what makes "faults enabled, plan empty" bit-for-bit identical to
+   a run that never heard of faults.
+
+   The network applies [link_action] per message; the DTM service loop
+   consults [stall_until]; the transaction layer polls [crash_due] at
+   operation boundaries. Trace emission lives above this layer: the
+   runtime installs [on_drop]/[on_dup] callbacks since this library
+   cannot see the tm2c event type. *)
+
+open Tm2c_engine
+
+type link_fault = {
+  drop_pct : float;  (* probability a message is silently lost *)
+  dup_pct : float;  (* probability a message is delivered twice *)
+  delay_pct : float;  (* probability of a delay spike *)
+  delay_ns : float;  (* size of the spike, virtual ns *)
+}
+
+type stall = {
+  stall_core : int;  (* DS-server core that stops serving *)
+  stall_from_ns : float;
+  stall_until_ns : float;
+}
+
+type crash = {
+  crash_core : int;  (* app core that crash-stops *)
+  crash_at_ns : float;  (* first operation boundary at/after this dies *)
+}
+
+type plan = {
+  link : link_fault option;
+  stalls : stall list;
+  crashes : crash list;
+}
+
+let empty = { link = None; stalls = []; crashes = [] }
+
+let plan_is_empty p = p.link = None && p.stalls = [] && p.crashes = []
+
+type counters = {
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable resends : int;  (* requester-side timeout resends *)
+  mutable absorbed : int;  (* duplicate requests answered from cache *)
+  mutable leases_reclaimed : int;
+  mutable crashes : int;
+}
+
+type t = {
+  mutable plan : plan;
+  prng : Prng.t;
+  counters : counters;
+  crashed : bool array;
+  mutable on_drop : src:int -> dst:int -> unit;
+  mutable on_dup : src:int -> dst:int -> unit;
+}
+
+let create ?(plan = empty) ~prng ~n_cores () =
+  {
+    plan;
+    prng;
+    counters =
+      {
+        dropped = 0;
+        duplicated = 0;
+        delayed = 0;
+        resends = 0;
+        absorbed = 0;
+        leases_reclaimed = 0;
+        crashes = 0;
+      };
+    crashed = Array.make n_cores false;
+    on_drop = (fun ~src:_ ~dst:_ -> ());
+    on_dup = (fun ~src:_ ~dst:_ -> ());
+  }
+
+let set_plan t plan = t.plan <- plan
+
+let plan t = t.plan
+
+let counters t = t.counters
+
+let injected t =
+  t.counters.dropped + t.counters.duplicated + t.counters.delayed
+  + t.counters.crashes
+
+type action = Deliver | Drop | Duplicate | Delay of float
+
+let link_active t = t.plan.link <> None
+
+(* One PRNG draw per message, shared across the three perturbations so
+   the schedule consumes a fixed amount of randomness per send. *)
+let link_action t ~src ~dst =
+  match t.plan.link with
+  | None -> Deliver
+  | Some lf ->
+      let u = Prng.float t.prng in
+      if u < lf.drop_pct then begin
+        t.counters.dropped <- t.counters.dropped + 1;
+        t.on_drop ~src ~dst;
+        Drop
+      end
+      else if u < lf.drop_pct +. lf.dup_pct then begin
+        t.counters.duplicated <- t.counters.duplicated + 1;
+        t.on_dup ~src ~dst;
+        Duplicate
+      end
+      else if u < lf.drop_pct +. lf.dup_pct +. lf.delay_pct then begin
+        t.counters.delayed <- t.counters.delayed + 1;
+        Delay lf.delay_ns
+      end
+      else Deliver
+
+let stall_until t ~core ~now =
+  List.fold_left
+    (fun acc s ->
+      if s.stall_core = core && now >= s.stall_from_ns && now < s.stall_until_ns
+      then
+        match acc with
+        | Some e when e >= s.stall_until_ns -> acc
+        | _ -> Some s.stall_until_ns
+      else acc)
+    None t.plan.stalls
+
+let crash_due t ~core ~now =
+  (core < Array.length t.crashed)
+  && (not t.crashed.(core))
+  && List.exists
+       (fun c -> c.crash_core = core && now >= c.crash_at_ns)
+       t.plan.crashes
+
+let mark_crashed t ~core =
+  if core < Array.length t.crashed && not t.crashed.(core) then begin
+    t.crashed.(core) <- true;
+    t.counters.crashes <- t.counters.crashes + 1
+  end
+
+let is_crashed t ~core = core < Array.length t.crashed && t.crashed.(core)
+
+let any_crashed t = Array.exists Fun.id t.crashed
+
+let on_drop t f = t.on_drop <- f
+
+let on_dup t f = t.on_dup <- f
+
+(* Compact spec syntax, round-tripping through [of_spec]:
+     none
+     drop=0.01,dup=0.02,delay=0.05@2000,stall=8@1e6+5e5,crash=3@2e6
+   Multiple stall=/crash= components accumulate; the three link knobs
+   merge into one [link_fault] (delay defaults to 0 spike-ns unless
+   given as P@NS). *)
+(* [%g] writes big values as "1e+06"; the '+' would collide with the
+   stall window's from+duration separator, so normalize exponents to
+   the sign-free "1e6" form. *)
+let fmt_g f =
+  let s = Printf.sprintf "%g" f in
+  match String.index_opt s 'e' with
+  | None -> s
+  | Some i ->
+      let mantissa = String.sub s 0 i in
+      let e = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      Printf.sprintf "%se%d" mantissa e
+
+let to_spec p =
+  if plan_is_empty p then "none"
+  else begin
+    let b = Buffer.create 64 in
+    let add s =
+      if Buffer.length b > 0 then Buffer.add_char b ',';
+      Buffer.add_string b s
+    in
+    (match p.link with
+    | None -> ()
+    | Some lf ->
+        if lf.drop_pct > 0.0 then add (Printf.sprintf "drop=%s" (fmt_g lf.drop_pct));
+        if lf.dup_pct > 0.0 then add (Printf.sprintf "dup=%s" (fmt_g lf.dup_pct));
+        if lf.delay_pct > 0.0 then
+          add (Printf.sprintf "delay=%s@%s" (fmt_g lf.delay_pct) (fmt_g lf.delay_ns)));
+    List.iter
+      (fun s ->
+        add
+          (Printf.sprintf "stall=%d@%s+%s" s.stall_core (fmt_g s.stall_from_ns)
+             (fmt_g (s.stall_until_ns -. s.stall_from_ns))))
+      p.stalls;
+    List.iter
+      (fun c ->
+        add (Printf.sprintf "crash=%d@%s" c.crash_core (fmt_g c.crash_at_ns)))
+      p.crashes;
+    Buffer.contents b
+  end
+
+let of_spec spec =
+  let spec = String.trim spec in
+  if spec = "" || spec = "none" then Ok empty
+  else begin
+    let link = ref { drop_pct = 0.0; dup_pct = 0.0; delay_pct = 0.0; delay_ns = 0.0 } in
+    let link_set = ref false in
+    let stalls = ref [] and crashes = ref [] in
+    let err = ref None in
+    let fail part = if !err = None then err := Some (Printf.sprintf "bad fault component %S" part) in
+    let float_of s = match float_of_string_opt s with Some f -> f | None -> Float.nan in
+    let int_of s = match int_of_string_opt s with Some i -> i | None -> -1 in
+    List.iter
+      (fun part ->
+        match String.index_opt part '=' with
+        | None -> fail part
+        | Some i -> (
+            let key = String.sub part 0 i in
+            let v = String.sub part (i + 1) (String.length part - i - 1) in
+            let at_split s =
+              match String.index_opt s '@' with
+              | None -> None
+              | Some j ->
+                  Some (String.sub s 0 j, String.sub s (j + 1) (String.length s - j - 1))
+            in
+            match key with
+            | "drop" ->
+                let p = float_of v in
+                if Float.is_nan p then fail part
+                else (link := { !link with drop_pct = p }; link_set := true)
+            | "dup" ->
+                let p = float_of v in
+                if Float.is_nan p then fail part
+                else (link := { !link with dup_pct = p }; link_set := true)
+            | "delay" -> (
+                match at_split v with
+                | Some (p, ns) ->
+                    let p = float_of p and ns = float_of ns in
+                    if Float.is_nan p || Float.is_nan ns then fail part
+                    else (link := { !link with delay_pct = p; delay_ns = ns }; link_set := true)
+                | None -> fail part)
+            | "stall" -> (
+                match at_split v with
+                | Some (core, window) -> (
+                    (* the window separator is the first '+' that is
+                       not an exponent sign ("1e+06+5e5" still parses) *)
+                    let sep =
+                      let n = String.length window in
+                      let rec go j =
+                        if j >= n then None
+                        else if
+                          window.[j] = '+' && j > 0
+                          && window.[j - 1] <> 'e'
+                          && window.[j - 1] <> 'E'
+                        then Some j
+                        else go (j + 1)
+                      in
+                      go 0
+                    in
+                    match sep with
+                    | Some j ->
+                        let from = String.sub window 0 j in
+                        let dur =
+                          String.sub window (j + 1) (String.length window - j - 1)
+                        in
+                        let core = int_of core
+                        and from = float_of from
+                        and dur = float_of dur in
+                        if core < 0 || Float.is_nan from || Float.is_nan dur then
+                          fail part
+                        else
+                          stalls :=
+                            {
+                              stall_core = core;
+                              stall_from_ns = from;
+                              stall_until_ns = from +. dur;
+                            }
+                            :: !stalls
+                    | None -> fail part)
+                | None -> fail part)
+            | "crash" -> (
+                match at_split v with
+                | Some (core, at) ->
+                    let core = int_of core and at = float_of at in
+                    if core < 0 || Float.is_nan at then fail part
+                    else crashes := { crash_core = core; crash_at_ns = at } :: !crashes
+                | None -> fail part)
+            | _ -> fail part))
+      (String.split_on_char ',' spec);
+    match !err with
+    | Some e -> Error e
+    | None ->
+        Ok
+          {
+            link = (if !link_set then Some !link else None);
+            stalls = List.rev !stalls;
+            crashes = List.rev !crashes;
+          }
+  end

@@ -1,0 +1,96 @@
+(** Deterministic fault-injection plans for the simulated substrate.
+
+    A {!plan} describes per-link message perturbations (drop,
+    duplication, bounded delay spikes), DS-server stall windows, and
+    crash-stop points — all in virtual time. A {!t} pairs the plan
+    with its own PRNG stream (give it a [Prng.split_label] child so
+    enabling faults with an empty plan reproduces baseline schedules
+    bit-for-bit), injection counters, and the crashed-core table. *)
+
+type link_fault = {
+  drop_pct : float;  (** probability a message is silently lost *)
+  dup_pct : float;  (** probability a message is delivered twice *)
+  delay_pct : float;  (** probability of a delay spike *)
+  delay_ns : float;  (** size of the spike, virtual ns *)
+}
+
+type stall = {
+  stall_core : int;  (** DS-server core that stops serving *)
+  stall_from_ns : float;
+  stall_until_ns : float;
+}
+
+type crash = {
+  crash_core : int;  (** app core that crash-stops *)
+  crash_at_ns : float;  (** first operation boundary at/after this dies *)
+}
+
+type plan = {
+  link : link_fault option;
+  stalls : stall list;
+  crashes : crash list;
+}
+
+val empty : plan
+
+val plan_is_empty : plan -> bool
+
+type counters = {
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable resends : int;  (** requester-side timeout resends *)
+  mutable absorbed : int;  (** duplicate requests answered from cache *)
+  mutable leases_reclaimed : int;
+  mutable crashes : int;
+}
+
+type t
+
+val create : ?plan:plan -> prng:Tm2c_engine.Prng.t -> n_cores:int -> unit -> t
+
+val set_plan : t -> plan -> unit
+
+val plan : t -> plan
+
+val counters : t -> counters
+
+(** Total injections: drops + duplications + delay spikes + crashes. *)
+val injected : t -> int
+
+(** Per-message verdict from the link fault, if any. Draws exactly one
+    PRNG value per message when a link fault is configured, none
+    otherwise. Counts the injection and fires the corresponding
+    callback. *)
+type action = Deliver | Drop | Duplicate | Delay of float
+
+val link_active : t -> bool
+
+val link_action : t -> src:int -> dst:int -> action
+
+(** End of the stall window enclosing [now] for [core], if stalled. *)
+val stall_until : t -> core:int -> now:float -> float option
+
+(** The plan says [core] should be dead by [now] and it has not been
+    marked crashed yet. *)
+val crash_due : t -> core:int -> now:float -> bool
+
+val mark_crashed : t -> core:int -> unit
+
+val is_crashed : t -> core:int -> bool
+
+val any_crashed : t -> bool
+
+(** Trace hooks fired by {!link_action}; installed by the runtime
+    (this library cannot see the tm2c event type). *)
+val on_drop : t -> (src:int -> dst:int -> unit) -> unit
+
+val on_dup : t -> (src:int -> dst:int -> unit) -> unit
+
+(** Compact plan syntax, e.g.
+    ["drop=0.01,dup=0.02,delay=0.05@2000,stall=8@1e6+5e5,crash=3@2e6"];
+    ["none"] is the empty plan. [to_spec] output parses back to the
+    same plan. *)
+val to_spec : plan -> string
+
+val of_spec : string -> (plan, string) result

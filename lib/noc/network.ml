@@ -18,6 +18,7 @@ type 'a t = {
   boxes : 'a Mailbox.t array;
   mutable n_sent : int;
   metrics : metrics;
+  mutable faults : Fault.t option;
 }
 
 let create sim platform ~active =
@@ -36,7 +37,12 @@ let create sim platform ~active =
         poll_scans = 0;
         poll_scan_ns = 0.0;
       };
+    faults = None;
   }
+
+let set_faults net f = net.faults <- f
+
+let faults net = net.faults
 
 let sim net = net.sim
 
@@ -52,13 +58,35 @@ let send net ~src ~dst msg =
   Sim.delay (Platform.send_overhead_ns net.platform);
   let flight = Platform.flight_ns net.platform ~active:net.active ~src ~dst in
   Histogram.add net.metrics.latency flight;
-  Mailbox.send_at net.boxes.(dst) ~at:(Sim.now net.sim +. flight) msg
+  let deliver_at at = Mailbox.send_at net.boxes.(dst) ~at msg in
+  let at = Sim.now net.sim +. flight in
+  match net.faults with
+  | Some f when Fault.link_active f -> (
+      (* The sender has already paid its software overhead: injection
+         perturbs only what happens on the wire. *)
+      match Fault.link_action f ~src ~dst with
+      | Fault.Deliver -> deliver_at at
+      | Fault.Drop -> ()
+      | Fault.Duplicate ->
+          deliver_at at;
+          (* The duplicate takes a second trip over the same link. *)
+          deliver_at (at +. flight)
+      | Fault.Delay extra_ns -> deliver_at (at +. extra_ns))
+  | _ -> deliver_at at
 
 let recv net ~self =
   let msg = Mailbox.recv net.boxes.(self) in
   net.metrics.received <- net.metrics.received + 1;
   Sim.delay (Platform.recv_overhead_ns net.platform);
   msg
+
+let recv_timeout net ~self ~timeout_ns =
+  match Mailbox.recv_timeout net.boxes.(self) ~timeout_ns with
+  | Some msg ->
+      net.metrics.received <- net.metrics.received + 1;
+      Sim.delay (Platform.recv_overhead_ns net.platform);
+      Some msg
+  | None -> None
 
 let try_recv net ~self =
   match Mailbox.try_recv net.boxes.(self) with

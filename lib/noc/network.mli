@@ -31,12 +31,27 @@ val platform : 'a t -> Platform.t
 val active : 'a t -> int
 
 (** [send net ~src ~dst msg] — blocks the sender for the send software
-    overhead; delivery is scheduled after the flight latency. *)
+    overhead; delivery is scheduled after the flight latency. When a
+    fault layer with an active link fault is installed, the message may
+    instead be dropped, duplicated, or delayed per {!Fault.link_action}
+    (the sender still pays its overhead either way). *)
 val send : 'a t -> src:int -> dst:int -> 'a -> unit
+
+(** Install (or clear) the fault-injection layer consulted by [send].
+    [None] — and an installed layer whose plan has no link fault —
+    leave the delivery schedule bit-for-bit unchanged. *)
+val set_faults : 'a t -> Fault.t option -> unit
+
+val faults : 'a t -> Fault.t option
 
 (** [recv net ~self] — blocks until a message is available, then
     charges the receive software overhead. *)
 val recv : 'a t -> self:int -> 'a
+
+(** Like {!recv} but gives up after [timeout_ns] of virtual time,
+    returning [None] with nothing charged (used for request-timeout
+    hardening). *)
+val recv_timeout : 'a t -> self:int -> timeout_ns:float -> 'a option
 
 (** [try_recv net ~self] — polls the mailbox. On [Some _] the receive
     overhead has been charged; on [None] a single poll-scan cost has

@@ -21,6 +21,13 @@ type server = {
   (* Virtual ns spent inside [handle] (pickup to response sent):
      busy_ns / run duration is the service core's utilization. *)
   mutable busy_ns : float;
+  (* Duplicate absorption: per requester, the newest awaited request id
+     seen and the response sent for it (None while it is still queued,
+     e.g. a waiting Exclusive_acquire). Requests are idempotent via
+     their per-core sequence number: a duplicate of the newest request
+     replays the cached response without re-executing; anything older
+     is dropped. *)
+  last_resp : (core_id, int * System.response option) Hashtbl.t;
 }
 
 let make ~core =
@@ -35,6 +42,7 @@ let make ~core =
     occ_sum = 0;
     occ_max = 0;
     busy_ns = 0.0;
+    last_resp = Hashtbl.create 64;
   }
 
 let core s = s.core
@@ -92,6 +100,8 @@ let service_estimate_ns env ~n_addrs =
     (handle_base_cycles + (per_addr_cycles * n_addrs))
 
 let reply env s ~(req : System.request) resp =
+  if req.req_id > 0 then
+    Hashtbl.replace s.last_resp req.tx.m_core (req.req_id, Some resp);
   Network.send env.System.net ~src:s.core ~dst:req.tx.m_core
     (System.Resp { req_id = req.req_id; resp })
 
@@ -120,11 +130,66 @@ let try_abort_enemy env s (enemy : holder) =
   end
 
 let requester_holder env s (m : cm_meta) =
-  let est_start_ns = System.local_now env ~core:s.core -. m.m_offset_ns in
-  holder_of_meta m ~est_start_ns
+  let now = System.local_now env ~core:s.core in
+  holder_of_meta m ~est_start_ns:(now -. m.m_offset_ns) ~granted_ns:now
+
+(* Lease/epoch-based orphan-lock reclamation: a holder that has kept a
+   lock past [env.lease_ns] is presumed dead — it crashed, or its
+   release message was lost and no CM victory ever revoked the stale
+   entry. The reclaim is status-CAS guarded exactly like a CM victory:
+   a live holder is atomically aborted, a stale entry is simply
+   dropped, and a holder past its commit point is never touched. *)
+let lease_expired env s (h : holder) =
+  env.System.lease_ns > 0.0
+  && System.local_now env ~core:s.core -. h.h_granted_ns > env.System.lease_ns
+
+let reclaim env s ~addr ~revoke (h : holder) =
+  match try_abort_enemy env s h with
+  | (Enemy_aborted | Enemy_stale) as outcome ->
+      let c = Tm2c_noc.Fault.counters env.System.faults in
+      c.Tm2c_noc.Fault.leases_reclaimed <- c.Tm2c_noc.Fault.leases_reclaimed + 1;
+      if trace_on env then
+        emit env
+          (Event.Lease_reclaimed
+             {
+               server = s.core;
+               victim = h.h_core;
+               addr;
+               aborted = (outcome = Enemy_aborted);
+             });
+      revoke ();
+      true
+  | Enemy_committing -> false
+
+(* Revoke every expired holder of [addr] (other than the requester)
+   before the contention manager ever sees them — this is what keeps a
+   crashed lock-holder from wedging every future writer under the
+   requester-loses policies. *)
+let reclaim_expired env s addr ~requester_core =
+  if env.System.lease_ns > 0.0 then
+    match Locktable.find s.locks addr with
+    | None -> ()
+    | Some e ->
+        (match e.Locktable.writer with
+        | Some w when w.h_core <> requester_core && lease_expired env s w ->
+            ignore
+              (reclaim env s ~addr
+                 ~revoke:(fun () -> Locktable.revoke_writer s.locks addr)
+                 w)
+        | Some _ | None -> ());
+        List.iter
+          (fun r ->
+            if r.h_core <> requester_core && lease_expired env s r then
+              ignore
+                (reclaim env s ~addr
+                   ~revoke:(fun () ->
+                     Locktable.revoke_reader s.locks addr ~core:r.h_core)
+                   r))
+          e.Locktable.readers
 
 (* Algorithm 1: read-lock acquire. *)
 let read_lock env s (req : System.request) addr =
+  reclaim_expired env s addr ~requester_core:req.tx.m_core;
   let requester = requester_holder env s req.tx in
   let grant () =
     Locktable.add_reader s.locks addr requester;
@@ -245,6 +310,7 @@ let write_locks env s (req : System.request) addrs =
   let rec acquire = function
     | [] -> reply env s ~req System.Granted
     | addr :: rest -> (
+        reclaim_expired env s addr ~requester_core:req.tx.m_core;
         let entry = Locktable.find s.locks addr in
         let writer =
           match entry with None -> None | Some e -> e.Locktable.writer
@@ -333,7 +399,35 @@ let maybe_grant_exclusive env s =
 let exclusive_blocked s =
   s.exclusive <> None || not (Queue.is_empty s.excl_queue)
 
-let handle env s (req : System.request) =
+(* Duplicate-request absorption. Returns true when [req] was a
+   duplicate and has been dealt with: the newest request gets its
+   cached response replayed (its first reply may have been lost; the
+   lookup is charged but the request is NOT re-executed), anything
+   older is dropped. Both outcomes also cover a duplicate that arrives
+   while the original still sits in the exclusive queue (cached as
+   [None]): re-queuing it would double-grant later. *)
+let absorb env s (req : System.request) =
+  req.req_id > 0
+  &&
+  match Hashtbl.find_opt s.last_resp req.tx.m_core with
+  | Some (id, cached) when req.req_id = id ->
+      let c = Tm2c_noc.Fault.counters env.System.faults in
+      c.Tm2c_noc.Fault.absorbed <- c.Tm2c_noc.Fault.absorbed + 1;
+      Network.compute env.System.net handle_base_cycles;
+      (match cached with
+      | Some resp ->
+          Network.send env.System.net ~src:s.core ~dst:req.tx.m_core
+            (System.Resp { req_id = req.req_id; resp })
+      | None -> ());
+      true
+  | Some (id, _) when req.req_id < id ->
+      let c = Tm2c_noc.Fault.counters env.System.faults in
+      c.Tm2c_noc.Fault.absorbed <- c.Tm2c_noc.Fault.absorbed + 1;
+      Network.compute env.System.net handle_base_cycles;
+      true
+  | Some _ | None -> false
+
+let handle_fresh env s (req : System.request) =
   s.served <- s.served + 1;
   let pickup_ns = Tm2c_engine.Sim.now env.System.sim in
   (* Sample service-queue depth (requests still waiting behind this
@@ -387,6 +481,18 @@ let handle env s (req : System.request) =
     emit env
       (Event.Service_done
          { server = s.core; requester = req.tx.m_core; req_id = req.req_id })
+
+let handle env s (req : System.request) =
+  (* DS-server stall window: the server sits idle (requests queue up
+     in its mailbox) until the window closes. *)
+  (match
+     Fault.stall_until env.System.faults ~core:s.core
+       ~now:(Tm2c_engine.Sim.now env.System.sim)
+   with
+  | Some until ->
+      Tm2c_engine.Sim.delay (until -. Tm2c_engine.Sim.now env.System.sim)
+  | None -> ());
+  if not (absorb env s req) then handle_fresh env s req
 
 let service_loop env s =
   let rec loop () =

@@ -93,6 +93,31 @@ type t =
   | Service_done of { server : core_id; requester : core_id; req_id : int }
       (** the DTM core finished processing (response, if any, sent) *)
   | Barrier of { core : core_id }
+  | Msg_dropped of { src : core_id; dst : core_id }
+      (** fault injection lost a message on the [src]->[dst] link *)
+  | Msg_duplicated of { src : core_id; dst : core_id }
+      (** fault injection delivered a message twice on [src]->[dst] *)
+  | Req_resent of { core : core_id; server : core_id; req_id : int; nth : int }
+      (** the requester's timeout fired and it resent request [req_id]
+          (same sequence number, so the server can absorb duplicates);
+          [nth] counts resends of this request, starting at 1 *)
+  | Core_crashed of { core : core_id; attempt : int }
+      (** crash-stop: the core dies at an operation boundary, releasing
+          nothing — its open attempt ([attempt], or -1 outside any
+          transaction) stays Unfinished and its locks are orphaned
+          until lease reclamation revokes them *)
+  | Lease_reclaimed of {
+      server : core_id;
+      victim : core_id;
+      addr : addr;
+      aborted : bool;
+    }
+      (** the server revoked [victim]'s lock on [addr] because its
+          lease expired (the holder crashed or its release was lost);
+          guarded by the status-word CAS, so a committing victim is
+          never reclaimed. [aborted] is true when the CAS landed (a
+          live pending victim was killed, like [Enemy_aborted]) and
+          false when the entry was already stale *)
 
 (** Conflict label of an abort cause; [None] (the status-CAS abort
     path documented on {!Tx_aborted}) renders as ["STATUS"] — the same

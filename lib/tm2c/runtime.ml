@@ -90,6 +90,16 @@ let create cfg =
   let n_service = Array.length dtm_cores in
   let owner_of addr = dtm_cores.(System.owner_hash addr n_service) in
   let stats = Stats.create ~n_cores:(Platform.n_cores cfg.platform) in
+  (* The fault stream is a labelled (non-mutating) split of the root:
+     creating it draws nothing from [root_prng], and an empty plan
+     draws nothing from the stream, so a run that never installs a
+     plan is bit-for-bit identical to one that predates faults. *)
+  let faults =
+    Fault.create
+      ~prng:(Prng.split_label root_prng ~label:"fault")
+      ~n_cores:(Platform.n_cores cfg.platform) ()
+  in
+  Network.set_faults net (Some faults);
   let env =
     {
       System.sim;
@@ -111,8 +121,21 @@ let create cfg =
         Span.create ~n_cores:(Platform.n_cores cfg.platform) ~phases:Phase.names;
       span_abort =
         Span.create ~n_cores:(Platform.n_cores cfg.platform) ~phases:Phase.names;
+      faults;
+      req_timeout_ns = 0.0;
+      lease_ns = 0.0;
     }
   in
+  (* Drops and duplications happen inside the network layer, which
+     cannot see the event type: route them into the trace here. *)
+  Fault.on_drop faults (fun ~src ~dst ->
+      if Trace.enabled env.System.trace then
+        Trace.record env.System.trace ~now:(Sim.now sim)
+          (Event.Msg_dropped { src; dst }));
+  Fault.on_dup faults (fun ~src ~dst ->
+      if Trace.enabled env.System.trace then
+        Trace.record env.System.trace ~now:(Sim.now sim)
+          (Event.Msg_duplicated { src; dst }));
   let alloc = Alloc.create shmem ~base:1 ~limit:(cfg.mem_words - 1) in
   {
     cfg;
@@ -145,6 +168,25 @@ let trace t = t.env.System.trace
 let obs t = t.env.System.obs
 
 let enable_tracing t = Trace.enable t.env.System.trace
+
+let faults t = t.env.System.faults
+
+(* Install a fault plan. Call before [run] for reproducibility: the
+   fault stream draws once per message only while a link fault is
+   configured. *)
+let set_fault_plan t plan = Fault.set_plan t.env.System.faults plan
+
+(* Hardening knobs; both default to disabled so pristine runs take the
+   exact pre-hardening code paths. [timeout_ns] is the base request
+   timeout (doubling per resend, bounded); [lease_ns] is the lock
+   lease after which a blocking holder is forcibly reclaimed. *)
+let set_hardening t ?timeout_ns ?lease_ns () =
+  (match timeout_ns with
+  | Some v -> t.env.System.req_timeout_ns <- v
+  | None -> ());
+  match lease_ns with
+  | Some v -> t.env.System.lease_ns <- v
+  | None -> ()
 
 (* Host-side store with a trace record: benchmark setup (populate)
    and weak-atomicity private-node initialization go through here so

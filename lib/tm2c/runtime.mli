@@ -64,6 +64,24 @@ val obs : t -> Obs.t
 (** Turn on event tracing for this runtime's simulation. *)
 val enable_tracing : t -> unit
 
+(** Fault-injection state (plan, counters, crashed cores). Always
+    present; created with an empty plan and a [Prng.split_label]
+    stream of the root seed, so a run that never installs a plan is
+    bit-for-bit identical to one that predates fault injection. *)
+val faults : t -> Tm2c_noc.Fault.t
+
+(** Install a fault plan (drop/dup/delay per link, DS-server stall
+    windows, crash-stops). Call before {!run} for reproducibility. *)
+val set_fault_plan : t -> Tm2c_noc.Fault.plan -> unit
+
+(** Protocol hardening knobs, both disabled (0.0) by default:
+    [timeout_ns] — base DTM request timeout, after which the request is
+    resent with the same sequence number (exponential backoff per
+    resend, bounded; the server absorbs duplicates); [lease_ns] — lock
+    lease, after which a holder blocking a new request is forcibly
+    reclaimed under a status-word CAS (orphan locks of crashed cores). *)
+val set_hardening : t -> ?timeout_ns:float -> ?lease_ns:float -> unit -> unit
+
 (** Host-side store with a trace record ([Event.Host_write]):
     benchmark setup and weak-atomicity private-node initialization
     must go through here (not bare [Shmem.poke]) so the checkers see

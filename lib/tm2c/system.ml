@@ -34,6 +34,11 @@ type env = {
      phase sums equal the summed attempt durations — stays exact. *)
   span_commit : Tm2c_engine.Span.t;
   span_abort : Tm2c_engine.Span.t;
+  faults : Tm2c_noc.Fault.t;
+  (* Hardening knobs, disabled (0.0) by default so pristine runs take
+     the exact pre-hardening code paths. *)
+  mutable req_timeout_ns : float;
+  mutable lease_ns : float;
 }
 
 let local_now env ~core = Tm2c_engine.Sim.now env.sim +. env.skew.(core)

@@ -70,6 +70,18 @@ type env = {
   span_abort : Tm2c_engine.Span.t;
       (** phase attribution of aborted attempts, including the
           between-attempt CM backoff *)
+  faults : Tm2c_noc.Fault.t;
+      (** fault-injection state (plan + counters + crashed cores);
+          created with an empty plan and a [Prng.split_label] stream so
+          its existence never perturbs baseline schedules *)
+  mutable req_timeout_ns : float;
+      (** base timeout before a pending lock request is resent
+          (exponential backoff per resend, bounded); 0.0 disables
+          hardening and awaits block forever as before *)
+  mutable lease_ns : float;
+      (** lock lease: a holder older than this is forcibly reclaimed
+          (status-CAS guarded) when it blocks a new request; 0.0
+          disables reclamation *)
 }
 
 (** A core's local clock reading ([Sim.now] plus its skew). *)

@@ -142,27 +142,53 @@ let meta ctx =
     m_effective_ns = ctx.effective_ns;
   }
 
+(* After each timeout-triggered resend the timeout doubles, bounded by
+   this factor over the configured base. *)
+let resend_backoff_factor = 16.0
+
 (* Receive until our response arrives; under the multitasking
    deployment, service requests arriving in the meantime are handled
-   inline (the libtask coroutine switch of Section 3.1). *)
-let await ctx req_id =
+   inline (the libtask coroutine switch of Section 3.1). When request
+   timeouts are enabled ([env.req_timeout_ns] > 0), a silent wait
+   resends the same request — same sequence number, so the server
+   absorbs duplicates and a late original reply is simply dropped by
+   the [req_id] match below. *)
+let await ctx ~dst ~kind req_id =
   (* Under multitasking, the first service request interrupting this
      wait pays the coroutine-scheduling delay (the application task's
      current computation slice must complete first — Figure 2);
      requests already queued behind it are then served in the same
      scheduling slot. *)
   let deferred = ref false in
-  let rec loop () =
-    match Network.recv ctx.env.System.net ~self:ctx.core with
-    | System.Resp r when r.req_id = req_id -> r.resp
-    | System.Resp _ -> loop ()
-    | System.Req { kind = System.Barrier_reached; _ } ->
+  let resends = ref 0 in
+  let base = ctx.env.System.req_timeout_ns in
+  let rec loop timeout_ns =
+    let msg =
+      if timeout_ns > 0.0 then
+        Network.recv_timeout ctx.env.System.net ~self:ctx.core ~timeout_ns
+      else Some (Network.recv ctx.env.System.net ~self:ctx.core)
+    in
+    match msg with
+    | None ->
+        incr resends;
+        let c = Fault.counters ctx.env.System.faults in
+        c.Fault.resends <- c.Fault.resends + 1;
+        if trace_on ctx then
+          emit ctx
+            (Event.Req_resent
+               { core = ctx.core; server = dst; req_id; nth = !resends });
+        Network.send ctx.env.System.net ~src:ctx.core ~dst
+          (System.Req { tx = meta ctx; kind; req_id });
+        loop (Float.min (timeout_ns *. 2.0) (base *. resend_backoff_factor))
+    | Some (System.Resp r) when r.req_id = req_id -> r.resp
+    | Some (System.Resp _) -> loop timeout_ns
+    | Some (System.Req { kind = System.Barrier_reached; _ }) ->
         (* A peer reached a privatization barrier while we are still
            inside a transaction: stash it for our own barrier call. *)
         ctx.env.System.barrier_seen.(ctx.core) <-
           ctx.env.System.barrier_seen.(ctx.core) + 1;
-        loop ()
-    | System.Req r -> (
+        loop timeout_ns
+    | Some (System.Req r) -> (
         match ctx.env.System.serve_inline with
         | Some serve ->
             if not !deferred then begin
@@ -170,11 +196,11 @@ let await ctx req_id =
               Network.compute ctx.env.System.net ctx.env.System.serve_defer_cycles
             end;
             serve ~self:ctx.core r;
-            loop ()
+            loop timeout_ns
         | None ->
             invalid_arg "Tx.await: application core received a service request")
   in
-  loop ()
+  loop base
 
 let send_request ctx ~dst kind =
   ctx.req_counter <- ctx.req_counter + 1;
@@ -191,7 +217,7 @@ let send_request ctx ~dst kind =
          });
   Network.send ctx.env.System.net ~src:ctx.core ~dst
     (System.Req { tx = meta ctx; kind; req_id });
-  await ctx req_id
+  await ctx ~dst ~kind req_id
 
 (* Releases are fire-and-forget. *)
 let send_release ctx ~dst kind =
@@ -217,13 +243,33 @@ let commit_groups ctx addrs =
 
 let status_encode ctx state = Status.encode ~attempt:ctx.attempt state
 
+(* Crash-stop fault injection, polled at operation boundaries (attempt
+   start, every lock round trip): the core dies by raising
+   [Sim.Stopped], so the fiber unwinds without sending any release —
+   its status word stays Pending and its locks are orphaned until
+   lease reclamation revokes them. A crash never lands inside the
+   commit's publish/write-back (no boundary there), so the write set is
+   all-or-nothing. *)
+let check_crash ctx =
+  let f = ctx.env.System.faults in
+  if Fault.crash_due f ~core:ctx.core ~now:(sim_now ctx) then begin
+    Fault.mark_crashed f ~core:ctx.core;
+    if trace_on ctx then
+      emit ctx
+        (Event.Core_crashed
+           { core = ctx.core; attempt = (if ctx.in_tx then ctx.attempt else -1) });
+    raise Sim.Stopped
+  end
+
 (* Poll our status word: a remote contention manager may have aborted
    this attempt. *)
 let check_status ctx =
+  check_crash ctx;
   let v = Atomic_reg.read ctx.env.System.regs ~core:ctx.core ~reg:ctx.core in
   if v = status_encode ctx Status.Aborted then raise (Abort_exn None)
 
 let begin_attempt ctx =
+  check_crash ctx;
   Hashtbl.reset ctx.read_buf;
   Hashtbl.reset ctx.write_buf;
   ctx.reads_held <- [];

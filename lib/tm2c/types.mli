@@ -53,6 +53,9 @@ type holder = {
   h_est_start_ns : float;
   h_committed : int;
   h_effective_ns : float;
+  h_granted_ns : float;
+      (** server-local time the lock was granted — the lease clock for
+          orphan-lock reclamation *)
 }
 
-val holder_of_meta : cm_meta -> est_start_ns:float -> holder
+val holder_of_meta : cm_meta -> est_start_ns:float -> granted_ns:float -> holder

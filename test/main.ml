@@ -13,4 +13,5 @@ let () =
       ("export", Test_export.suite);
       ("profile", Test_profile.suite);
       ("check", Test_check.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -248,6 +248,107 @@ let test_atomic_writeback_passes () =
   let r = Check.run events in
   check "atomic write-back passes" true (Check.passed r)
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Lockset mutation: a DS server that double-releases a write lock
+   would be able to grant it to a second writer while the first still
+   holds it. Simulate the aftermath by injecting a conflicting
+   [Wlock_granted] right after a real one in an otherwise clean
+   stream; the protocol checker must reject with a witness naming the
+   exclusivity breach. *)
+let test_mutation_double_wlock_grant_caught () =
+  let events = collect_counter ~per_core:10 () in
+  check "unmutated stream is clean" true
+    (Lockset.ok (Lockset.analyze events));
+  let mutated =
+    List.concat_map
+      (fun (time, ev) ->
+        match ev with
+        | Event.Wlock_granted { core; addrs } when addrs <> [] ->
+            let enemy = if core = 1 then 3 else 1 in
+            [ (time, ev); (time, Event.Wlock_granted { core = enemy; addrs }) ]
+        | _ -> [ (time, ev) ])
+      events
+  in
+  let r = Lockset.analyze mutated in
+  check "double grant rejected" false (Lockset.ok r);
+  check "witness names the exclusivity breach" true
+    (List.exists
+       (fun v -> contains v.Lockset.v_message "write-lock grant")
+       r.Lockset.violations)
+
+(* Lockset mutation: releasing a read lock before the attempt's end in
+   a *non-elastic* transaction breaks two-phase locking. Inject an
+   [Rlock_released] right after the first granted read; the checker
+   must reject with a two-phase witness. *)
+let test_mutation_early_read_release_caught () =
+  let events = collect_counter ~per_core:10 () in
+  let injected = ref false in
+  let mutated =
+    List.concat_map
+      (fun (time, ev) ->
+        match ev with
+        | Event.Tx_read { core; addr; granted = true; _ } when not !injected ->
+            injected := true;
+            [ (time, ev); (time, Event.Rlock_released { core; addr }) ]
+        | _ -> [ (time, ev) ])
+      events
+  in
+  check "mutation applied" true !injected;
+  let r = Lockset.analyze mutated in
+  check "early release rejected" false (Lockset.ok r);
+  check "witness names the two-phase violation" true
+    (List.exists
+       (fun v -> contains v.Lockset.v_message "two-phase violation")
+       r.Lockset.violations)
+
+(* The five fault/hardening event kinds added in the v2 log format
+   must survive a save/load round trip exactly. *)
+let test_histlog_fault_events_roundtrip () =
+  let events =
+    [
+      (1.0, Event.Msg_dropped { src = 1; dst = 2 });
+      (2.0, Event.Msg_duplicated { src = 3; dst = 0 });
+      (3.0, Event.Req_resent { core = 1; server = 2; req_id = 7; nth = 1 });
+      (4.0, Event.Core_crashed { core = 3; attempt = 5 });
+      ( 5.0,
+        Event.Lease_reclaimed { server = 2; victim = 3; addr = 9; aborted = true }
+      );
+      ( 6.0,
+        Event.Lease_reclaimed
+          { server = 0; victim = 1; addr = 11; aborted = false } );
+    ]
+  in
+  let path = Filename.temp_file "tm2c_hist" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Histlog.save path events;
+      check "fault events round-trip exactly" true (Histlog.load path = events))
+
+(* Pre-fault-layer v1 logs stay loadable: only the header differs when
+   no fault records are present. *)
+let test_histlog_v1_header_accepted () =
+  let events = collect_counter ~per_core:5 () in
+  let path = Filename.temp_file "tm2c_hist" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Histlog.save path events;
+      let contents = In_channel.with_open_text path In_channel.input_all in
+      let body =
+        match String.index_opt contents '\n' with
+        | Some i -> String.sub contents i (String.length contents - i)
+        | None -> Alcotest.fail "history log has no header line"
+      in
+      let oc = open_out path in
+      output_string oc ("# tm2c-history v1" ^ body);
+      close_out oc;
+      check "v1 header accepted" true (Histlog.load path = events))
+
 let test_liveness_budget () =
   (* Synthetic starving core: [budget] consecutive aborts trip the
      monitor; one fewer stays clean. *)
@@ -290,6 +391,14 @@ let suite =
       test_mutation_nonatomic_writeback_caught;
     Alcotest.test_case "atomic write-back passes" `Quick
       test_atomic_writeback_passes;
+    Alcotest.test_case "mutation: double write-lock grant caught" `Quick
+      test_mutation_double_wlock_grant_caught;
+    Alcotest.test_case "mutation: early read-lock release caught" `Quick
+      test_mutation_early_read_release_caught;
+    Alcotest.test_case "histlog round-trips fault events" `Quick
+      test_histlog_fault_events_roundtrip;
+    Alcotest.test_case "histlog accepts v1 header" `Quick
+      test_histlog_v1_header_accepted;
     Alcotest.test_case "liveness budget" `Quick test_liveness_budget;
     Alcotest.test_case "STATUS abort label" `Quick test_status_label;
   ]

@@ -174,6 +174,48 @@ let test_prng_uniformity () =
         (abs (c - (n / 16)) < n / 16 / 5))
     cells
 
+(* split_label: same label, same child; labels are independent
+   streams; and — the property the fault layer depends on — deriving a
+   child never advances the parent. *)
+let test_prng_split_label () =
+  let a = Prng.create ~seed:9 and a' = Prng.create ~seed:9 in
+  let c1 = Prng.split_label a ~label:"fault" in
+  let c2 = Prng.split_label a' ~label:"fault" in
+  for _ = 1 to 32 do
+    check "same label, same stream" true (Prng.next c1 = Prng.next c2)
+  done;
+  let d = Prng.split_label a ~label:"other" in
+  let c3 = Prng.split_label a ~label:"fault" in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next d = Prng.next c3 then incr same
+  done;
+  check "distinct labels diverge" true (!same < 4)
+
+let test_prng_split_label_parent_unperturbed () =
+  let a = Prng.create ~seed:31 and b = Prng.create ~seed:31 in
+  let expected = List.init 64 (fun _ -> Prng.next b) in
+  let _child = Prng.split_label a ~label:"fault" in
+  let got = List.init 64 (fun _ -> Prng.next a) in
+  check "parent stream bit-for-bit unchanged" true (got = expected)
+
+(* Statistical smoke over the labeled child: cell balance like the
+   parent's uniformity test, so a degenerate label hash (all children
+   collapsing onto a few states) would show up immediately. *)
+let test_prng_split_label_uniform () =
+  let p = Prng.split_label (Prng.create ~seed:77) ~label:"fault" in
+  let cells = Array.make 16 0 in
+  let n = 16_000 in
+  for _ = 1 to n do
+    let i = Prng.int p 16 in
+    cells.(i) <- cells.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check "cell within 20% of expectation" true
+        (abs (c - (n / 16)) < n / 16 / 5))
+    cells
+
 (* ---- Sim ---- *)
 
 let test_sim_delay_order () =
@@ -294,6 +336,40 @@ let test_mailbox_try_recv () =
   check "nonempty" true (Mailbox.try_recv mb = Some 9);
   check "drained" true (Mailbox.is_empty mb)
 
+let test_mailbox_recv_timeout () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create sim in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      (* Arrives in time. *)
+      got := Mailbox.recv_timeout mb ~timeout_ns:50.0 :: !got;
+      (* Nothing arrives: timeout fires, time has advanced. *)
+      got := Mailbox.recv_timeout mb ~timeout_ns:30.0 :: !got;
+      got := (Some (int_of_float (Sim.now sim)) : int option) :: !got);
+  Mailbox.send_at mb ~at:20.0 7;
+  let _ = Sim.run sim () in
+  Alcotest.(check (list (option int)))
+    "value, then timeout at +30"
+    [ Some 7; None; Some 50 ]
+    (List.rev !got)
+
+(* A timeout that already fired must not clobber the waiter of a later
+   receive on the same mailbox: the second recv installs a fresh
+   waiter, and only the stale timeout's own waiter may be removed. *)
+let test_mailbox_recv_timeout_stale () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create sim in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      got := Mailbox.recv_timeout mb ~timeout_ns:10.0 :: !got;
+      (* Re-arm immediately; the message lands at t=40, well after the
+         first timeout's cancel event has been and gone. *)
+      got := Mailbox.recv_timeout mb ~timeout_ns:1_000.0 :: !got);
+  Mailbox.send_at mb ~at:40.0 3;
+  let _ = Sim.run sim () in
+  Alcotest.(check (list (option int)))
+    "timeout then delivery" [ None; Some 3 ] (List.rev !got)
+
 (* ---- Ivar ---- *)
 
 let test_ivar_fill_read () =
@@ -339,6 +415,11 @@ let suite =
     QCheck_alcotest.to_alcotest prng_int_bounds;
     QCheck_alcotest.to_alcotest prng_float_bounds;
     ("prng: roughly uniform", `Quick, test_prng_uniformity);
+    ("prng: split_label deterministic per label", `Quick, test_prng_split_label);
+    ( "prng: split_label leaves parent untouched",
+      `Quick,
+      test_prng_split_label_parent_unperturbed );
+    ("prng: split_label child uniform", `Quick, test_prng_split_label_uniform);
     ("sim: delay ordering", `Quick, test_sim_delay_order);
     ("sim: spawn counts", `Quick, test_sim_spawn_counts);
     ("sim: until horizon", `Quick, test_sim_until_horizon);
@@ -349,6 +430,8 @@ let suite =
     ("mailbox: FIFO", `Quick, test_mailbox_fifo);
     ("mailbox: send_at", `Quick, test_mailbox_send_at);
     ("mailbox: try_recv", `Quick, test_mailbox_try_recv);
+    ("mailbox: recv_timeout", `Quick, test_mailbox_recv_timeout);
+    ("mailbox: stale timeout is inert", `Quick, test_mailbox_recv_timeout_stale);
     ("ivar: fill wakes readers", `Quick, test_ivar_fill_read);
     ("ivar: double fill rejected", `Quick, test_ivar_double_fill);
     ("ivar: try_read", `Quick, test_ivar_try_read);

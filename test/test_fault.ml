@@ -1,0 +1,263 @@
+(* Fault-injection and protocol-hardening tests: plan spec round-trip,
+   the empty-plan bit-for-bit determinism guarantee, duplicate-request
+   absorption, timeout/resend under drops and under timeouts shorter
+   than the round trip, DS-server stall windows, and lease reclamation
+   unblocking writers after a crash — asserted on outcome and on the
+   emitted event sequence. *)
+
+open Tm2c_core
+open Tm2c_noc
+open Tm2c_check
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cfg ?(total = 16) ?(policy = Cm.Fair_cm) ?(seed = 42) () =
+  {
+    Runtime.platform = Platform.scc;
+    total_cores = total;
+    service_cores = total / 2;
+    deployment = Runtime.Dedicated;
+    policy;
+    wmode = Tx.Lazy;
+    batching = true;
+    max_skew_ns = 3_000.0;
+    seed;
+    mem_words = 1 lsl 18;
+  }
+
+(* Shared-counter window run (every app core increments one word),
+   with the collector tapped in and the fault/hardening knobs
+   exposed. Returns the runtime, the workload result, and the
+   complete event history. *)
+let run_counter ?plan ?(timeout_ns = 0.0) ?(lease_ns = 0.0)
+    ?(policy = Cm.Fair_cm) ?(seed = 42) ?(duration_ms = 0.5) () =
+  let t = Runtime.create (cfg ~policy ~seed ()) in
+  (match plan with Some p -> Runtime.set_fault_plan t p | None -> ());
+  if timeout_ns > 0.0 || lease_ns > 0.0 then
+    Runtime.set_hardening t ~timeout_ns ~lease_ns ();
+  let col = Collector.create () in
+  Collector.attach col (Runtime.trace t);
+  let counter = Tm2c_memory.Alloc.alloc (Runtime.alloc t) ~words:1 in
+  let r =
+    Tm2c_apps.Workload.drive t ~duration_ns:(duration_ms *. 1e6)
+      (fun _core ctx _prng () ->
+        Tx.atomic ctx (fun () -> Tx.write ctx counter (Tx.read ctx counter + 1)))
+  in
+  Collector.detach (Runtime.trace t);
+  (t, r, Collector.to_list col)
+
+let plan_of_spec s =
+  match Fault.of_spec s with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "of_spec %S: %s" s m
+
+(* ---- plan spec ---- *)
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun s ->
+      let p = plan_of_spec s in
+      check ("round-trip " ^ s) true (Fault.of_spec (Fault.to_spec p) = Ok p))
+    [
+      "none";
+      "drop=0.01";
+      "dup=0.02";
+      "delay=0.05@2000";
+      "drop=0.01,dup=0.02,delay=0.05@2000";
+      "stall=8@1e6+5e5";
+      "crash=3@2e6";
+      "drop=0.01,dup=0.02,delay=0.05@2000,stall=8@1e6+5e5,crash=3@2e6";
+    ];
+  check "none is the empty plan" true (plan_of_spec "none" = Fault.empty);
+  List.iter
+    (fun s ->
+      check ("rejected: " ^ s) true
+        (match Fault.of_spec s with Error _ -> true | Ok _ -> false))
+    [ "bogus"; "drop=x"; "drop=0.01,"; "stall=1"; "crash=z@1e6" ]
+
+(* ---- determinism ---- *)
+
+(* The fault layer draws from its own [Prng.split_label] stream, so
+   installing the *empty* plan must reproduce the no-fault run
+   bit-for-bit: same counts and the same event stream, timestamps
+   included (hardening off on both sides — its timeout bookkeeping
+   adds heap events of its own). *)
+let test_empty_plan_bit_for_bit () =
+  let _, r0, ev0 = run_counter () in
+  let _, r1, ev1 = run_counter ~plan:Fault.empty () in
+  check_int "commits equal" r0.Tm2c_apps.Workload.commits
+    r1.Tm2c_apps.Workload.commits;
+  check_int "aborts equal" r0.Tm2c_apps.Workload.aborts
+    r1.Tm2c_apps.Workload.aborts;
+  check "event streams identical" true (ev0 = ev1)
+
+(* ---- duplicate absorption ---- *)
+
+let test_duplicate_absorption () =
+  let t, r, events = run_counter ~plan:(plan_of_spec "dup=1.0") () in
+  let c = Fault.counters (Runtime.faults t) in
+  check "every message duplicated" true (c.Fault.duplicated > 0);
+  check "server absorbed duplicate requests" true (c.Fault.absorbed > 0);
+  check "progress despite duplicates" true (r.Tm2c_apps.Workload.commits > 0);
+  check "Msg_duplicated events traced" true
+    (List.exists
+       (fun (_, ev) -> match ev with Event.Msg_duplicated _ -> true | _ -> false)
+       events);
+  let res = Check.run events in
+  check "checkers pass under full duplication" true (Check.passed res)
+
+(* ---- drops, timeouts, resends ---- *)
+
+let test_drop_resend () =
+  let t, r, events =
+    run_counter ~plan:(plan_of_spec "drop=0.3") ~timeout_ns:30_000.0
+      ~lease_ns:250_000.0 ()
+  in
+  let c = Fault.counters (Runtime.faults t) in
+  check "messages dropped" true (c.Fault.dropped > 0);
+  check "timeouts resent" true (c.Fault.resends > 0);
+  check "progress despite drops" true (r.Tm2c_apps.Workload.commits > 0);
+  let resent =
+    List.filter_map
+      (fun (_, ev) ->
+        match ev with Event.Req_resent { nth; _ } -> Some nth | _ -> None)
+      events
+  in
+  check "Req_resent events traced" true (resent <> []);
+  check "nth counts from 1" true (List.mem 1 resent);
+  let res = Check.run events in
+  check "checkers pass under drops" true (Check.passed res)
+
+(* Timeout shorter than the request round trip: every request is
+   resent while the original reply is still in flight, so the
+   late-original / resend races all happen — the server must absorb
+   the duplicate requests and the requester the duplicate replies. *)
+let test_timeout_below_rtt () =
+  let t, r, events = run_counter ~timeout_ns:1_000.0 () in
+  let c = Fault.counters (Runtime.faults t) in
+  check "resends without any injected fault" true (c.Fault.resends > 0);
+  check "duplicates absorbed at the server" true (c.Fault.absorbed > 0);
+  check "progress despite the resend storm" true
+    (r.Tm2c_apps.Workload.commits > 0);
+  let res = Check.run events in
+  check "checkers pass with timeout < RTT" true (Check.passed res)
+
+(* ---- DS-server stall windows ---- *)
+
+let test_stall_window () =
+  (* Allocation is deterministic, so a probe run tells us which DS
+     server homes the counter word — stall that one, or the window
+     would go unnoticed. *)
+  let owner =
+    let t = Runtime.create (cfg ()) in
+    let counter = Tm2c_memory.Alloc.alloc (Runtime.alloc t) ~words:1 in
+    (Runtime.env t).System.owner_of counter
+  in
+  let t, r, events =
+    run_counter
+      ~plan:(plan_of_spec (Printf.sprintf "stall=%d@1e5+2e5" owner))
+      ~timeout_ns:30_000.0 ~duration_ms:1.0 ()
+  in
+  let c = Fault.counters (Runtime.faults t) in
+  check "stall provoked resends" true (c.Fault.resends > 0);
+  check "progress after the stall" true (r.Tm2c_apps.Workload.commits > 0);
+  let res = Check.run events in
+  check "checkers pass across the stall" true (Check.passed res)
+
+(* ---- crash + lease reclamation ---- *)
+
+(* Find a crash instant that lands while core 3 holds its read lock on
+   the counter (between the grant and the commit-time status poll),
+   wedging every writer under the requester-always-loses policy:
+   with leases disabled the run makes no progress at all past the
+   crash. Returns the wedging plan. *)
+let find_wedge () =
+  let rec go = function
+    | [] -> Alcotest.fail "no crash instant in the sweep wedged the run"
+    | at :: rest ->
+        let spec = Printf.sprintf "crash=3@%g" at in
+        let plan = plan_of_spec spec in
+        let _, r, _ =
+          run_counter ~plan ~policy:Cm.Backoff_retry ~seed:1 ~duration_ms:2.0 ()
+        in
+        if r.Tm2c_apps.Workload.commits = 0 then plan else go rest
+  in
+  go [ 1e5; 2e5; 3e5; 4e5; 5e5 ]
+
+let test_crash_wedges_without_leases () =
+  let plan = find_wedge () in
+  let t, r, events =
+    run_counter ~plan ~policy:Cm.Backoff_retry ~seed:1 ~duration_ms:2.0 ()
+  in
+  (* The run terminates (hard virtual horizon) with zero commits: the
+     orphan read lock blocks every writer and no one may revoke it. *)
+  check_int "no commits while wedged" 0 r.Tm2c_apps.Workload.commits;
+  check "crash recorded" true (Fault.is_crashed (Runtime.faults t) ~core:3);
+  check "Core_crashed traced for core 3" true
+    (List.exists
+       (fun (_, ev) ->
+         match ev with Event.Core_crashed { core = 3; _ } -> true | _ -> false)
+       events);
+  (* The crashed core's open attempt is not a violation: it closes as
+     Unfinished, exactly like run-horizon truncation. *)
+  let res = Check.run events in
+  check "no safety violation from the crash" true
+    (Lockset.ok res.Check.lockset && res.Check.history.History.anomalies = []);
+  check "crashed core's attempt is Unfinished" true
+    (List.exists
+       (fun (a : History.attempt) ->
+         a.History.a_core = 3 && a.History.a_outcome = History.Unfinished)
+       res.Check.history.History.attempts)
+
+let test_lease_reclaim_unblocks () =
+  let plan = find_wedge () in
+  let t, r, events =
+    run_counter ~plan ~policy:Cm.Backoff_retry ~seed:1 ~duration_ms:2.0
+      ~lease_ns:250_000.0 ()
+  in
+  let c = Fault.counters (Runtime.faults t) in
+  check "writers unblocked" true (r.Tm2c_apps.Workload.commits > 0);
+  check "a lease was reclaimed" true (c.Fault.leases_reclaimed > 0);
+  (* Event sequence: the crash precedes the reclaim of its orphan, and
+     the reclaim precedes the first commit after it. *)
+  let idx p =
+    let rec go i = function
+      | [] -> None
+      | (_, ev) :: rest -> if p ev then Some i else go (i + 1) rest
+    in
+    go 0 events
+  in
+  let crash_i =
+    idx (function Event.Core_crashed { core = 3; _ } -> true | _ -> false)
+  in
+  let reclaim_i =
+    idx (function Event.Lease_reclaimed { victim = 3; _ } -> true | _ -> false)
+  in
+  (match (crash_i, reclaim_i) with
+  | Some ci, Some ri -> check "crash precedes reclaim" true (ci < ri)
+  | _ -> Alcotest.fail "missing Core_crashed or Lease_reclaimed event");
+  (match reclaim_i with
+  | Some ri ->
+      let commit_after =
+        List.exists
+          (fun (i, (_, ev)) ->
+            i > ri && match ev with Event.Tx_committed _ -> true | _ -> false)
+          (List.mapi (fun i e -> (i, e)) events)
+      in
+      check "a commit follows the reclaim" true commit_after
+  | None -> ());
+  let res = Check.run events in
+  check "checkers pass with leases on" true (Check.passed res)
+
+let suite =
+  [
+    ("fault: plan spec round-trip", `Quick, test_spec_roundtrip);
+    ("fault: empty plan is bit-for-bit baseline", `Quick, test_empty_plan_bit_for_bit);
+    ("fault: duplicate requests absorbed", `Quick, test_duplicate_absorption);
+    ("fault: drops recovered by resend", `Quick, test_drop_resend);
+    ("fault: timeout below RTT races", `Quick, test_timeout_below_rtt);
+    ("fault: DS-server stall window", `Quick, test_stall_window);
+    ("fault: crash wedges without leases", `Quick, test_crash_wedges_without_leases);
+    ("fault: lease reclaim unblocks writers", `Quick, test_lease_reclaim_unblocks);
+  ]

@@ -38,6 +38,7 @@ let mk ?(attempt = 0) ?(start = 0.0) ?(committed = 0) ?(effective = 0.0) core =
     h_est_start_ns = start;
     h_committed = committed;
     h_effective_ns = effective;
+    h_granted_ns = start;
   }
 
 let test_cm_names () =
