@@ -28,10 +28,10 @@ let () =
         require v [ "scale" ];
         (* v2 exports (no "faults" section) are still accepted; the
            faults rules below only run on runs that carry the section,
-           which v3 makes mandatory. *)
+           which v3 made mandatory and v4 extended. *)
         (match Json.member "schema_version" v with
-        | Some (Json.Int (2 | 3)) -> ()
-        | Some (Json.Int n) -> fail "schema_version %d, expected 2 or 3" n
+        | Some (Json.Int (2 | 3 | 4)) -> ()
+        | Some (Json.Int n) -> fail "schema_version %d, expected 2, 3 or 4" n
         | _ -> fail "missing schema_version");
         List.concat_map
           (fun e ->
@@ -73,17 +73,29 @@ let () =
       [ "timeseries"; "channels"; "commits"; "values" ];
       [ "timeseries"; "channels"; "queue_depth_mean"; "values" ];
     ];
-  (* v3 faults section: mandatory when the export is schema v3 (single
-     run records always carry it), checked for internal consistency on
-     every run that has it. *)
+  (* v3+ faults section: mandatory when the export is schema v3 or v4
+     (single run records always carry it), checked for internal
+     consistency on every run that has it. *)
   (match Json.member "schema_version" v with
-  | Some (Json.Int 3) | None ->
+  | Some (Json.Int (3 | 4)) | None ->
       List.iter (require first_run)
         [
           [ "faults"; "plan" ];
           [ "faults"; "injected" ];
           [ "faults"; "resends" ];
           [ "faults"; "leases_reclaimed" ];
+        ]
+  | _ -> ());
+  (match Json.member "schema_version" v with
+  | Some (Json.Int 4) ->
+      List.iter (require first_run)
+        [
+          [ "faults"; "replicas" ];
+          [ "faults"; "replicated" ];
+          [ "faults"; "failovers" ];
+          [ "faults"; "stale_rejections" ];
+          [ "faults"; "cache_evicted" ];
+          [ "wedged" ];
         ]
   | _ -> ());
   List.iteri
@@ -98,9 +110,17 @@ let () =
             | None -> fail "run %d: faults.%s missing or not an integer" ri k
           in
           let injected = count "injected" in
+          (* A v4-era record carries the reorder/partition/server-crash
+             counters in the breakdown; a v3 record predates them.
+             Presence of "reordered" tells the two apart (harness
+             exports and single-run records alike). *)
           let parts =
             count "dropped" + count "duplicated" + count "delayed"
             + count "crashes"
+            +
+            if Json.member "reordered" f <> None then
+              count "reordered" + count "partitioned" + count "server_crashes"
+            else 0
           in
           if injected <> parts then
             fail "run %d: faults.injected %d <> breakdown sum %d" ri injected

@@ -102,13 +102,21 @@ let report t (r : Workload.result) =
     || fc.Tm2c_noc.Fault.leases_reclaimed > 0
   then
     Printf.printf
-      "faults        %10d injected (drop %d, dup %d, delay %d, crash %d); %d \
-       resends, %d absorbed, %d leases reclaimed\n"
+      "faults        %10d injected (drop %d, dup %d, delay %d, reorder %d, \
+       partition %d, crash %d, scrash %d); %d resends, %d absorbed, %d \
+       leases reclaimed\n"
       (Tm2c_noc.Fault.injected fl)
       fc.Tm2c_noc.Fault.dropped fc.Tm2c_noc.Fault.duplicated
-      fc.Tm2c_noc.Fault.delayed fc.Tm2c_noc.Fault.crashes
-      fc.Tm2c_noc.Fault.resends fc.Tm2c_noc.Fault.absorbed
-      fc.Tm2c_noc.Fault.leases_reclaimed;
+      fc.Tm2c_noc.Fault.delayed fc.Tm2c_noc.Fault.reordered
+      fc.Tm2c_noc.Fault.partitioned fc.Tm2c_noc.Fault.crashes
+      fc.Tm2c_noc.Fault.server_crashes fc.Tm2c_noc.Fault.resends
+      fc.Tm2c_noc.Fault.absorbed fc.Tm2c_noc.Fault.leases_reclaimed;
+  if Runtime.replicas t > 0 || fc.Tm2c_noc.Fault.cache_evicted > 0 then
+    Printf.printf
+      "replication   %10d mutations shipped; %d failovers, %d stale-epoch \
+       rejections, %d response-cache evictions\n"
+      fc.Tm2c_noc.Fault.replicated fc.Tm2c_noc.Fault.failovers
+      fc.Tm2c_noc.Fault.stale_rejections fc.Tm2c_noc.Fault.cache_evicted;
   let net = (Runtime.env t).System.net in
   let m = Tm2c_noc.Network.metrics net in
   let lat = m.Tm2c_noc.Network.latency in
@@ -156,9 +164,9 @@ let fault_plan_conv =
   Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Tm2c_noc.Fault.to_spec p))
 
 let run bench platform cm cores service multitask eager fault_plan timeout_ns
-    lease_ns trace trace_out json perfetto timeseries_ms check history witness
-    duration_ms seed balance accounts buckets updates elastic size input_kb
-    chunk_kb =
+    lease_ns replicas watchdog_ms trace trace_out json perfetto timeseries_ms
+    check history witness duration_ms seed balance accounts buckets updates
+    elastic size input_kb chunk_kb =
   let deployment = if multitask then Runtime.Multitask else Runtime.Dedicated in
   let service = match service with Some s -> s | None -> max 1 (cores / 2) in
   let cfg =
@@ -182,6 +190,9 @@ let run bench platform cm cores service multitask eager fault_plan timeout_ns
   | None -> ());
   if timeout_ns > 0.0 || lease_ns > 0.0 then
     Runtime.set_hardening t ~timeout_ns ~lease_ns ();
+  if replicas > 0 then Runtime.enable_replication t ~replicas;
+  if watchdog_ms > 0.0 then
+    Runtime.enable_watchdog t ~window_ns:(watchdog_ms *. 1e6) ~stall_windows:3;
   let tracing = trace || trace_out <> None || perfetto <> None in
   if tracing then Runtime.enable_tracing t;
   (* The checkers need the complete history, not the 64K ring tail:
@@ -308,7 +319,7 @@ let run bench platform cm cores service multitask eager fault_plan timeout_ns
       Printf.printf "wrote Perfetto timeline to %s (open in ui.perfetto.dev)\n"
         path
   | None -> ());
-  match collector with
+  (match collector with
   | None -> ()
   | Some c ->
       let events = Tm2c_check.Collector.to_list c in
@@ -319,7 +330,14 @@ let run bench platform cm cores service multitask eager fault_plan timeout_ns
             (List.length events)
       | None -> ());
       if check then begin
-        let result = Tm2c_check.Check.run events in
+        (* With a replicated service a wedge is a broken promise, and
+           a watchdog-armed run wants the wedged cores named: arm the
+           liveness monitor's stuck detection. *)
+        let result =
+          if replicas > 0 || Runtime.wedged t then
+            Tm2c_check.Check.run ~stuck_after_ns:1e6 events
+          else Tm2c_check.Check.run events
+        in
         print_newline ();
         Format.printf "%a" Tm2c_check.Check.pp_summary result;
         if not (Tm2c_check.Check.passed result) then begin
@@ -335,7 +353,13 @@ let run bench platform cm cores service multitask eager fault_plan timeout_ns
           | None -> ());
           exit 1
         end
-      end
+      end);
+  if Runtime.wedged t then begin
+    Printf.eprintf
+      "watchdog: no attempt resolved (commit or abort) across consecutive \
+       windows — run cut short, exiting nonzero\n";
+    exit 2
+  end
 
 let cmd =
   let bench =
@@ -385,6 +409,22 @@ let cmd =
              ~doc:"Lock lease in virtual ns (0 disables): a holder blocking \
                    a request past its lease is reclaimed under a status-word \
                    CAS (recovers orphan locks of crashed cores).")
+  in
+  let replicas =
+    Arg.(value & opt int 0
+         & info [ "replicas" ] ~docv:"N"
+             ~doc:"Replicated DS-lock service (0 or 1): each primary ships \
+                   its lock-table mutations to a backup server; clients that \
+                   exhaust their resend patience bump the partition epoch and \
+                   fail over to it. Requires --timeout-ns and the dedicated \
+                   deployment.")
+  in
+  let watchdog_ms =
+    Arg.(value & opt float 0.0
+         & info [ "watchdog-ms" ] ~docv:"MS"
+             ~doc:"Liveness watchdog window in virtual ms (0 disables): three \
+                   consecutive windows without a commit while processes \
+                   remain cut the run short and exit nonzero.")
   in
   let trace =
     Arg.(value & flag
@@ -474,9 +514,9 @@ let cmd =
   Cmd.v (Cmd.info "tm2c-sim" ~doc)
     Term.(
       const run $ bench $ platform $ cm $ cores $ service $ multitask $ eager
-      $ fault_plan $ timeout_ns $ lease_ns $ trace $ trace_out $ json
-      $ perfetto $ timeseries_ms $ check $ history $ witness $ duration $ seed
-      $ balance $ accounts $ buckets $ updates $ elastic $ size $ input_kb
-      $ chunk_kb)
+      $ fault_plan $ timeout_ns $ lease_ns $ replicas $ watchdog_ms $ trace
+      $ trace_out $ json $ perfetto $ timeseries_ms $ check $ history
+      $ witness $ duration $ seed $ balance $ accounts $ buckets $ updates
+      $ elastic $ size $ input_kb $ chunk_kb)
 
 let () = exit (Cmd.eval cmd)

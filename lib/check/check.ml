@@ -10,13 +10,27 @@ type result = {
 
 let default_liveness_budget = 1000
 
-let run ?(liveness_budget = default_liveness_budget) events =
+let run ?(liveness_budget = default_liveness_budget) ?stuck_after_ns events =
   let history = History.build events in
+  (* Crash-stopped cores are exempt from wedge detection (their open
+     attempt is the crash); the horizon is the last traced instant,
+     which bounds how long any attempt can have hung. *)
+  let crashed =
+    List.filter_map
+      (function
+        | _, Tm2c_core.Event.Core_crashed { core; _ } -> Some core | _ -> None)
+      events
+  in
+  let horizon_ns =
+    List.fold_left (fun acc (t, _) -> Float.max acc t) 0.0 events
+  in
   {
     history;
     serial = Serial.analyze history;
     lockset = Lockset.analyze events;
-    liveness = Liveness.analyze ~budget:liveness_budget history;
+    liveness =
+      Liveness.analyze ~budget:liveness_budget ?stuck_after_ns ~crashed
+        ~horizon_ns history;
   }
 
 let n_failures r =
@@ -25,6 +39,7 @@ let n_failures r =
   + (match r.serial.Serial.cycle with Some _ -> 1 | None -> 0)
   + List.length r.lockset.Lockset.violations
   + List.length r.liveness.Liveness.violations
+  + List.length r.liveness.Liveness.stuck
 
 let passed r = n_failures r = 0
 
@@ -68,12 +83,13 @@ let pp_summary fmt r =
     (status (Lockset.ok r.lockset))
     r.lockset.Lockset.n_grants
     (List.length r.lockset.Lockset.violations);
-  Format.fprintf fmt "liveness %s  max abort chain %s, budget %d@."
+  Format.fprintf fmt "liveness %s  max abort chain %s, budget %d, %d stuck@."
     (status (Liveness.ok r.liveness))
     (match r.liveness.Liveness.max_chain with
     | None -> "0"
     | Some ch -> Printf.sprintf "%d (core %d)" ch.Liveness.ch_len ch.Liveness.ch_core)
     r.liveness.Liveness.budget
+    (List.length r.liveness.Liveness.stuck)
 
 let pp_witness fmt r =
   if r.history.History.anomalies <> [] then begin
@@ -121,6 +137,17 @@ let pp_witness fmt r =
           ch.Liveness.ch_start_time ch.Liveness.ch_end_time
           r.liveness.Liveness.budget)
       r.liveness.Liveness.violations
+  end;
+  if r.liveness.Liveness.stuck <> [] then begin
+    Format.fprintf fmt "@.== wedged cores ==@.";
+    List.iter
+      (fun (s : Liveness.stuck) ->
+        Format.fprintf fmt
+          "  core %d: attempt %d open since %.0fns, no progress for %.0fns — \
+           likely waiting on a dead lock server@."
+          s.Liveness.st_core s.Liveness.st_attempt s.Liveness.st_since_ns
+          s.Liveness.st_idle_ns)
+      r.liveness.Liveness.stuck
   end
 
 let report_string r =

@@ -15,8 +15,14 @@ type result = {
 
 val default_liveness_budget : int
 
+(** [stuck_after_ns] arms the liveness monitor's wedge detection
+    (see {!Liveness.analyze}); crashed cores and the horizon are
+    derived from the event stream itself. *)
 val run :
-  ?liveness_budget:int -> (float * Tm2c_core.Event.t) list -> result
+  ?liveness_budget:int ->
+  ?stuck_after_ns:float ->
+  (float * Tm2c_core.Event.t) list ->
+  result
 
 (** Total violations across all checkers (history anomalies count). *)
 val n_failures : result -> int

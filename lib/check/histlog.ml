@@ -11,9 +11,12 @@
 open Tm2c_core
 open Types
 
-(* v2 added the fault/hardening records (DRP DUP RSN CRS LSR); v1 logs
+(* v3 added the failover records (SCR EPB RPA FOD SER); v2 added the
+   fault/hardening records (DRP DUP RSN CRS LSR). Both older versions
    are still accepted on read. *)
-let header = "# tm2c-history v2"
+let header = "# tm2c-history v3"
+
+let header_v2 = "# tm2c-history v2"
 
 let header_v1 = "# tm2c-history v1"
 
@@ -70,7 +73,15 @@ let write_event oc time ev =
       p "RSN %d %d %d %d" core server req_id nth
   | Event.Core_crashed { core; attempt } -> p "CRS %d %d" core attempt
   | Event.Lease_reclaimed { server; victim; addr; aborted } ->
-      p "LSR %d %d %d %s" server victim addr (bool01 aborted));
+      p "LSR %d %d %d %s" server victim addr (bool01 aborted)
+  | Event.Server_crashed { server } -> p "SCR %d" server
+  | Event.Epoch_bumped { part; epoch; by } -> p "EPB %d %d %d" part epoch by
+  | Event.Replica_applied { server; src; part; n_addrs } ->
+      p "RPA %d %d %d %d" server src part n_addrs
+  | Event.Failover_done { server; part; epoch; merged } ->
+      p "FOD %d %d %d %d" server part epoch merged
+  | Event.Stale_epoch_rejected { server; core; req_epoch; cur_epoch } ->
+      p "SER %d %d %d %d" server core req_epoch cur_epoch);
   p "\n"
 
 let write oc events =
@@ -208,6 +219,33 @@ let parse_line lineno line =
                 addr = int addr;
                 aborted = flag aborted;
               }
+        | "SCR", [ server ] -> Event.Server_crashed { server = int server }
+        | "EPB", [ part; epoch; by ] ->
+            Event.Epoch_bumped { part = int part; epoch = int epoch; by = int by }
+        | "RPA", [ server; src; part; n_addrs ] ->
+            Event.Replica_applied
+              {
+                server = int server;
+                src = int src;
+                part = int part;
+                n_addrs = int n_addrs;
+              }
+        | "FOD", [ server; part; epoch; merged ] ->
+            Event.Failover_done
+              {
+                server = int server;
+                part = int part;
+                epoch = int epoch;
+                merged = int merged;
+              }
+        | "SER", [ server; core; req_epoch; cur_epoch ] ->
+            Event.Stale_epoch_rejected
+              {
+                server = int server;
+                core = int core;
+                req_epoch = int req_epoch;
+                cur_epoch = int cur_epoch;
+              }
         | _ ->
             parse_error lineno
               (Printf.sprintf "unrecognized record %S" (String.concat " " (tag :: fields)))
@@ -217,7 +255,7 @@ let parse_line lineno line =
 
 let read ic =
   (match input_line ic with
-  | h when h = header || h = header_v1 -> ()
+  | h when h = header || h = header_v2 || h = header_v1 -> ()
   | h -> failwith (Printf.sprintf "unknown history log header %S" h)
   | exception End_of_file ->
       failwith (Printf.sprintf "empty history log: expected %S header" header));

@@ -195,7 +195,12 @@ let build events =
           | None -> ())
       | Event.Lock_conflict _ | Event.Req_sent _ | Event.Service _
       | Event.Service_done _ | Event.Barrier _ | Event.Msg_dropped _
-      | Event.Msg_duplicated _ | Event.Req_resent _ | Event.Lease_reclaimed _ ->
+      | Event.Msg_duplicated _ | Event.Req_resent _ | Event.Lease_reclaimed _
+      | Event.Server_crashed _ | Event.Epoch_bumped _ | Event.Replica_applied _
+      | Event.Failover_done _ | Event.Stale_epoch_rejected _ ->
+          (* Failover events carry no per-attempt information: a
+             server crash ends no application attempt (clients ride it
+             out through resend + failover). *)
           ())
     events;
   (* Attempts still open: close in place as Unfinished. *)

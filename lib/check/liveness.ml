@@ -9,7 +9,15 @@
    a run reaching the configured budget is reported with its span, so
    a starvation or livelock regression in the CM shows up as a checker
    failure instead of a silently slow run. A run still open at the
-   horizon counts: starvation at the end of the run is starvation. *)
+   horizon counts: starvation at the end of the run is starvation.
+
+   The monitor also flags wedged cores: a core whose final attempt is
+   still Unfinished at the horizon and has been so for at least
+   [stuck_after_ns] made no progress at all — the signature of a dead
+   lock server nobody failed over from. Crashed cores are exempt
+   (their open attempt is the crash, not a wedge), and the check is
+   off by default ([stuck_after_ns = infinity]) because run-horizon
+   truncation legitimately leaves recent attempts open. *)
 
 type chain = {
   ch_core : int;
@@ -19,15 +27,34 @@ type chain = {
   ch_end_time : float;
 }
 
+type stuck = {
+  st_core : int;
+  st_attempt : int;  (* the attempt wedged open at the horizon *)
+  st_since_ns : float;  (* when that attempt started *)
+  st_idle_ns : float;  (* horizon minus the attempt's last activity *)
+}
+
+(* Last recorded instant the attempt did anything: start, granted
+   reads, publish. A long-lived transaction still traversing its
+   structure reads continuously, so it never looks idle; a core whose
+   lock server died hears nothing and its clock stops here. *)
+let last_activity (a : History.attempt) =
+  List.fold_left
+    (fun acc (r : History.read) -> Float.max acc r.History.r_time)
+    (Float.max a.History.a_start_time a.History.a_publish_time)
+    a.History.a_reads
+
 type report = {
   budget : int;
   max_chain : chain option;  (* the longest abort run observed *)
   violations : chain list;  (* runs whose length reached the budget *)
+  stuck : stuck list;  (* cores wedged open at the horizon *)
 }
 
-let ok r = r.violations = []
+let ok r = r.violations = [] && r.stuck = []
 
-let analyze ~budget (h : History.t) =
+let analyze ~budget ?(stuck_after_ns = infinity) ?(crashed = [])
+    ?horizon_ns (h : History.t) =
   let per_core : (int, History.attempt list ref) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (a : History.attempt) ->
@@ -35,7 +62,19 @@ let analyze ~budget (h : History.t) =
       | Some r -> r := a :: !r
       | None -> Hashtbl.add per_core a.History.a_core (ref [ a ]))
     h.History.attempts;
-  let max_chain = ref None and violations = ref [] in
+  (* The horizon defaults to the latest instant the history itself
+     records; callers that saw the raw stream (or know the configured
+     run end) pass a tighter value. *)
+  let horizon =
+    match horizon_ns with
+    | Some t -> t
+    | None ->
+        List.fold_left
+          (fun acc (a : History.attempt) ->
+            Float.max acc (Float.max a.History.a_start_time a.History.a_end_time))
+          0.0 h.History.attempts
+  in
+  let max_chain = ref None and violations = ref [] and stuck = ref [] in
   let consider ch =
     if ch.ch_len > 0 then begin
       (match !max_chain with
@@ -72,10 +111,29 @@ let analyze ~budget (h : History.t) =
           | History.Committed _ -> flush ()
           | History.Unfinished -> ())
         attempts;
-      flush ())
+      flush ();
+      (* Wedge detection: the chronologically last attempt, still open
+         at the horizon, by a core that did not crash. *)
+      match List.rev attempts with
+      | (last : History.attempt) :: _ -> (
+          match last.History.a_outcome with
+          | History.Unfinished
+            when (not (List.mem core crashed))
+                 && horizon -. last_activity last >= stuck_after_ns ->
+              stuck :=
+                {
+                  st_core = core;
+                  st_attempt = last.History.a_number;
+                  st_since_ns = last.History.a_start_time;
+                  st_idle_ns = horizon -. last_activity last;
+                }
+                :: !stuck
+          | _ -> ())
+      | [] -> ())
     per_core;
   {
     budget;
     max_chain = !max_chain;
     violations = List.sort (fun a b -> compare b.ch_len a.ch_len) !violations;
+    stuck = List.sort (fun a b -> compare a.st_core b.st_core) !stuck;
   }

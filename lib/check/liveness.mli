@@ -4,7 +4,12 @@
     attempts between commits; a run whose length reaches the
     configured budget is a violation — a starvation or livelock
     regression in the contention manager. Runs still open when the
-    history ends count. *)
+    history ends count.
+
+    Also detects wedged cores: a core whose final attempt is still
+    [Unfinished] at the horizon, showed no activity for at least
+    [stuck_after_ns], and did not crash, made no progress at all — the
+    signature of a dead DS-lock server nobody failed over from. *)
 
 type chain = {
   ch_core : int;
@@ -14,12 +19,35 @@ type chain = {
   ch_end_time : float;
 }
 
+type stuck = {
+  st_core : int;
+  st_attempt : int;  (** the attempt wedged open at the horizon *)
+  st_since_ns : float;  (** when that attempt started *)
+  st_idle_ns : float;
+      (** horizon minus the attempt's last recorded activity (start,
+          granted reads, publish) — a long-lived transaction still
+          reading never looks idle *)
+}
+
 type report = {
   budget : int;
   max_chain : chain option;  (** longest abort run observed, any core *)
   violations : chain list;  (** runs with [ch_len >= budget], longest first *)
+  stuck : stuck list;  (** wedged cores, by core id *)
 }
 
-val analyze : budget:int -> History.t -> report
+(** [stuck_after_ns] defaults to [infinity] (wedge detection off —
+    run-horizon truncation legitimately leaves recent attempts open);
+    [crashed] lists cores exempt from it (crash-stopped cores hold
+    their attempt open by design); [horizon_ns] overrides the history
+    end time, which otherwise is the latest attempt instant seen. *)
+val analyze :
+  budget:int ->
+  ?stuck_after_ns:float ->
+  ?crashed:int list ->
+  ?horizon_ns:float ->
+  History.t ->
+  report
 
+(** No abort chain reached the budget and no core is stuck. *)
 val ok : report -> bool

@@ -39,7 +39,15 @@
      from the commit CAS until the next attempt begins. A CAS landing
      on a core whose last attempt *aborted* is the benign in-flight
      revocation race: the victim's status word still reads (attempt,
-     Pending) until its next [begin_attempt] rewrites it. *)
+     Pending) until its next [begin_attempt] rewrites it;
+   - write grants are stamped with the current failover epoch (the
+     max seen across [Epoch_bumped] events). A conflicting write
+     grant over a holder granted in an *earlier* epoch — neither
+     revoked nor reclaimed in between — is reported as an
+     epoch-boundary violation: the signature of a zombie primary
+     granting a lock the promoted backup has also granted. An honest
+     server refuses such requests ([Stale_epoch_rejected]), so this
+     fires only when the epoch check is broken. *)
 
 open Tm2c_core
 
@@ -74,6 +82,12 @@ let analyze events =
      lock. A core may hold both (read-to-write upgrade). *)
   let rlocks : (Types.addr, Types.core_id list) Hashtbl.t = Hashtbl.create 512 in
   let wlocks : (Types.addr, Types.core_id) Hashtbl.t = Hashtbl.create 512 in
+  (* Failover epoch the current write lock on an address was granted
+     in; [cur_epoch] follows the [Epoch_bumped] events. (Epochs are
+     per partition in the protocol, but a write lock never moves
+     between partitions, so the global max is a sound stamp.) *)
+  let wepoch : (Types.addr, int) Hashtbl.t = Hashtbl.create 512 in
+  let cur_epoch = ref 0 in
   let live : (Types.core_id, live) Hashtbl.t = Hashtbl.create 64 in
   (* How each core's most recent attempt ended — after a commit the
      status word reads Committing until the next begin, so an abort
@@ -153,10 +167,23 @@ let analyze events =
               incr n_grants;
               (match Hashtbl.find_opt wlocks addr with
               | Some w when w <> core && not (doomed w) ->
-                  violation seq time
-                    "write-lock grant to core %d on addr %d while core %d holds \
-                     the write lock"
-                    core addr w
+                  let granted_epoch =
+                    match Hashtbl.find_opt wepoch addr with
+                    | Some e -> e
+                    | None -> !cur_epoch
+                  in
+                  if granted_epoch < !cur_epoch then
+                    violation seq time
+                      "write-lock grant to core %d on addr %d crosses an epoch \
+                       boundary: core %d was granted it in epoch %d (current \
+                       epoch %d) and was never revoked or reclaimed — a \
+                       stale-epoch server granted over the failover"
+                      core addr w granted_epoch !cur_epoch
+                  else
+                    violation seq time
+                      "write-lock grant to core %d on addr %d while core %d holds \
+                       the write lock"
+                      core addr w
               | Some _ | None -> ());
               List.iter
                 (fun r ->
@@ -168,7 +195,8 @@ let analyze events =
                          holds a read lock"
                         core addr r)
                 (readers addr);
-              Hashtbl.replace wlocks addr core)
+              Hashtbl.replace wlocks addr core;
+              Hashtbl.replace wepoch addr !cur_epoch)
             addrs
       | Event.Rlock_released { core; addr } ->
           (match Hashtbl.find_opt live core with
@@ -274,6 +302,15 @@ let analyze events =
              a crashed core's dangling attempt is not a 2PL violation.
              The status word still reads Pending, so the entries are
              not doomed-stale either: only a CAS event may revoke them. *)
+          ()
+      | Event.Epoch_bumped { epoch; _ } ->
+          if epoch > !cur_epoch then cur_epoch := epoch
+      | Event.Server_crashed _ | Event.Replica_applied _ | Event.Failover_done _
+      | Event.Stale_epoch_rejected _ ->
+          (* Failover bookkeeping: the replica apply and merge move
+             entries between tables without changing any holder, so
+             the shadow needs no action; honest stale rejections touch
+             nothing by construction. *)
           ()
       | Event.Tx_commit_begin _ | Event.Host_write _ | Event.Lock_conflict _
       | Event.Req_sent _ | Event.Service _ | Event.Service_done _

@@ -34,6 +34,12 @@ let run_ids ?json ?(check = false) ids scale =
   let exported = ref [] in
   let current_runs = ref [] in
   let check_failures = ref 0 in
+  (* Runs the watchdog cut short: once one fires, the remaining
+     experiments are skipped and whatever was collected so far is
+     still written — a partial report beats burning virtual hours on a
+     wedged machine. *)
+  let wedges = ref 0 in
+  let watchdog_window = scale.Exp.window_ns /. 4.0 in
   (* Per-runtime history taps for --check: the preflight hook attaches
      a collector before any process is spawned; the observer looks it
      up (by physical identity — the runtime is the key) and replays
@@ -47,7 +53,14 @@ let run_ids ?json ?(check = false) ids scale =
     | Some c ->
         collectors := List.filter (fun (t', _) -> t' != t) !collectors;
         Tm2c_check.Collector.detach (Tm2c_core.Runtime.trace t);
-        let result = Tm2c_check.Check.run (Tm2c_check.Collector.to_list c) in
+        (* On a wedged run, arm the liveness monitor's stuck detection
+           so the report names the cores that made no progress. *)
+        let events = Tm2c_check.Collector.to_list c in
+        let result =
+          if Tm2c_core.Runtime.wedged t then
+            Tm2c_check.Check.run ~stuck_after_ns:watchdog_window events
+          else Tm2c_check.Check.run events
+        in
         if not (Tm2c_check.Check.passed result) then begin
           check_failures := !check_failures + Tm2c_check.Check.n_failures result;
           Printf.eprintf "check FAILED:\n%s%!"
@@ -59,6 +72,12 @@ let run_ids ?json ?(check = false) ids scale =
       Some
         (fun t r ->
           if json <> None then current_runs := Report.run_json t r :: !current_runs;
+          if Tm2c_core.Runtime.wedged t then begin
+            incr wedges;
+            Printf.eprintf
+              "run wedged: the watchdog saw no attempt resolve and cut the \
+               run short of its horizon\n%!"
+          end;
           if check then check_run t);
     (* Every exported run also carries phase attribution and a
        time-series: the preflight hook fires once per driven runtime,
@@ -77,7 +96,12 @@ let run_ids ?json ?(check = false) ids scale =
           if check && not (List.mem_assq t !collectors) then begin
             let c = Tm2c_check.Collector.create () in
             Tm2c_check.Collector.attach c (Tm2c_core.Runtime.trace t);
-            collectors := (t, c) :: !collectors
+            collectors := (t, c) :: !collectors;
+            (* Checked runs also get the liveness watchdog: a wedged
+               configuration fails fast with a named-core verdict
+               instead of silently burning to the horizon. *)
+            Tm2c_core.Runtime.enable_watchdog t ~window_ns:watchdog_window
+              ~stall_windows:2
           end)
   end;
   Fun.protect
@@ -90,6 +114,8 @@ let run_ids ?json ?(check = false) ids scale =
       List.iter
         (fun id ->
           match find id with
+          | Some e when !wedges > 0 ->
+              Printf.printf "\n=== %s: skipped (earlier run wedged) ===\n%!" e.id
           | Some e ->
               Printf.printf "\n=== %s: %s ===\n%!" e.id e.description;
               let t0 = Unix.gettimeofday () in
@@ -113,8 +139,11 @@ let run_ids ?json ?(check = false) ids scale =
             (* v2: runs gained "phases" / "timeseries" / "trace"
                sections and histograms gained "sum". v3: runs gained a
                "faults" section (fault-injection and hardening
-               counters, present and all-zero even on clean runs). *)
-            ("schema_version", Json.Int 3);
+               counters, present and all-zero even on clean runs).
+               v4: the faults section gained the reorder / partition /
+               server-crash injections and the replication counters,
+               and runs gained a "wedged" flag. *)
+            ("schema_version", Json.Int 4);
             ("scale", Json.String scale.Exp.label);
             ( "experiments",
               Json.List
@@ -130,5 +159,6 @@ let run_ids ?json ?(check = false) ids scale =
           ]
       in
       Json.to_file path doc;
-      Printf.printf "\nwrote %s\n%!" path);
-  !check_failures
+      Printf.printf "\nwrote %s%s\n%!" path
+        (if !wedges > 0 then " (partial: a run wedged)" else ""));
+  !check_failures + !wedges

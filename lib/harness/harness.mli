@@ -19,6 +19,10 @@ val find : string -> experiment option
     are written to [path], grouped per experiment id. With
     [~check:true], every run's complete event history is tapped (see
     {!Tm2c_check.Collector}) and replayed through the checkers
-    ({!Tm2c_check.Check}); failures are reported on stderr. Returns
-    the total number of checker violations (0 without [~check]). *)
+    ({!Tm2c_check.Check}); failures are reported on stderr. Checked
+    runs also get a liveness watchdog: a run making no commit progress
+    is cut short, flagged by the monitor's stuck detection, and the
+    remaining experiments are skipped — the JSON written is then a
+    partial report. Returns the total number of checker violations
+    plus wedged runs (0 without [~check]). *)
 val run_ids : ?json:string -> ?check:bool -> string list -> Exp.scale -> int

@@ -268,6 +268,63 @@ let export ?(app = [||]) ?(dtm = [||]) trace =
                    ("addr", Json.Int addr);
                    ("aborted", Json.Bool aborted);
                  ]
+               ())
+      | Event.Server_crashed { server } -> (
+          touch server;
+          push ts (instant ~ts ~tid:server ~name:"srv-crashed" ());
+          (* A crashed server never emits Service_done for the request
+             it was serving; close the slice at the crash instant. *)
+          match Hashtbl.find_opt open_service server with
+          | Some (t0, Event.Service { requester; req_id; kind; _ }) ->
+              Hashtbl.remove open_service server;
+              push t0
+                (slice ~ts:t0 ~dur:(ts -. t0) ~tid:server
+                   ~name:(kind ^ " (crashed)")
+                   ~args:
+                     [
+                       ("requester", Json.Int requester);
+                       ("req_id", Json.Int req_id);
+                     ]
+                   ())
+          | _ -> ())
+      | Event.Epoch_bumped { part; epoch; by } ->
+          touch by;
+          push ts
+            (instant ~ts ~tid:by ~name:"epoch-bump"
+               ~args:[ ("part", Json.Int part); ("epoch", Json.Int epoch) ]
+               ())
+      | Event.Replica_applied { server; src; part; n_addrs } ->
+          touch server;
+          push ts
+            (instant ~ts ~tid:server ~name:"replica"
+               ~args:
+                 [
+                   ("src", Json.Int src);
+                   ("part", Json.Int part);
+                   ("addrs", Json.Int n_addrs);
+                 ]
+               ())
+      | Event.Failover_done { server; part; epoch; merged } ->
+          touch server;
+          push ts
+            (instant ~ts ~tid:server ~name:"failover"
+               ~args:
+                 [
+                   ("part", Json.Int part);
+                   ("epoch", Json.Int epoch);
+                   ("merged", Json.Int merged);
+                 ]
+               ())
+      | Event.Stale_epoch_rejected { server; core; req_epoch; cur_epoch } ->
+          touch server;
+          push ts
+            (instant ~ts ~tid:server ~name:"stale-epoch"
+               ~args:
+                 [
+                   ("core", Json.Int core);
+                   ("req_epoch", Json.Int req_epoch);
+                   ("cur_epoch", Json.Int cur_epoch);
+                 ]
                ()));
   (* Stable sort by begin timestamp: per-track timestamps come out
      monotone because same-track slices never overlap. *)

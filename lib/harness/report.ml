@@ -231,12 +231,15 @@ let trace_json tr =
       ("dropped", Json.Int (Trace.dropped tr));
     ]
 
-(* Fault-injection and hardening accounting (schema v3). [injected] is
-   the headline count — every fault the plan actually fired (drops +
-   duplications + delay spikes + crashes) — next to the hardening
-   reactions it provoked ([resends], [absorbed], [leases_reclaimed]).
-   Always present, all-zero on an un-faulted run, so consumers can diff
-   faulted and clean runs without a shape change. *)
+(* Fault-injection and hardening accounting (schema v3; v4 adds the
+   reorder/partition/server-crash injections and the replication
+   counters). [injected] is the headline count — every fault the plan
+   actually fired (drops + duplications + delay spikes + reorders +
+   partition holds + crashes + server crashes) — next to the hardening
+   reactions it provoked ([resends], [absorbed], [leases_reclaimed],
+   [failovers], [stale_rejections]). Always present, all-zero on an
+   un-faulted run, so consumers can diff faulted and clean runs
+   without a shape change. *)
 let faults_json t =
   let f = Runtime.faults t in
   let c = Fault.counters f in
@@ -248,10 +251,18 @@ let faults_json t =
       ("dropped", Json.Int c.Fault.dropped);
       ("duplicated", Json.Int c.Fault.duplicated);
       ("delayed", Json.Int c.Fault.delayed);
+      ("reordered", Json.Int c.Fault.reordered);
+      ("partitioned", Json.Int c.Fault.partitioned);
       ("crashes", Json.Int c.Fault.crashes);
+      ("server_crashes", Json.Int c.Fault.server_crashes);
       ("resends", Json.Int c.Fault.resends);
       ("absorbed", Json.Int c.Fault.absorbed);
       ("leases_reclaimed", Json.Int c.Fault.leases_reclaimed);
+      ("replicas", Json.Int (Runtime.replicas t));
+      ("replicated", Json.Int c.Fault.replicated);
+      ("failovers", Json.Int c.Fault.failovers);
+      ("stale_rejections", Json.Int c.Fault.stale_rejections);
+      ("cache_evicted", Json.Int c.Fault.cache_evicted);
       ("timeout_ns", Json.Float env.System.req_timeout_ns);
       ("lease_ns", Json.Float env.System.lease_ns);
       ( "crashed_cores",
@@ -282,6 +293,8 @@ let run_json t (r : Tm2c_apps.Workload.result) =
          aborts_json ~policy:cfg.Runtime.policy ~status:!status
            (Runtime.obs t) );
        ("faults", faults_json t);
+       (* The watchdog cut this run short of its horizon (v4). *)
+       ("wedged", Json.Bool (Runtime.wedged t));
        ("phases", phases_json t);
        ("trace", trace_json (Runtime.trace t));
      ]

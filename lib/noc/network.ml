@@ -52,27 +52,50 @@ let active net = net.active
 
 let metrics net = net.metrics
 
-let send net ~src ~dst msg =
+let send_msg net ~src ~dst ~faulty msg =
   net.n_sent <- net.n_sent + 1;
   net.metrics.per_link.(src).(dst) <- net.metrics.per_link.(src).(dst) + 1;
   Sim.delay (Platform.send_overhead_ns net.platform);
   let flight = Platform.flight_ns net.platform ~active:net.active ~src ~dst in
   Histogram.add net.metrics.latency flight;
   let deliver_at at = Mailbox.send_at net.boxes.(dst) ~at msg in
-  let at = Sim.now net.sim +. flight in
+  let now = Sim.now net.sim in
+  let at = now +. flight in
   match net.faults with
-  | Some f when Fault.link_active f -> (
-      (* The sender has already paid its software overhead: injection
-         perturbs only what happens on the wire. *)
-      match Fault.link_action f ~src ~dst with
-      | Fault.Deliver -> deliver_at at
-      | Fault.Drop -> ()
-      | Fault.Duplicate ->
-          deliver_at at;
-          (* The duplicate takes a second trip over the same link. *)
-          deliver_at (at +. flight)
-      | Fault.Delay extra_ns -> deliver_at (at +. extra_ns))
+  | Some f when faulty ->
+      (* A partitioned link holds the message until the window heals
+         (it then still takes its flight time); the link fault applies
+         on top. The sender has already paid its software overhead:
+         injection perturbs only what happens on the wire. *)
+      let at =
+        match Fault.partition_release f ~src ~dst ~now with
+        | Some heal ->
+            Fault.count_partitioned f;
+            heal +. flight
+        | None -> at
+      in
+      if Fault.link_active f then begin
+        match Fault.link_action f ~src ~dst with
+        | Fault.Deliver -> deliver_at at
+        | Fault.Drop -> ()
+        | Fault.Duplicate ->
+            deliver_at at;
+            (* The duplicate takes a second trip over the same link. *)
+            deliver_at (at +. flight)
+        | Fault.Delay extra_ns -> deliver_at (at +. extra_ns)
+      end
+      else deliver_at at
   | _ -> deliver_at at
+
+let send net ~src ~dst msg = send_msg net ~src ~dst ~faulty:true msg
+
+(* The primary->backup replication channel is modeled as reliable FIFO
+   (as if link-layer acked): it pays the same software overhead and
+   flight time but bypasses fault injection entirely. Without this,
+   one dropped replication message would silently diverge the backup's
+   replica from what the primary granted — a failure mode the epoch
+   protocol does not claim to survive (see DESIGN.md "Failover"). *)
+let send_reliable net ~src ~dst msg = send_msg net ~src ~dst ~faulty:false msg
 
 let recv net ~self =
   let msg = Mailbox.recv net.boxes.(self) in

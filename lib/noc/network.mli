@@ -34,8 +34,15 @@ val active : 'a t -> int
     overhead; delivery is scheduled after the flight latency. When a
     fault layer with an active link fault is installed, the message may
     instead be dropped, duplicated, or delayed per {!Fault.link_action}
-    (the sender still pays its overhead either way). *)
+    (the sender still pays its overhead either way); a link partition
+    covering [src]-[dst] holds the message until its heal instant. *)
 val send : 'a t -> src:int -> dst:int -> 'a -> unit
+
+(** Like {!send} but bypassing fault injection entirely (same overhead
+    and flight time): the reliable-FIFO channel used for lock-table
+    replication, where a silently lost message would diverge the
+    backup's replica (see DESIGN.md "Failover"). *)
+val send_reliable : 'a t -> src:int -> dst:int -> 'a -> unit
 
 (** Install (or clear) the fault-injection layer consulted by [send].
     [None] — and an installed layer whose plan has no link fault —

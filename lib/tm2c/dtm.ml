@@ -26,8 +26,21 @@ type server = {
      e.g. a waiting Exclusive_acquire). Requests are idempotent via
      their per-core sequence number: a duplicate of the newest request
      replays the cached response without re-executing; anything older
-     is dropped. *)
-  last_resp : (core_id, int * System.response option) Hashtbl.t;
+     is dropped. Entries carry their last-touched instant so the cache
+     stays bounded: an entry idle past the absorption window (see
+     [cache_ttl_ns]) can never absorb a live resend and is evicted. *)
+  last_resp : (core_id, cached) Hashtbl.t;
+  (* Failover: replica lock tables this server maintains as the backup
+     of other partitions, fed by [System.Repl] messages from their
+     primaries. Keyed by partition index; merged into [locks] when
+     this server is promoted. *)
+  replica : (int, Locktable.t) Hashtbl.t;
+}
+
+and cached = {
+  c_req_id : int;
+  c_resp : System.response option;
+  mutable c_stamp : float;  (* virtual instant last written or replayed *)
 }
 
 let make ~core =
@@ -43,6 +56,7 @@ let make ~core =
     occ_max = 0;
     busy_ns = 0.0;
     last_resp = Hashtbl.create 64;
+    replica = Hashtbl.create 4;
   }
 
 let core s = s.core
@@ -61,6 +75,8 @@ let occupancy_stats s =
   else (float_of_int s.occ_sum /. float_of_int s.served, s.occ_max)
 
 let busy_ns s = s.busy_ns
+
+let resp_cache_size s = Hashtbl.length s.last_resp
 
 let trace_on env = Tm2c_engine.Trace.enabled env.System.trace
 
@@ -101,9 +117,67 @@ let service_estimate_ns env ~n_addrs =
 
 let reply env s ~(req : System.request) resp =
   if req.req_id > 0 then
-    Hashtbl.replace s.last_resp req.tx.m_core (req.req_id, Some resp);
+    Hashtbl.replace s.last_resp req.tx.m_core
+      {
+        c_req_id = req.req_id;
+        c_resp = Some resp;
+        c_stamp = Tm2c_engine.Sim.now env.System.sim;
+      };
   Network.send env.System.net ~src:s.core ~dst:req.tx.m_core
     (System.Resp { req_id = req.req_id; resp })
+
+(* Absorption window: how long a cached response can still be useful.
+   A duplicate only arrives within the requester's bounded resend
+   backoff (timeout * 2^k, k <= 4, at most a handful of resends) or,
+   with fault-injected duplication, one extra flight later — one lease
+   is a safe upper bound on either. Past max(timeout * 32, lease) an
+   entry can never absorb anything; [maybe_evict_cache] drops it.
+   0.0 (hardening off and no leases) disables eviction — without
+   resends the cache holds at most one entry per requester anyway. *)
+let cache_ttl_ns env =
+  Float.max (env.System.req_timeout_ns *. 32.0) env.System.lease_ns
+
+(* Opportunistic cache eviction, amortized to every 64th request so
+   the scan cost stays off the per-request fast path. *)
+let maybe_evict_cache env s =
+  if s.served land 63 = 0 then begin
+    let ttl = cache_ttl_ns env in
+    if ttl > 0.0 then begin
+      let now = Tm2c_engine.Sim.now env.System.sim in
+      let dead = ref [] in
+      Hashtbl.iter
+        (fun core c -> if now -. c.c_stamp > ttl then dead := core :: !dead)
+        s.last_resp;
+      match !dead with
+      | [] -> ()
+      | dead ->
+          let c = Tm2c_noc.Fault.counters env.System.faults in
+          List.iter
+            (fun core ->
+              Hashtbl.remove s.last_resp core;
+              c.Tm2c_noc.Fault.cache_evicted <- c.Tm2c_noc.Fault.cache_evicted + 1)
+            dead
+    end
+  end
+
+(* Ship a lock-table mutation to this partition's backup (reliable
+   FIFO channel, see [Network.send_reliable]). Called just before the
+   corresponding reply: by the time the requester sees Granted, the
+   mutation is already on the wire to the backup, so a primary crash
+   can lose an in-flight grant's replication only if the grant's reply
+   was lost with it — and then lease expiry clears the orphan. With
+   failover disabled this sends nothing (bit-for-bit baseline). *)
+let replicate env s ~(req : System.request) op =
+  let fo = env.System.failover in
+  if fo.fo_enabled then
+    match System.kind_part ~n_parts:(Array.length fo.fo_epoch) req.kind with
+    | Some part when fo.fo_backup.(part) <> s.core ->
+        let c = Tm2c_noc.Fault.counters env.System.faults in
+        c.Tm2c_noc.Fault.replicated <- c.Tm2c_noc.Fault.replicated + 1;
+        Network.send_reliable env.System.net ~src:s.core
+          ~dst:fo.fo_backup.(part)
+          (System.Repl { src = s.core; part; epoch = req.epoch; op })
+    | Some _ | None -> ()
 
 (* Outcome of trying to abort an enemy lock holder. *)
 type abort_outcome =
@@ -193,6 +267,7 @@ let read_lock env s (req : System.request) addr =
   let requester = requester_holder env s req.tx in
   let grant () =
     Locktable.add_reader s.locks addr requester;
+    replicate env s ~req (System.Rep_read (addr, requester));
     reply env s ~req System.Granted
   in
   let current_writer =
@@ -308,7 +383,9 @@ let write_locks env s (req : System.request) addrs =
            })
   in
   let rec acquire = function
-    | [] -> reply env s ~req System.Granted
+    | [] ->
+        replicate env s ~req (System.Rep_write (addrs, requester));
+        reply env s ~req System.Granted
     | addr :: rest -> (
         reclaim_expired env s addr ~requester_core:req.tx.m_core;
         let entry = Locktable.find s.locks addr in
@@ -374,17 +451,21 @@ let write_locks env s (req : System.request) addrs =
   in
   acquire addrs
 
-let release_reads _env s (req : System.request) addrs =
+let release_reads env s (req : System.request) addrs =
   List.iter
     (fun a ->
       Locktable.remove_reader s.locks a ~core:req.tx.m_core ~attempt:req.tx.m_attempt)
-    addrs
+    addrs;
+  replicate env s ~req
+    (System.Rep_release_reads (addrs, req.tx.m_core, req.tx.m_attempt))
 
-let release_writes _env s (req : System.request) addrs =
+let release_writes env s (req : System.request) addrs =
   List.iter
     (fun a ->
       Locktable.clear_writer s.locks a ~core:req.tx.m_core ~attempt:req.tx.m_attempt)
-    addrs
+    addrs;
+  replicate env s ~req
+    (System.Rep_release_writes (addrs, req.tx.m_core, req.tx.m_attempt))
 
 (* Grant the partition to the next queued irrevocable transaction once
    every lock has drained. *)
@@ -410,25 +491,143 @@ let absorb env s (req : System.request) =
   req.req_id > 0
   &&
   match Hashtbl.find_opt s.last_resp req.tx.m_core with
-  | Some (id, cached) when req.req_id = id ->
-      let c = Tm2c_noc.Fault.counters env.System.faults in
-      c.Tm2c_noc.Fault.absorbed <- c.Tm2c_noc.Fault.absorbed + 1;
+  | Some c when req.req_id = c.c_req_id ->
+      let fc = Tm2c_noc.Fault.counters env.System.faults in
+      fc.Tm2c_noc.Fault.absorbed <- fc.Tm2c_noc.Fault.absorbed + 1;
       Network.compute env.System.net handle_base_cycles;
-      (match cached with
+      (* The replay proves the entry is still live: refresh its stamp
+         so eviction only reaps entries past a full idle window. *)
+      c.c_stamp <- Tm2c_engine.Sim.now env.System.sim;
+      (match c.c_resp with
       | Some resp ->
           Network.send env.System.net ~src:s.core ~dst:req.tx.m_core
             (System.Resp { req_id = req.req_id; resp })
       | None -> ());
       true
-  | Some (id, _) when req.req_id < id ->
-      let c = Tm2c_noc.Fault.counters env.System.faults in
-      c.Tm2c_noc.Fault.absorbed <- c.Tm2c_noc.Fault.absorbed + 1;
+  | Some c when req.req_id < c.c_req_id ->
+      let fc = Tm2c_noc.Fault.counters env.System.faults in
+      fc.Tm2c_noc.Fault.absorbed <- fc.Tm2c_noc.Fault.absorbed + 1;
       Network.compute env.System.net handle_base_cycles;
       true
   | Some _ | None -> false
 
+(* --- Failover: epoch checks, replica application, promotion merge --- *)
+
+(* Partition of a request that must be refused for epoch reasons:
+   stamped with an epoch behind the partition's current one, or aimed
+   at a server that no longer owns the partition. Both arise only for
+   requests that were in flight to (or queued at) a deposed primary
+   when the epoch bumped — a zombie primary that heals from a stall or
+   partition must refuse them, or it could grant a lock the promoted
+   backup has already granted to someone else. *)
+let stale_part env s (req : System.request) =
+  let fo = env.System.failover in
+  if not fo.fo_enabled then None
+  else
+    match System.kind_part ~n_parts:(Array.length fo.fo_epoch) req.kind with
+    | None -> None
+    | Some part ->
+        if req.epoch < fo.fo_epoch.(part) || fo.fo_owner.(part) <> s.core then
+          Some part
+        else None
+
+let reject_stale env s (req : System.request) ~part =
+  let fo = env.System.failover in
+  let fc = Tm2c_noc.Fault.counters env.System.faults in
+  fc.Tm2c_noc.Fault.stale_rejections <- fc.Tm2c_noc.Fault.stale_rejections + 1;
+  Network.compute env.System.net handle_base_cycles;
+  if trace_on env then
+    emit env
+      (Event.Stale_epoch_rejected
+         {
+           server = s.core;
+           core = req.tx.m_core;
+           req_epoch = req.epoch;
+           cur_epoch = fo.fo_epoch.(part);
+         });
+  (* Releases are fire-and-forget (req_id 0): nothing to refuse, the
+     orphaned entry at the new owner is cleared by lease expiry. *)
+  if req.req_id > 0 then reply env s ~req System.Stale_epoch
+
+(* Apply one replicated mutation. Before promotion it lands in the
+   per-partition replica table; a straggler arriving after this server
+   was promoted and merged lands directly in the live table (the
+   replica of an owned partition is dead storage). In practice the
+   failover trigger — several full resend-backoff windows — dwarfs the
+   replication flight time, so the replica is caught up well before
+   any merge reads it. *)
+let apply_replica env s ~src ~part ~op =
+  let fo = env.System.failover in
+  let table =
+    if fo.fo_owner.(part) = s.core && fo.fo_merged.(part) then s.locks
+    else
+      match Hashtbl.find_opt s.replica part with
+      | Some t -> t
+      | None ->
+          let t = Locktable.create () in
+          Hashtbl.add s.replica part t;
+          t
+  in
+  let n_addrs =
+    match op with
+    | System.Rep_read _ -> 1
+    | System.Rep_write (addrs, _)
+    | System.Rep_release_reads (addrs, _, _)
+    | System.Rep_release_writes (addrs, _, _) -> List.length addrs
+  in
+  Network.compute env.System.net (handle_base_cycles + (per_addr_cycles * n_addrs));
+  (match op with
+  | System.Rep_read (addr, h) -> Locktable.add_reader table addr h
+  | System.Rep_write (addrs, h) ->
+      List.iter (fun a -> Locktable.set_writer table a h) addrs
+  | System.Rep_release_reads (addrs, core, attempt) ->
+      List.iter (fun a -> Locktable.remove_reader table a ~core ~attempt) addrs
+  | System.Rep_release_writes (addrs, core, attempt) ->
+      List.iter (fun a -> Locktable.clear_writer table a ~core ~attempt) addrs);
+  if trace_on env then
+    emit env (Event.Replica_applied { server = s.core; src; part; n_addrs })
+
+(* Promotion: fold the partition's replica into the live table. Run
+   lazily on the first post-failover request for the partition, so a
+   failover nobody routes to costs nothing. Holders keep their
+   original grant instants: anything whose release was lost with the
+   primary expires on its original lease schedule. *)
+let merge_replica env s ~part =
+  let fo = env.System.failover in
+  let merged = ref 0 in
+  (match Hashtbl.find_opt s.replica part with
+  | None -> ()
+  | Some rt ->
+      Locktable.iter rt (fun addr e ->
+          if e.Locktable.writer <> None || e.Locktable.readers <> [] then begin
+            incr merged;
+            (match e.Locktable.writer with
+            | Some w -> Locktable.set_writer s.locks addr w
+            | None -> ());
+            List.iter
+              (fun r -> Locktable.add_reader s.locks addr r)
+              e.Locktable.readers
+          end);
+      Hashtbl.remove s.replica part);
+  fo.fo_merged.(part) <- true;
+  Network.compute env.System.net
+    (handle_base_cycles + (per_addr_cycles * !merged));
+  if trace_on env then
+    emit env
+      (Event.Failover_done
+         { server = s.core; part; epoch = fo.fo_epoch.(part); merged = !merged })
+
+let maybe_failover env s (req : System.request) =
+  let fo = env.System.failover in
+  if fo.fo_enabled then
+    match System.kind_part ~n_parts:(Array.length fo.fo_epoch) req.kind with
+    | Some part when fo.fo_owner.(part) = s.core && not fo.fo_merged.(part) ->
+        merge_replica env s ~part
+    | Some _ | None -> ()
+
 let handle_fresh env s (req : System.request) =
   s.served <- s.served + 1;
+  maybe_evict_cache env s;
   let pickup_ns = Tm2c_engine.Sim.now env.System.sim in
   (* Sample service-queue depth (requests still waiting behind this
      one) and lock-table occupancy at pickup time. *)
@@ -492,15 +691,29 @@ let handle env s (req : System.request) =
   | Some until ->
       Tm2c_engine.Sim.delay (until -. Tm2c_engine.Sim.now env.System.sim)
   | None -> ());
-  if not (absorb env s req) then handle_fresh env s req
+  if not (absorb env s req) then
+    match stale_part env s req with
+    | Some part -> reject_stale env s req ~part
+    | None ->
+        maybe_failover env s req;
+        handle_fresh env s req
 
 let service_loop env s =
   let rec loop () =
-    match Network.recv env.System.net ~self:s.core with
-    | System.Req req ->
-        handle env s req;
-        loop ()
-    | System.Resp _ ->
-        invalid_arg "Dtm.service_loop: service core received a response"
+    let msg = Network.recv env.System.net ~self:s.core in
+    (* Crash-stop ([scrash=]): once marked dead, the server dies
+       silently at its next wakeup — the waking message (and anything
+       queued behind it) is never handled or answered. *)
+    if Fault.is_server_crashed env.System.faults ~core:s.core then ()
+    else
+      match msg with
+      | System.Req req ->
+          handle env s req;
+          loop ()
+      | System.Repl { src; part; epoch = _; op } ->
+          apply_replica env s ~src ~part ~op;
+          loop ()
+      | System.Resp _ ->
+          invalid_arg "Dtm.service_loop: service core received a response"
   in
   loop ()

@@ -40,6 +40,12 @@ val occupancy_stats : server -> float * int
     core's utilization. *)
 val busy_ns : server -> float
 
+(** Live entries in the duplicate-absorption response cache. Bounded:
+    entries idle past the absorption window — max(timeout * 32, lease)
+    — are evicted opportunistically (every 64th request), so the cache
+    stays flat under long duplicate-heavy runs. *)
+val resp_cache_size : server -> int
+
 (** Short stable label for a request kind ("read_lock",
     "write_locks", ...), for trace events. Allocation-free. *)
 val kind_label : System.request_kind -> string
@@ -60,5 +66,9 @@ val service_estimate_ns : System.env -> n_addrs:int -> float
 val handle : System.env -> server -> System.request -> unit
 
 (** Dedicated-deployment service loop: receive and handle requests
-    forever. Runs until the simulation ends. *)
+    forever. Runs until the simulation ends, or — under an [scrash=]
+    fault — until the server is marked crashed, at which point it dies
+    silently at its next wakeup without handling the waking message.
+    Also applies [System.Repl] lock-table replication from partitions
+    this server backs up (see DESIGN.md "Failover"). *)
 val service_loop : System.env -> server -> unit

@@ -113,6 +113,32 @@ type t =
           never reclaimed. [aborted] is true when the CAS landed (a
           live pending victim was killed, like [Enemy_aborted]) and
           false when the entry was already stale *)
+  | Server_crashed of { server : core_id }
+      (** DS-lock server crash-stop ([scrash=] fault): the server stops
+          serving at this instant; requests already in its mailbox and
+          any sent later are never answered *)
+  | Epoch_bumped of { part : int; epoch : int; by : core_id }
+      (** a client gave up on partition [part]'s current owner after
+          repeated resend timeouts: the partition epoch advances to
+          [epoch] and routing flips to the designated backup *)
+  | Replica_applied of { server : core_id; src : core_id; part : int; n_addrs : int }
+      (** the backup [server] applied one replicated lock-table
+          mutation for partition [part] shipped by primary [src] *)
+  | Failover_done of { server : core_id; part : int; epoch : int; merged : int }
+      (** the promoted backup reconstructed partition [part]'s
+          authoritative lock table from its replica log ([merged]
+          addresses) on the first post-failover request it served *)
+  | Stale_epoch_rejected of {
+      server : core_id;
+      core : core_id;
+      req_epoch : int;
+      cur_epoch : int;
+    }
+      (** a request stamped with [req_epoch] reached a server whose
+          view of the partition is at [cur_epoch] (or which no longer
+          owns the partition): refused without touching the lock
+          table, so a zombie primary can never grant a conflicting
+          lock *)
 
 (* [None] is the status-CAS abort path (see [Tx_aborted] above): the
    label must match the JSON export's by_conflict key and the stats
@@ -181,5 +207,18 @@ let pp fmt = function
       Format.fprintf fmt "dtm  %2d  lease-reclaim addr=%d victim=core %d%s" server
         addr victim
         (if aborted then " (aborted)" else " (stale)")
+  | Server_crashed { server } ->
+      Format.fprintf fmt "dtm  %2d  srv-crashed" server
+  | Epoch_bumped { part; epoch; by } ->
+      Format.fprintf fmt "core %2d  epoch-bump   part=%d epoch=%d" by part epoch
+  | Replica_applied { server; src; part; n_addrs } ->
+      Format.fprintf fmt "dtm  %2d  replica      part=%d from dtm %d addrs=%d"
+        server part src n_addrs
+  | Failover_done { server; part; epoch; merged } ->
+      Format.fprintf fmt "dtm  %2d  failover     part=%d epoch=%d merged=%d"
+        server part epoch merged
+  | Stale_epoch_rejected { server; core; req_epoch; cur_epoch } ->
+      Format.fprintf fmt "dtm  %2d  stale-epoch  core %d req_epoch=%d cur=%d"
+        server core req_epoch cur_epoch
 
 let to_string ev = Format.asprintf "%a" pp ev

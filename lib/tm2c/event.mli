@@ -118,6 +118,37 @@ type t =
           never reclaimed. [aborted] is true when the CAS landed (a
           live pending victim was killed, like [Enemy_aborted]) and
           false when the entry was already stale *)
+  | Server_crashed of { server : core_id }
+      (** DS-lock server crash-stop ([scrash=] fault): the server stops
+          serving at this instant; requests already in its mailbox and
+          any sent later are never answered — clients recover only
+          through timeout-driven failover *)
+  | Epoch_bumped of { part : int; epoch : int; by : core_id }
+      (** client [by] gave up on partition [part]'s current owner after
+          repeated resend timeouts: the partition epoch advances to
+          [epoch] and routing flips to the designated backup *)
+  | Replica_applied of { server : core_id; src : core_id; part : int; n_addrs : int }
+      (** the backup [server] applied one replicated lock-table
+          mutation ([n_addrs] addresses) for partition [part], shipped
+          by primary [src] over the reliable replication channel *)
+  | Failover_done of { server : core_id; part : int; epoch : int; merged : int }
+      (** the promoted backup reconstructed partition [part]'s
+          authoritative lock table from its replica log ([merged]
+          addresses merged) on the first post-failover request it
+          served; in-flight grants whose release was lost with the
+          primary are cleared later by lease expiry *)
+  | Stale_epoch_rejected of {
+      server : core_id;
+      core : core_id;
+      req_epoch : int;
+      cur_epoch : int;
+    }
+      (** a request stamped with [req_epoch] reached a server whose
+          view of the partition is at [cur_epoch] (or which no longer
+          owns the partition): refused without touching the lock
+          table, so a zombie primary — stalled or partitioned through
+          a failover, then healed — can never grant a conflicting
+          lock *)
 
 (** Conflict label of an abort cause; [None] (the status-CAS abort
     path documented on {!Tx_aborted}) renders as ["STATUS"] — the same

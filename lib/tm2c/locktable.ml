@@ -60,6 +60,8 @@ let revoke_writer t addr =
 
 let readers_excluding e ~core = List.filter (fun r -> r.h_core <> core) e.readers
 
+let iter t f = Hashtbl.iter f t
+
 let n_locked t = Hashtbl.length t
 
 let check_invariants t =

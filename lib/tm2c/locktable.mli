@@ -50,6 +50,11 @@ val readers_excluding : entry -> core:Types.core_id -> Types.holder list
 (** Number of addresses currently locked (readers or writer present). *)
 val n_locked : t -> int
 
+(** Iterate over all (address, entry) pairs, in unspecified order —
+    used by the failover merge to fold a replica table into the
+    promoted backup's live table. *)
+val iter : t -> (Types.addr -> entry -> unit) -> unit
+
 (** Check internal invariants; raises [Invalid_argument] on violation.
     Invariants: no duplicate reader cores on an entry; an entry present
     in the table is non-empty. *)

@@ -43,7 +43,13 @@ type t = {
   mutable next_spare_reg : int;
   max_reg : int;
   mutable timeseries : Timeseries.t option;
+  mutable replicas : int;
+  mutable wedged : bool;
 }
+
+(* Raised by the watchdog's scheduled check (propagates out of
+   [Sim.run]); [run] catches it and flags the run as wedged. *)
+exception Wedged
 
 (* Multitasking deployment: cycles of application computation that a
    service request must wait out before the non-preemptive service
@@ -88,7 +94,23 @@ let create cfg =
         Prng.float root_prng *. cfg.max_skew_ns)
   in
   let n_service = Array.length dtm_cores in
-  let owner_of addr = dtm_cores.(System.owner_hash addr n_service) in
+  (* Failover state starts inert: [fo_owner] mirrors [dtm_cores], so
+     until [enable_replication] flips [fo_enabled] the routing below
+     behaves exactly as a direct [dtm_cores] lookup. The backup of
+     partition k is the neighboring primary (k+1 mod n): no extra
+     cores, and with one replica every server backs up exactly one
+     other partition. *)
+  let failover =
+    {
+      System.fo_enabled = false;
+      fo_epoch = Array.make n_service 0;
+      fo_owner = Array.copy dtm_cores;
+      fo_primary = Array.copy dtm_cores;
+      fo_backup = Array.init n_service (fun k -> dtm_cores.((k + 1) mod n_service));
+      fo_merged = Array.make n_service true;
+    }
+  in
+  let owner_of addr = failover.System.fo_owner.(System.owner_hash addr n_service) in
   let stats = Stats.create ~n_cores:(Platform.n_cores cfg.platform) in
   (* The fault stream is a labelled (non-mutating) split of the root:
      creating it draws nothing from [root_prng], and an empty plan
@@ -124,6 +146,7 @@ let create cfg =
       faults;
       req_timeout_ns = 0.0;
       lease_ns = 0.0;
+      failover;
     }
   in
   (* Drops and duplications happen inside the network layer, which
@@ -149,6 +172,8 @@ let create cfg =
     next_spare_reg = Platform.n_cores cfg.platform;
     max_reg = n_regs;
     timeseries = None;
+    replicas = 0;
+    wedged = false;
   }
 
 let config t = t.cfg
@@ -187,6 +212,63 @@ let set_hardening t ?timeout_ns ?lease_ns () =
   match lease_ns with
   | Some v -> t.env.System.lease_ns <- v
   | None -> ()
+
+(* Replicated lock service. With [replicas = 1] every primary ships
+   its lock-table mutations to the next primary over (reliable FIFO);
+   clients that exhaust their resend patience bump the partition epoch
+   and re-route there. [replicas = 0] is a strict no-op: no message is
+   sent and no schedule perturbed. Failover additionally needs request
+   timeouts (to detect the dead primary) and leases (to clear in-flight
+   grants whose release died with it) — see [set_hardening]. *)
+let enable_replication t ~replicas =
+  match replicas with
+  | 0 -> ()
+  | 1 ->
+      if t.cfg.deployment <> Dedicated then
+        invalid_arg "Runtime.enable_replication: requires the dedicated deployment";
+      if Array.length t.dtm_cores < 2 then
+        invalid_arg "Runtime.enable_replication: need at least 2 service cores";
+      t.replicas <- 1;
+      t.env.System.failover.System.fo_enabled <- true
+  | _ -> invalid_arg "Runtime.enable_replication: replicas must be 0 or 1"
+
+let replicas t = t.replicas
+
+let wedged t = t.wedged
+
+(* Liveness watchdog: every [window_ns] of virtual time, compare total
+   resolved attempts (commits + aborts) against the previous window.
+   [stall_windows] consecutive flat windows while spawned fibers are
+   still unfinished means the run is wedged (e.g. every client blocked
+   on a dead DS server): raise out of [Sim.run] instead of burning
+   virtual time to the horizon. The check reschedules itself only
+   while other events are pending, so it never keeps an
+   otherwise-finished simulation alive. *)
+let enable_watchdog t ~window_ns ~stall_windows =
+  if window_ns <= 0.0 || stall_windows < 1 then
+    invalid_arg "Runtime.enable_watchdog: need window_ns > 0 and stall_windows >= 1";
+  (* Progress means *attempts resolving*, not commits: a livelocking
+     configuration (No CM at high core counts) aborts furiously
+     without committing and must ride to its horizon — only cores
+     blocked forever on a reply produce neither commits nor aborts. *)
+  let last_resolved = ref (-1) in
+  let flat = ref 0 in
+  let rec check () =
+    let resolved =
+      Stats.total_commits t.env.System.stats
+      + Stats.total_aborts t.env.System.stats
+    in
+    if resolved = !last_resolved && Sim.spawned t.sim > Sim.finished t.sim
+    then begin
+      incr flat;
+      if !flat >= stall_windows then raise Wedged
+    end
+    else flat := 0;
+    last_resolved := resolved;
+    if Sim.pending t.sim > 0 then
+      Sim.schedule t.sim ~at:(Sim.now t.sim +. window_ns) check
+  in
+  Sim.schedule t.sim ~at:window_ns check
 
 (* Host-side store with a trace record: benchmark setup (populate)
    and weak-atomicity private-node initialization go through here so
@@ -295,7 +377,19 @@ let start_services t =
           let server = server_for t core in
           Sim.spawn t.sim ~name:(Printf.sprintf "dtm-%d" core) (fun () ->
               Dtm.service_loop t.env server))
-        t.dtm_cores
+        t.dtm_cores;
+      (* Arm the planned DS-server crash points (install the plan
+         before starting services). Scheduling only happens when the
+         plan has scrashes, so an empty plan stays bit-for-bit. The
+         marked server dies silently at its next wakeup. *)
+      List.iter
+        (fun { Fault.scrash_core; scrash_at_ns } ->
+          Sim.schedule t.sim ~at:scrash_at_ns (fun () ->
+              Fault.mark_server_crashed t.env.System.faults ~core:scrash_core;
+              if Trace.enabled t.env.System.trace then
+                Trace.record t.env.System.trace ~now:(Sim.now t.sim)
+                  (Event.Server_crashed { server = scrash_core })))
+        (Fault.plan t.env.System.faults).Fault.scrashes
   | Multitask ->
       Array.iter (fun core -> ignore (server_for t core)) t.dtm_cores;
       t.env.System.serve_defer_cycles <- multitask_defer_cycles;
@@ -317,11 +411,20 @@ let poll_service t ~core =
             drain ()
         | Some (System.Resp _) ->
             invalid_arg "Runtime.poll_service: unexpected response"
+        | Some (System.Repl _) ->
+            invalid_arg "Runtime.poll_service: replication is dedicated-only"
         | None -> ()
       in
       drain ()
 
-let run t ?until () = Sim.run t.sim ?until ()
+(* On a watchdog trip the event count is lost: 0 with [wedged t] set
+   signals the caller to report the wedge instead of trusting the
+   run's figures. *)
+let run t ?until () =
+  try Sim.run t.sim ?until ()
+  with Wedged ->
+    t.wedged <- true;
+    0
 
 (* Privatization barrier (Section 8): each application core sends a
    barrier-reached message to every other application core and blocks
@@ -337,7 +440,8 @@ let barrier t ~core =
            { tx = { Types.m_core = core; m_attempt = -1; m_offset_ns = 0.0;
                     m_committed = 0; m_effective_ns = 0.0 };
              kind = System.Barrier_reached;
-             req_id = 0 }))
+             req_id = 0;
+             epoch = 0 }))
     peers;
   let expected = List.length peers in
   let seen = t.env.System.barrier_seen in
@@ -351,5 +455,6 @@ let barrier t ~core =
         | Some serve -> serve ~self:core req
         | None -> invalid_arg "Runtime.barrier: unexpected service request")
     | System.Resp _ -> invalid_arg "Runtime.barrier: unexpected response"
+    | System.Repl _ -> invalid_arg "Runtime.barrier: unexpected replication"
   done;
   seen.(core) <- seen.(core) - expected

@@ -82,6 +82,22 @@ val set_fault_plan : t -> Tm2c_noc.Fault.plan -> unit
     reclaimed under a status-word CAS (orphan locks of crashed cores). *)
 val set_hardening : t -> ?timeout_ns:float -> ?lease_ns:float -> unit -> unit
 
+(** Replicated DS-lock service. [replicas = 1]: every primary ships
+    its lock-table mutations (grants, releases) to the neighboring
+    primary over a reliable FIFO channel; clients that exhaust their
+    resend patience on a partition bump its epoch, re-route to that
+    backup, and the backup reconstructs authoritative state from the
+    replica (plus lease expiry for in-flight grants). Requests stamped
+    with a stale epoch are refused, so a zombie primary can never
+    grant a conflicting lock. [replicas = 0] (the default) is a strict
+    no-op. Requires the dedicated deployment with at least 2 service
+    cores; pair with {!set_hardening} (timeouts to detect the dead
+    primary, leases to clear orphaned grants). Call before {!run}. *)
+val enable_replication : t -> replicas:int -> unit
+
+(** Replication degree in effect (0 or 1). *)
+val replicas : t -> int
+
 (** Host-side store with a trace record ([Event.Host_write]):
     benchmark setup and weak-atomicity private-node initialization
     must go through here (not bare [Shmem.poke]) so the checkers see
@@ -131,7 +147,8 @@ val app_ctx : t -> Types.core_id -> Tx.ctx
 
 (** Spawn the DTM service (dedicated: one service process per DTM
     core; multitask: installs the inline handler). Call once, before
-    [run]. *)
+    [run]. Also arms any [scrash=] points of the installed fault plan
+    (dedicated only), so install the plan first. *)
 val start_services : t -> unit
 
 (** Spawn an application process on a core. *)
@@ -150,5 +167,19 @@ val poll_service : t -> core:Types.core_id -> unit
 val barrier : t -> core:Types.core_id -> unit
 
 (** Run the simulation to completion (or to [until], virtual ns).
-    Returns the number of events processed. *)
+    Returns the number of events processed — or 0 with {!wedged} set
+    when the watchdog tripped. *)
 val run : t -> ?until:float -> unit -> int
+
+(** Liveness watchdog: every [window_ns] of virtual time, compare
+    total resolved attempts (commits + aborts) with the previous
+    window — aborting counts as progress, so a livelocking run rides
+    to its horizon; only cores blocked forever resolve nothing.
+    [stall_windows] consecutive flat windows while spawned processes
+    remain unfinished aborts the run early ({!run} returns 0 and
+    {!wedged} turns true) instead of burning virtual time to the
+    horizon. Call before {!run}. *)
+val enable_watchdog : t -> window_ns:float -> stall_windows:int -> unit
+
+(** The last {!run} was cut short by the watchdog. *)
+val wedged : t -> bool

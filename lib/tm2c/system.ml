@@ -7,11 +7,51 @@ type request_kind =
   | Exclusive_acquire
   | Exclusive_release
 
-type request = { tx : Types.cm_meta; kind : request_kind; req_id : int }
+type request = {
+  tx : Types.cm_meta;
+  kind : request_kind;
+  req_id : int;
+  epoch : int;
+      (* the requester's view of the target partition's epoch at send
+         time; always 0 while failover is disabled *)
+}
 
-type response = Granted | Conflicted of Types.conflict
+type response = Granted | Conflicted of Types.conflict | Stale_epoch
 
-type msg = Req of request | Resp of { req_id : int; resp : response }
+(* Lock-table mutations shipped primary -> backup. Grants carry the
+   full holder (the backup's replica can then serve as CM input after
+   a failover); releases identify the holder by (core, attempt), the
+   same keys the live table uses. Revocations (enemy aborts, lease
+   reclaims) are intentionally not replicated: a newer grant
+   overwrites the writer slot, and anything else left stale in the
+   replica is cleared by lease expiry after the merge. *)
+type repl_op =
+  | Rep_read of Types.addr * Types.holder
+  | Rep_write of Types.addr list * Types.holder
+  | Rep_release_reads of Types.addr list * Types.core_id * int
+  | Rep_release_writes of Types.addr list * Types.core_id * int
+
+type msg =
+  | Req of request
+  | Resp of { req_id : int; resp : response }
+  | Repl of { src : Types.core_id; part : int; epoch : int; op : repl_op }
+
+(* Replicated-lock-service failover state, shared by clients (routing
+   + epoch stamping), primaries (replication targets) and backups
+   (merge + stale-epoch checks). Arrays are indexed by partition;
+   with [fo_enabled = false] nothing ever reads past [fo_owner],
+   which then mirrors [dtm_cores] exactly. *)
+type failover = {
+  mutable fo_enabled : bool;
+  fo_epoch : int array;  (* current epoch per partition *)
+  fo_owner : Types.core_id array;  (* current serving core per partition *)
+  fo_primary : Types.core_id array;  (* original primary per partition *)
+  fo_backup : Types.core_id array;  (* designated backup per partition *)
+  fo_merged : bool array;
+      (* the current owner holds authoritative state for the
+         partition; cleared by an epoch bump, set back when the
+         promoted backup merges its replica *)
+}
 
 type env = {
   sim : Tm2c_engine.Sim.t;
@@ -39,6 +79,7 @@ type env = {
      the exact pre-hardening code paths. *)
   mutable req_timeout_ns : float;
   mutable lease_ns : float;
+  failover : failover;
 }
 
 let local_now env ~core = Tm2c_engine.Sim.now env.sim +. env.skew.(core)
@@ -47,3 +88,41 @@ let owner_hash addr n =
   (* Fibonacci hashing on the word address. *)
   let h = addr * 0x9E3779B1 land max_int in
   (h lsr 16) mod n
+
+(* Partition a request belongs to, from its first address: partition
+   membership is a pure function of the address, so both sides compute
+   it independently. Address-less kinds (barrier, exclusive mode) have
+   no partition — they are never epoch-checked and never failed over. *)
+let kind_part ~n_parts = function
+  | Read_lock a -> Some (owner_hash a n_parts)
+  | Write_locks (a :: _) | Release_reads (a :: _) | Release_writes (a :: _) ->
+      Some (owner_hash a n_parts)
+  | Write_locks [] | Release_reads [] | Release_writes [] -> None
+  | Barrier_reached | Exclusive_acquire | Exclusive_release -> None
+
+(* Client-side failover trigger. Guarded so that concurrent clients
+   giving up on the same dead primary bump the epoch exactly once:
+   after the flip the owner is the backup and later calls are no-ops
+   (with one replica there is nowhere further to fail over to). *)
+let bump_epoch env ~part ~by =
+  let fo = env.failover in
+  if fo.fo_enabled && fo.fo_owner.(part) = fo.fo_primary.(part) then begin
+    fo.fo_epoch.(part) <- fo.fo_epoch.(part) + 1;
+    fo.fo_owner.(part) <- fo.fo_backup.(part);
+    fo.fo_merged.(part) <- false;
+    let c = Tm2c_noc.Fault.counters env.faults in
+    c.Tm2c_noc.Fault.failovers <- c.Tm2c_noc.Fault.failovers + 1;
+    if Tm2c_engine.Trace.enabled env.trace then
+      Tm2c_engine.Trace.record env.trace
+        ~now:(Tm2c_engine.Sim.now env.sim)
+        (Event.Epoch_bumped { part; epoch = fo.fo_epoch.(part); by })
+  end
+
+(* Epoch a client stamps on a request right before sending. *)
+let epoch_for env kind =
+  let fo = env.failover in
+  if not fo.fo_enabled then 0
+  else
+    match kind_part ~n_parts:(Array.length fo.fo_epoch) kind with
+    | Some part -> fo.fo_epoch.(part)
+    | None -> 0

@@ -21,11 +21,60 @@ type request_kind =
           request until then *)
   | Exclusive_release
 
-type request = { tx : Types.cm_meta; kind : request_kind; req_id : int }
+type request = {
+  tx : Types.cm_meta;
+  kind : request_kind;
+  req_id : int;
+  epoch : int;
+      (** the requester's view of the target partition's epoch at send
+          time (see {!failover}); always 0 while failover is disabled
+          and for address-less kinds *)
+}
 
-type response = Granted | Conflicted of Types.conflict
+type response =
+  | Granted
+  | Conflicted of Types.conflict
+  | Stale_epoch
+      (** the request's epoch stamp is behind the server's view of the
+          partition (or the server no longer owns it): refused without
+          touching the lock table — the client re-reads the routing
+          table and retries at the current owner *)
 
-type msg = Req of request | Resp of { req_id : int; resp : response }
+(** A lock-table mutation shipped primary -> backup over the reliable
+    replication channel. Grants carry the full holder (so the replica
+    can serve as contention-manager input after a failover); releases
+    identify the holder by (core, attempt) like the live table.
+    Revocations (enemy aborts, lease reclaims) are intentionally not
+    replicated: a newer grant overwrites the writer slot, and stale
+    replica entries are cleared by lease expiry after the merge. *)
+type repl_op =
+  | Rep_read of Types.addr * Types.holder
+  | Rep_write of Types.addr list * Types.holder
+  | Rep_release_reads of Types.addr list * Types.core_id * int
+  | Rep_release_writes of Types.addr list * Types.core_id * int
+
+type msg =
+  | Req of request
+  | Resp of { req_id : int; resp : response }
+  | Repl of { src : Types.core_id; part : int; epoch : int; op : repl_op }
+
+(** Replicated-lock-service failover state, shared by clients (routing
+    + epoch stamping), primaries (replication targets) and promoted
+    backups (replica merge + stale-epoch checks). All arrays are
+    indexed by partition. With [fo_enabled = false], [fo_owner]
+    mirrors [dtm_cores] and nothing else is ever read. *)
+type failover = {
+  mutable fo_enabled : bool;
+  fo_epoch : int array;  (** current epoch per partition *)
+  fo_owner : Types.core_id array;  (** current serving core per partition *)
+  fo_primary : Types.core_id array;  (** original primary per partition *)
+  fo_backup : Types.core_id array;  (** designated backup per partition *)
+  fo_merged : bool array;
+      (** the current owner holds authoritative state for the
+          partition; cleared by an epoch bump, set again when the
+          promoted backup merges its replica on the first request it
+          serves for the partition *)
+}
 
 type env = {
   sim : Tm2c_engine.Sim.t;
@@ -82,6 +131,10 @@ type env = {
       (** lock lease: a holder older than this is forcibly reclaimed
           (status-CAS guarded) when it blocks a new request; 0.0
           disables reclamation *)
+  failover : failover;
+      (** replicated-lock-service state; inert (and unread past
+          [fo_owner]) until [Runtime.enable_replication] flips
+          [fo_enabled] *)
 }
 
 (** A core's local clock reading ([Sim.now] plus its skew). *)
@@ -90,3 +143,21 @@ val local_now : env -> core:Types.core_id -> float
 (** [owner_hash addr n] maps an address onto one of [n] partitions
     (Fibonacci hashing). *)
 val owner_hash : Types.addr -> int -> int
+
+(** Partition a request belongs to, from its first address (partition
+    membership is a pure function of the address). [None] for
+    address-less kinds (barrier, exclusive mode): those are never
+    epoch-checked and never failed over. *)
+val kind_part : n_parts:int -> request_kind -> int option
+
+(** [bump_epoch env ~part ~by] — client [by] gives up on partition
+    [part]'s primary: advance the epoch, flip routing to the backup,
+    clear the merged flag, and emit {!Event.Epoch_bumped}. Guarded so
+    concurrent clients bump exactly once (no-op when the owner is
+    already the backup, or when failover is disabled). *)
+val bump_epoch : env -> part:int -> by:Types.core_id -> unit
+
+(** Epoch a client stamps on a request right before sending: the
+    current epoch of the request's partition (0 when failover is
+    disabled or the kind has no partition). *)
+val epoch_for : env -> request_kind -> int

@@ -146,13 +146,26 @@ let meta ctx =
    this factor over the configured base. *)
 let resend_backoff_factor = 16.0
 
+(* Failover trigger: this many consecutive silent timeouts on one
+   request and the client declares the partition's primary dead —
+   bumps the epoch and re-routes to the backup. Three full (doubling)
+   windows comfortably outlast any stall a live server recovers from
+   within one base timeout, and — together with the backoff — give the
+   reliable replication channel ample time to drain before the backup
+   is promoted (see DESIGN.md "Failover"). *)
+let failover_resend_threshold = 3
+
 (* Receive until our response arrives; under the multitasking
    deployment, service requests arriving in the meantime are handled
    inline (the libtask coroutine switch of Section 3.1). When request
    timeouts are enabled ([env.req_timeout_ns] > 0), a silent wait
    resends the same request — same sequence number, so the server
    absorbs duplicates and a late original reply is simply dropped by
-   the [req_id] match below. *)
+   the [req_id] match below. With failover enabled, enough silent
+   timeouts bump the partition's epoch and re-route to the backup; a
+   [Stale_epoch] refusal (we raced another client's bump, or a healed
+   zombie primary refused us) likewise re-routes and retries — neither
+   is ever surfaced to the caller. *)
 let await ctx ~dst ~kind req_id =
   (* Under multitasking, the first service request interrupting this
      wait pays the coroutine-scheduling delay (the application task's
@@ -161,7 +174,25 @@ let await ctx ~dst ~kind req_id =
      scheduling slot. *)
   let deferred = ref false in
   let resends = ref 0 in
+  let dst = ref dst in
   let base = ctx.env.System.req_timeout_ns in
+  let fo = ctx.env.System.failover in
+  let part () =
+    if fo.fo_enabled then
+      System.kind_part ~n_parts:(Array.length fo.fo_epoch) kind
+    else None
+  in
+  (* Route to the partition's current owner (a bump — ours or a
+     peer's — may have moved it) and re-stamp the epoch. *)
+  let resend () =
+    (match part () with Some p -> dst := fo.fo_owner.(p) | None -> ());
+    if trace_on ctx then
+      emit ctx
+        (Event.Req_resent { core = ctx.core; server = !dst; req_id; nth = !resends });
+    Network.send ctx.env.System.net ~src:ctx.core ~dst:!dst
+      (System.Req
+         { tx = meta ctx; kind; req_id; epoch = System.epoch_for ctx.env kind })
+  in
   let rec loop timeout_ns =
     let msg =
       if timeout_ns > 0.0 then
@@ -173,14 +204,22 @@ let await ctx ~dst ~kind req_id =
         incr resends;
         let c = Fault.counters ctx.env.System.faults in
         c.Fault.resends <- c.Fault.resends + 1;
-        if trace_on ctx then
-          emit ctx
-            (Event.Req_resent
-               { core = ctx.core; server = dst; req_id; nth = !resends });
-        Network.send ctx.env.System.net ~src:ctx.core ~dst
-          (System.Req { tx = meta ctx; kind; req_id });
+        (match part () with
+        | Some p when !resends >= failover_resend_threshold ->
+            System.bump_epoch ctx.env ~part:p ~by:ctx.core
+        | Some _ | None -> ());
+        resend ();
         loop (Float.min (timeout_ns *. 2.0) (base *. resend_backoff_factor))
-    | Some (System.Resp r) when r.req_id = req_id -> r.resp
+    | Some (System.Resp r) when r.req_id = req_id -> (
+        match r.resp with
+        | System.Stale_epoch ->
+            (* Refused for epoch reasons: the partition has a new owner
+               (or we are behind on the epoch). Re-route and retry the
+               same request transparently. *)
+            incr resends;
+            resend ();
+            loop timeout_ns
+        | resp -> resp)
     | Some (System.Resp _) -> loop timeout_ns
     | Some (System.Req { kind = System.Barrier_reached; _ }) ->
         (* A peer reached a privatization barrier while we are still
@@ -199,6 +238,8 @@ let await ctx ~dst ~kind req_id =
             loop timeout_ns
         | None ->
             invalid_arg "Tx.await: application core received a service request")
+    | Some (System.Repl _) ->
+        invalid_arg "Tx.await: application core received replication traffic"
   in
   loop base
 
@@ -216,13 +257,15 @@ let send_request ctx ~dst kind =
            n_addrs = Dtm.kind_addrs kind;
          });
   Network.send ctx.env.System.net ~src:ctx.core ~dst
-    (System.Req { tx = meta ctx; kind; req_id });
+    (System.Req
+       { tx = meta ctx; kind; req_id; epoch = System.epoch_for ctx.env kind });
   await ctx ~dst ~kind req_id
 
 (* Releases are fire-and-forget. *)
 let send_release ctx ~dst kind =
   Network.send ctx.env.System.net ~src:ctx.core ~dst
-    (System.Req { tx = meta ctx; kind; req_id = 0 })
+    (System.Req
+       { tx = meta ctx; kind; req_id = 0; epoch = System.epoch_for ctx.env kind })
 
 let group_by_owner ctx addrs =
   let tbl = Hashtbl.create 8 in
@@ -325,6 +368,7 @@ let locked_read ctx addr =
       if trace_on ctx then
         emit ctx (Event.Tx_read { core = ctx.core; addr; granted = false; value = 0 });
       raise (Abort_exn (Some c))
+  | System.Stale_epoch -> assert false (* consumed inside [await] *)
 
 let elastic_early_read ctx addr =
   let v = locked_read ctx addr in
@@ -402,6 +446,7 @@ let write ctx addr v =
       | System.Conflicted c ->
           if prof_on ctx then ph_charge ctx Phase.commit_acquire;
           raise (Abort_exn (Some c))
+      | System.Stale_epoch -> assert false (* consumed inside [await] *)
     end
   end
   end
@@ -436,7 +481,8 @@ let commit ctx =
           ctx.writes_held <- addrs @ ctx.writes_held
       | System.Conflicted c ->
           if prof_on ctx then ph_charge ctx Phase.commit_acquire;
-          raise (Abort_exn (Some c)))
+          raise (Abort_exn (Some c))
+      | System.Stale_epoch -> assert false (* consumed inside [await] *))
     (commit_groups ctx to_acquire);
   let committing =
     Atomic_reg.cas ctx.env.System.regs ~core:ctx.core ~reg:ctx.core
@@ -532,7 +578,7 @@ let irrevocable ctx f =
     (fun dst ->
       match send_request ctx ~dst System.Exclusive_acquire with
       | System.Granted -> ()
-      | System.Conflicted _ ->
+      | System.Conflicted _ | System.Stale_epoch ->
           invalid_arg "Tx.irrevocable: exclusive acquisition refused")
     ctx.env.System.dtm_cores;
   let v = f () in

@@ -14,4 +14,5 @@ let () =
       ("profile", Test_profile.suite);
       ("check", Test_check.suite);
       ("fault", Test_fault.suite);
+      ("failover", Test_failover.suite);
     ]

@@ -56,7 +56,7 @@ let status_of rig ~core =
    server sent back to the requester (None for releases). *)
 let submit rig ~core kind ~m =
   rig.req_id <- rig.req_id + 1;
-  let req = { System.tx = m; kind; req_id = rig.req_id } in
+  let req = { System.tx = m; kind; req_id = rig.req_id; epoch = 0 } in
   let result = ref None in
   Sim.spawn (Runtime.sim rig.t) (fun () ->
       Dtm.handle rig.env rig.server req;
@@ -66,7 +66,7 @@ let submit rig ~core kind ~m =
       | Some (System.Resp r) ->
           assert (r.req_id = rig.req_id);
           result := Some r.resp
-      | Some (System.Req _) | None -> ());
+      | Some (System.Req _) | Some (System.Repl _) | None -> ());
   let _ = Runtime.run rig.t ~until:1e9 () in
   !result
 

@@ -370,6 +370,39 @@ let test_mailbox_recv_timeout_stale () =
   Alcotest.(check (list (option int)))
     "timeout then delivery" [ None; Some 3 ] (List.rev !got)
 
+(* Boundary: the timeout deadline lands on the exact tick the message
+   arrives. Events at equal timestamps run FIFO by schedule order, so
+   whichever side was scheduled first wins — deterministically. *)
+let test_mailbox_recv_timeout_boundary () =
+  (* Delivery scheduled before the receiver suspends: at the shared
+     tick the delivery runs first and the timeout is inert. *)
+  let sim = Sim.create () in
+  let mb = Mailbox.create sim in
+  let got = ref [] in
+  Mailbox.send_at mb ~at:20.0 7;
+  Sim.spawn sim (fun () ->
+      got := Mailbox.recv_timeout mb ~timeout_ns:20.0 :: !got);
+  let _ = Sim.run sim () in
+  Alcotest.(check (list (option int))) "delivery wins the tie" [ Some 7 ]
+    (List.rev !got);
+  (* Timeout scheduled before the delivery (the sender only schedules
+     it at t=10, after the receiver suspended at t=0): the cancel runs
+     first at the shared tick, and the message survives in the queue
+     for a later receive. *)
+  let sim = Sim.create () in
+  let mb = Mailbox.create sim in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      got := Mailbox.recv_timeout mb ~timeout_ns:20.0 :: !got);
+  Sim.spawn sim (fun () ->
+      Sim.delay 10.0;
+      Mailbox.send_at mb ~at:20.0 8);
+  let _ = Sim.run sim () in
+  Alcotest.(check (list (option int))) "timeout wins the tie" [ None ]
+    (List.rev !got);
+  Alcotest.(check (option int)) "message still queued" (Some 8)
+    (Mailbox.try_recv mb)
+
 (* ---- Ivar ---- *)
 
 let test_ivar_fill_read () =
@@ -432,6 +465,9 @@ let suite =
     ("mailbox: try_recv", `Quick, test_mailbox_try_recv);
     ("mailbox: recv_timeout", `Quick, test_mailbox_recv_timeout);
     ("mailbox: stale timeout is inert", `Quick, test_mailbox_recv_timeout_stale);
+    ( "mailbox: timeout exactly at arrival tick",
+      `Quick,
+      test_mailbox_recv_timeout_boundary );
     ("ivar: fill wakes readers", `Quick, test_ivar_fill_read);
     ("ivar: double fill rejected", `Quick, test_ivar_double_fill);
     ("ivar: try_read", `Quick, test_ivar_try_read);

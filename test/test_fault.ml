@@ -64,17 +64,41 @@ let test_spec_roundtrip () =
       "drop=0.01";
       "dup=0.02";
       "delay=0.05@2000";
+      "reorder=0.1@3000";
       "drop=0.01,dup=0.02,delay=0.05@2000";
       "stall=8@1e6+5e5";
       "crash=3@2e6";
+      "scrash=4@3e5";
+      "part=1-4@1e5+2e5";
       "drop=0.01,dup=0.02,delay=0.05@2000,stall=8@1e6+5e5,crash=3@2e6";
+      "drop=0.005,reorder=0.1@3000,scrash=2@3e5,part=1-4@1e5+2e5";
     ];
   check "none is the empty plan" true (plan_of_spec "none" = Fault.empty);
   List.iter
     (fun s ->
       check ("rejected: " ^ s) true
         (match Fault.of_spec s with Error _ -> true | Ok _ -> false))
-    [ "bogus"; "drop=x"; "drop=0.01,"; "stall=1"; "crash=z@1e6" ]
+    [
+      "bogus";
+      "drop=x";
+      "drop=0.01,";
+      "stall=1";
+      "crash=z@1e6";
+      (* unknown key: must be refused, not silently ignored *)
+      "warp=0.1";
+      (* reorder needs its spike bound *)
+      "reorder=0.1";
+      "reorder=x@3000";
+      (* scrash needs an instant and a valid core *)
+      "scrash=1";
+      "scrash=x@1e6";
+      "scrash=2@z";
+      (* partitions need both endpoints and a full window *)
+      "part=1@1e5+2e5";
+      "part=1-x@1e5+2e5";
+      "part=1-4@1e5";
+      "part=1-4";
+    ]
 
 (* ---- determinism ---- *)
 
@@ -164,6 +188,58 @@ let test_stall_window () =
   check "progress after the stall" true (r.Tm2c_apps.Workload.commits > 0);
   let res = Check.run events in
   check "checkers pass across the stall" true (Check.passed res)
+
+(* A resend that lands while the original still sits in the stalled
+   server's mailbox must be absorbed exactly once the server wakes:
+   the event sequence shows at most one [Service] per (server,
+   requester, req_id), and at least one id that was resent during the
+   stall is serviced exactly once — the duplicate is answered from
+   cache or dropped, never re-executed. *)
+let test_stall_resend_absorbed_once () =
+  let owner =
+    let t = Runtime.create (cfg ()) in
+    let counter = Tm2c_memory.Alloc.alloc (Runtime.alloc t) ~words:1 in
+    (Runtime.env t).System.owner_of counter
+  in
+  let t, r, events =
+    run_counter
+      ~plan:(plan_of_spec (Printf.sprintf "stall=%d@1e5+2e5" owner))
+      ~timeout_ns:30_000.0 ~duration_ms:1.0 ()
+  in
+  let c = Fault.counters (Runtime.faults t) in
+  check "the stall provoked resends" true (c.Fault.resends > 0);
+  check "duplicates were absorbed" true (c.Fault.absorbed > 0);
+  let served = Hashtbl.create 64 in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Event.Service { server; requester; req_id; _ } when req_id > 0 ->
+          let k = (server, requester, req_id) in
+          Hashtbl.replace served k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt served k))
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun (server, requester, req_id) n ->
+      if n > 1 then
+        Alcotest.failf
+          "request (server %d, requester %d, id %d) serviced %d times" server
+          requester req_id n)
+    served;
+  let resent =
+    List.filter_map
+      (fun (_, ev) ->
+        match ev with
+        | Event.Req_resent { core; server; req_id; _ } ->
+            Some (server, core, req_id)
+        | _ -> None)
+      events
+  in
+  check "some request was resent" true (resent <> []);
+  check "a resent request was serviced exactly once" true
+    (List.exists (fun k -> Hashtbl.find_opt served k = Some 1) resent);
+  check "progress after the stall" true (r.Tm2c_apps.Workload.commits > 0);
+  check "checkers pass" true (Check.passed (Check.run events))
 
 (* ---- crash + lease reclamation ---- *)
 
@@ -258,6 +334,9 @@ let suite =
     ("fault: drops recovered by resend", `Quick, test_drop_resend);
     ("fault: timeout below RTT races", `Quick, test_timeout_below_rtt);
     ("fault: DS-server stall window", `Quick, test_stall_window);
+    ( "fault: resend after stall absorbed exactly once",
+      `Quick,
+      test_stall_resend_absorbed_once );
     ("fault: crash wedges without leases", `Quick, test_crash_wedges_without_leases);
     ("fault: lease reclaim unblocks writers", `Quick, test_lease_reclaim_unblocks);
   ]
