@@ -1,0 +1,285 @@
+(* Engine raw-speed benchmark (the @engine alias): host events/sec on
+   a fixed seeded workload, written to BENCH_engine.json.
+
+   The cells are chosen to stress the discrete-event engine, not the
+   TM protocol: message-bound bank transfers and hash-table operations
+   on the 48-core SCC, plus the same two shapes on a 512-core
+   SCC-parameter mesh (the scale the engine overhaul exists to unlock).
+   Everything is seeded and deterministic: reps must agree on commits
+   bit-for-bit, and the recorded "events" figure counts *logical*
+   events — events popped from the event set plus delays elided by the
+   scheduler fast path — so it is invariant under engine-internal
+   optimizations and comparable across engine versions.
+
+   Modes:
+   - default: run all cells, write the JSON (--out FILE, default
+     BENCH_engine.json), print a table;
+   - --before FILE: embed FILE's runs as the "before" side and compute
+     per-cell speedups (used once, to record the pre-overhaul engine);
+   - --baseline FILE --gate-pct P: after running, compare each cell's
+     events/sec against the same-named cell in FILE's "runs" and exit
+     nonzero if any regresses by more than P percent (the CI gate). *)
+
+open Tm2c_core
+open Tm2c_apps
+module Json = Tm2c_harness.Json
+module Exp = Tm2c_harness.Exp
+
+let mesh512 = Tm2c_noc.Platform.scc_mesh ~cols:16 ~rows:16
+
+type cell = {
+  name : string;
+  platform : Tm2c_noc.Platform.t;
+  total : int;
+  service : int;
+  duration_ns : float;
+  reps : int;
+  setup : Runtime.t -> Exp.mix;
+}
+
+let bank_shape t =
+  let bank = Bank.create t ~accounts:512 ~initial:1000 in
+  fun _core ctx prng () ->
+    let src = Tm2c_engine.Prng.int prng 512
+    and dst = Tm2c_engine.Prng.int prng 512 in
+    if src <> dst then Bank.tx_transfer ctx bank ~src ~dst ~amount:1
+
+let ht_shape t =
+  let ht = Hashtable.create t ~n_buckets:64 in
+  let n = 4 * 64 in
+  let range = 2 * n in
+  Hashtable.populate ht (Runtime.fork_prng t) ~n ~key_range:range;
+  Exp.ht_mix ht ~updates:20 ~moves:0 ~payload:0 ~range
+
+let cells =
+  [
+    {
+      name = "bank_48";
+      platform = Tm2c_noc.Platform.scc;
+      total = 48;
+      service = 24;
+      duration_ns = 40e6;
+      reps = 3;
+      setup = bank_shape;
+    };
+    {
+      name = "hashtable_48";
+      platform = Tm2c_noc.Platform.scc;
+      total = 48;
+      service = 24;
+      duration_ns = 40e6;
+      reps = 3;
+      setup = ht_shape;
+    };
+    {
+      name = "bank_512";
+      platform = mesh512;
+      total = 512;
+      service = 256;
+      duration_ns = 8e6;
+      reps = 2;
+      setup = bank_shape;
+    };
+    {
+      name = "hashtable_512";
+      platform = mesh512;
+      total = 512;
+      service = 256;
+      duration_ns = 8e6;
+      reps = 2;
+      setup = ht_shape;
+    };
+  ]
+
+type measured = {
+  cell : cell;
+  events : int;  (* logical events: processed + elided *)
+  host_best_s : float;
+  commits : int;
+  aborts : int;
+  messages : int;
+}
+
+let run_once c =
+  let cfg =
+    {
+      Runtime.default_config with
+      platform = c.platform;
+      total_cores = c.total;
+      service_cores = c.service;
+      seed = 42;
+    }
+  in
+  let t = Runtime.create cfg in
+  let mix = c.setup t in
+  let t0 = Unix.gettimeofday () in
+  let r = Workload.drive t ~duration_ns:c.duration_ns mix in
+  let host = Unix.gettimeofday () -. t0 in
+  let logical = r.Workload.events + Tm2c_engine.Sim.elided (Runtime.sim t) in
+  (r, logical, host)
+
+let measure c =
+  let result = ref None and host = ref infinity in
+  for _ = 1 to c.reps do
+    let r, logical, h = run_once c in
+    (match !result with
+    | Some (prev, prev_logical) ->
+        if prev.Workload.commits <> r.Workload.commits || prev_logical <> logical
+        then failwith (Printf.sprintf "non-deterministic cell %s" c.name)
+    | None -> ());
+    result := Some (r, logical);
+    host := Float.min !host h
+  done;
+  let r, logical = Option.get !result in
+  {
+    cell = c;
+    events = logical;
+    host_best_s = !host;
+    commits = r.Workload.commits;
+    aborts = r.Workload.aborts;
+    messages = r.Workload.messages;
+  }
+
+let events_per_sec m =
+  if m.host_best_s > 0.0 then float_of_int m.events /. m.host_best_s else 0.0
+
+let measured_json m =
+  Json.Obj
+    [
+      ("name", Json.String m.cell.name);
+      ("platform", Json.String m.cell.platform.Tm2c_noc.Platform.name);
+      ("cores", Json.Int m.cell.total);
+      ("service_cores", Json.Int m.cell.service);
+      ("virtual_ms", Json.Float (m.cell.duration_ns /. 1e6));
+      ("reps", Json.Int m.cell.reps);
+      ("events", Json.Int m.events);
+      ("host_best_s", Json.Float m.host_best_s);
+      ("events_per_sec", Json.Float (events_per_sec m));
+      ("commits", Json.Int m.commits);
+      ("aborts", Json.Int m.aborts);
+      ("messages", Json.Int m.messages);
+    ]
+
+(* Pull (name, events_per_sec) pairs out of a previously written
+   BENCH_engine.json's "runs" array. *)
+let load_runs path =
+  let j = Json.of_file path in
+  match Json.member "runs" j with
+  | Some (Json.List runs) ->
+      List.filter_map
+        (fun r ->
+          match
+            ( Option.bind (Json.member "name" r) Json.to_string_opt,
+              Option.bind (Json.member "events_per_sec" r) Json.to_float_opt )
+          with
+          | Some n, Some eps -> Some (n, (eps, r))
+          | _ -> None)
+        runs
+  | _ -> failwith (Printf.sprintf "%s: no \"runs\" array" path)
+
+let () =
+  let out = ref "BENCH_engine.json" in
+  let before = ref None in
+  let baseline = ref None in
+  let gate_pct = ref 10.0 in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--before" :: v :: rest ->
+        before := Some v;
+        parse rest
+    | "--baseline" :: v :: rest ->
+        baseline := Some v;
+        parse rest
+    | "--gate-pct" :: v :: rest ->
+        gate_pct := float_of_string v;
+        parse rest
+    | a :: _ -> failwith (Printf.sprintf "engine: unknown argument %s" a)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let results = List.map measure cells in
+  List.iter
+    (fun m ->
+      Printf.printf
+        "%-14s %4d cores  %7.2f ms virtual  %9d events  %6.3fs host  %10.0f events/s  (%d commits)\n%!"
+        m.cell.name m.cell.total
+        (m.cell.duration_ns /. 1e6)
+        m.events m.host_best_s (events_per_sec m) m.commits)
+    results;
+  let fields =
+    ref
+      [
+        ("schema_version", Json.Int 1);
+        ( "workload",
+          Json.String
+            "seeded bank transfers (512 accounts) and hashtable 20% updates \
+             (64 buckets, load 4), FairCM, lazy, dedicated; SCC 48 cores and \
+             SCC-mesh 512 cores" );
+        ("runs", Json.List (List.map measured_json results));
+      ]
+  in
+  (* Embed the pre-overhaul numbers and per-cell speedups. *)
+  let failures = ref [] in
+  (match !before with
+  | None -> ()
+  | Some path ->
+      let prior = load_runs path in
+      let speedups =
+        List.filter_map
+          (fun m ->
+            match List.assoc_opt m.cell.name prior with
+            | Some (eps_before, raw) when eps_before > 0.0 ->
+                Some (m.cell.name, events_per_sec m /. eps_before, raw)
+            | _ -> None)
+          results
+      in
+      let before_json = List.map (fun (_, _, raw) -> raw) speedups in
+      let speedup_json =
+        List.map (fun (n, s, _) -> (n, Json.Float s)) speedups
+      in
+      let gate_48 =
+        List.filter (fun (n, _, _) -> String.length n >= 3
+                     && String.sub n (String.length n - 3) 3 = "_48") speedups
+      in
+      let min_48 =
+        List.fold_left (fun acc (_, s, _) -> Float.min acc s) infinity gate_48
+      in
+      if min_48 < 2.0 then
+        failures :=
+          Printf.sprintf "48-core speedup %.2fx below the required 2x" min_48
+          :: !failures;
+      fields :=
+        !fields
+        @ [
+            ("before", Json.List before_json);
+            ("speedup", Json.Obj speedup_json);
+            ( "min_speedup_48",
+              if gate_48 = [] then Json.Null else Json.Float min_48 );
+          ]);
+  (* CI regression gate against the committed baseline. *)
+  (match !baseline with
+  | None -> ()
+  | Some path ->
+      let committed = load_runs path in
+      List.iter
+        (fun m ->
+          match List.assoc_opt m.cell.name committed with
+          | Some (eps_committed, _) when eps_committed > 0.0 ->
+              let eps = events_per_sec m in
+              let drop = (eps_committed -. eps) /. eps_committed *. 100.0 in
+              if drop > !gate_pct then
+                failures :=
+                  Printf.sprintf "%s: %.0f events/s is %.1f%% below baseline %.0f"
+                    m.cell.name eps drop eps_committed
+                  :: !failures
+          | _ -> ())
+        results);
+  Json.to_file !out (Json.Obj !fields);
+  Printf.printf "wrote %s\n" !out;
+  match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "engine gate FAILED: %s\n" f) fs;
+      exit 1

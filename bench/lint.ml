@@ -3,7 +3,8 @@
 
    - wall-clock reads ([Unix.gettimeofday], [Sys.time]) — virtual
      time comes from the engine; host time is observability-only;
-   - [Obj.magic] — the one sanctioned use is the heap's dummy slot;
+   - [Obj.magic] — the only sanctioned uses are the generic-array
+     dummy slots in the event-set and mailbox backing stores;
    - naked [failwith "..."] on a bare string literal — failures must
      carry context (format the message, or use a typed error);
 
@@ -24,6 +25,11 @@ let waivers =
        element type for its backing-array dummy slot; the cast is
        confined to that one constant and documented in place. *)
     ("lib/engine/heap.ml", "Obj.magic");
+    (* Same dummy-slot pattern: calendar-queue bucket vectors and the
+       mailbox ring / timed-delivery slots are generic backing arrays
+       whose dead cells must not retain payloads. *)
+    ("lib/engine/wheel.ml", "Obj.magic");
+    ("lib/engine/mailbox.ml", "Obj.magic");
   ]
 
 let mli_required_dirs = [ "tm2c"; "engine" ]

@@ -1,48 +1,70 @@
-(* Array-backed binary min-heap. Ties on the [float] key are broken by a
-   monotonically increasing sequence number so that the simulation is
-   deterministic regardless of heap internals. *)
+(* Array-backed binary min-heap over parallel arrays. Ties on the
+   [float] key are broken by a monotonically increasing sequence number
+   so that the simulation is deterministic regardless of heap internals.
 
-type 'a entry = { prio : float; seq : int; value : 'a }
+   The three parallel arrays keep the priorities flat (an unboxed
+   [float array]) and avoid a per-entry record allocation on push; all
+   value-array accesses in this module are polymorphic, so the values
+   array is an ordinary generic array (its dummy initialiser is an
+   immediate) and storing boxed values of any type is safe. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable prio : float array; (* flat, unboxed *)
+  mutable seq : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
-  dummy : 'a entry;
 }
 
+let initial_capacity = 64
+
 (* The dummy fills dead slots (indices >= size) so that vacated slots
-   never retain a popped entry's value. Its [value] field is never
-   read: dead slots are not observed, and [less] looks only at
-   [prio]/[seq]. [Obj.magic] is confined to this one constant. *)
-let create () =
-  {
-    data = [||];
-    size = 0;
-    next_seq = 0;
-    dummy = { prio = Float.nan; seq = -1; value = Obj.magic 0 };
-  }
+   never retain a popped entry's value. It is never read: dead slots
+   are not observed. Being an immediate, it also forces [Array.make]
+   to build a generic (non-flat) values array even when ['a] is
+   [float]. [Obj.magic] is confined to this one constant. *)
+let dummy : 'a. unit -> 'a = fun () -> Obj.magic 0
+
+let create () = { prio = [||]; seq = [||]; vals = [||]; size = 0; next_seq = 0 }
 
 let length h = h.size
 
 let is_empty h = h.size = 0
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+let capacity h = Array.length h.prio
 
-let grow h =
-  let cap = Array.length h.data in
-  let new_cap = if cap = 0 then 64 else cap * 2 in
-  let data = Array.make new_cap h.dummy in
-  Array.blit h.data 0 data 0 h.size;
-  h.data <- data
+let less h i j =
+  h.prio.(i) < h.prio.(j) || (h.prio.(i) = h.prio.(j) && h.seq.(i) < h.seq.(j))
+
+let swap h i j =
+  let p = h.prio.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.prio.(j) <- p;
+  let s = h.seq.(i) in
+  h.seq.(i) <- h.seq.(j);
+  h.seq.(j) <- s;
+  let v = h.vals.(i) in
+  h.vals.(i) <- h.vals.(j);
+  h.vals.(j) <- v
+
+(* Copies the live prefix verbatim, so the heap shape — and therefore
+   the pop order — is unaffected by resizing in either direction. *)
+let resize h new_cap =
+  let prio = Array.make new_cap 0.0 in
+  Array.blit h.prio 0 prio 0 h.size;
+  let seq = Array.make new_cap 0 in
+  Array.blit h.seq 0 seq 0 h.size;
+  let vals = Array.make new_cap (dummy ()) in
+  Array.blit h.vals 0 vals 0 h.size;
+  h.prio <- prio;
+  h.seq <- seq;
+  h.vals <- vals
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less h.data.(i) h.data.(parent) then begin
-      let tmp = h.data.(i) in
-      h.data.(i) <- h.data.(parent);
-      h.data.(parent) <- tmp;
+    if less h i parent then begin
+      swap h i parent;
       sift_up h parent
     end
   end
@@ -50,38 +72,64 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
-  if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+  if l < h.size && less h l !smallest then smallest := l;
+  if r < h.size && less h r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(!smallest);
-    h.data.(!smallest) <- tmp;
+    swap h i !smallest;
     sift_down h !smallest
   end
 
-let push h prio value =
-  let entry = { prio; seq = h.next_seq; value } in
-  h.next_seq <- h.next_seq + 1;
-  if h.size = Array.length h.data then grow h;
-  h.data.(h.size) <- entry;
+let push_seq h p seq v =
+  if h.size = Array.length h.prio then
+    resize h (max initial_capacity (2 * Array.length h.prio));
+  let i = h.size in
+  h.prio.(i) <- p;
+  h.seq.(i) <- seq;
+  h.vals.(i) <- v;
   h.size <- h.size + 1;
-  sift_up h (h.size - 1)
+  sift_up h i
+
+let push h p v =
+  let s = h.next_seq in
+  h.next_seq <- s + 1;
+  push_seq h p s v
+
+let remove_min h =
+  let n = h.size - 1 in
+  h.size <- n;
+  if n > 0 then begin
+    h.prio.(0) <- h.prio.(n);
+    h.seq.(0) <- h.seq.(n);
+    h.vals.(0) <- h.vals.(n)
+  end;
+  (* Clear the vacated slot: otherwise the moved entry stays reachable
+     until the slot is overwritten — a space leak proportional to the
+     heap's high-water mark. *)
+  h.vals.(n) <- dummy ();
+  if n > 0 then sift_down h 0;
+  (* Shrink when occupancy falls below a quarter, floored at the
+     initial capacity, so a burst does not pin its high-water mark. *)
+  let cap = Array.length h.prio in
+  if cap > initial_capacity && h.size * 4 < cap then
+    resize h (max initial_capacity (cap / 2))
+
+let take h =
+  if h.size = 0 then invalid_arg "Heap.take: empty heap";
+  let v = h.vals.(0) in
+  remove_min h;
+  v
 
 let pop_min h =
   if h.size = 0 then None
   else begin
-    let min = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      (* Clear the vacated slot: otherwise the moved entry stays
-         reachable until the slot is overwritten — a space leak
-         proportional to the heap's high-water mark. *)
-      h.data.(h.size) <- h.dummy;
-      sift_down h 0
-    end
-    else h.data.(0) <- h.dummy;
-    Some (min.prio, min.value)
+    let p = h.prio.(0) in
+    let v = h.vals.(0) in
+    remove_min h;
+    Some (p, v)
   end
 
-let peek_min h = if h.size = 0 then None else Some h.data.(0).prio
+let peek_min h = if h.size = 0 then None else Some h.prio.(0)
+
+let min_prio h = if h.size = 0 then infinity else h.prio.(0)
+
+let min_seq h = if h.size = 0 then max_int else h.seq.(0)

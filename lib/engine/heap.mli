@@ -1,6 +1,12 @@
 (** Binary min-heap keyed by [float] priority with deterministic FIFO
     tie-breaking: two entries pushed with equal priority pop in push
-    order. Used as the simulator's event queue. *)
+    order. Used as the simulator's event queue (directly, and as the
+    bucket and overflow tiers of {!Wheel}).
+
+    The backing storage grows by doubling and shrinks by halving when
+    occupancy falls below a quarter (floored at the initial capacity of
+    64), so a scheduling burst does not pin its high-water mark;
+    resizing never changes the pop order. *)
 
 type 'a t
 
@@ -10,12 +16,36 @@ val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
-(** [push h priority v] inserts [v] with the given priority. *)
+(** Current backing-array capacity (exposed for the shrink tests). *)
+val capacity : 'a t -> int
+
+(** [push h priority v] inserts [v] with the given priority and the
+    next internal sequence number. *)
 val push : 'a t -> float -> 'a -> unit
+
+(** [push_seq h priority seq v] inserts [v] with an externally supplied
+    tie-break sequence number — used by {!Wheel}, which owns a single
+    sequence counter spanning many heaps. Callers must not mix
+    [push_seq] with [push] on the same heap unless they keep the
+    external numbers coherent with the internal counter. *)
+val push_seq : 'a t -> float -> int -> 'a -> unit
 
 (** [pop_min h] removes and returns the minimum-priority entry,
     or [None] when the heap is empty. *)
 val pop_min : 'a t -> (float * 'a) option
 
+(** [take h] removes and returns the minimum entry's value alone —
+    the allocation-free pop used on the scheduler hot path. Read
+    {!min_prio}/{!min_seq} first if the key is needed.
+    @raise Invalid_argument when the heap is empty. *)
+val take : 'a t -> 'a
+
 (** [peek_min h] returns the minimum priority without removing it. *)
 val peek_min : 'a t -> float option
+
+(** Minimum priority, or [infinity] when empty. *)
+val min_prio : 'a t -> float
+
+(** Tie-break sequence number of the minimum entry, or [max_int] when
+    empty. *)
+val min_seq : 'a t -> int

@@ -19,11 +19,21 @@ let create ?(buckets = default_buckets) () =
   if buckets < 1 then invalid_arg "Histogram.create: need at least one bucket";
   { counts = Array.make buckets 0; n = 0; sum = 0.0; min = infinity; max = neg_infinity }
 
+(* Binary exponent of [v >= 1.0] — [Float.frexp]'s second component —
+   without frexp's per-call tuple allocation: scale down by exact
+   powers of two (exact multiplications, so the exponent matches frexp
+   bit-for-bit) in a self-tail-recursive loop that keeps the float in a
+   register. *)
+let rec exponent v e =
+  if v >= 65536.0 then exponent (v *. (1.0 /. 65536.0)) (e + 16)
+  else if v >= 16.0 then exponent (v *. (1.0 /. 16.0)) (e + 4)
+  else if v >= 2.0 then exponent (v *. 0.5) (e + 1)
+  else e + 1
+
 let bucket_of t v =
   if v < 1.0 then 0
   else
-    (* [frexp] gives the binary exponent: v in [2^(e-1), 2^e). *)
-    let e = snd (Float.frexp v) in
+    let e = exponent v 0 in
     if e >= Array.length t.counts then Array.length t.counts - 1 else e
 
 (* Inclusive upper edge of bucket [i]. *)

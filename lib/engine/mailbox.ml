@@ -1,60 +1,143 @@
+(* Unbounded FIFO mailbox over a power-of-two ring buffer, with timed
+   deliveries routed through a Sim port: [send_at] parks the payload in
+   a pooled slot and schedules just (port, slot) ints — no per-message
+   closure — and the port handler moves the payload to the ring (or
+   directly to a blocked receiver) at delivery time. *)
+
 type 'a t = {
   sim : Sim.t;
-  queue : 'a Queue.t;
+  mutable buf : 'a array; (* ring; capacity a power of two *)
+  mutable head : int; (* read position *)
+  mutable len : int;
   mutable waiter : ('a -> unit) option;
+  mutable port : int; (* Sim port for timed deliveries *)
+  mutable slots : 'a array; (* in-flight timed-delivery payloads *)
+  mutable free : int array; (* free slot indices, used as a stack *)
+  mutable free_top : int;
 }
 
-let create sim = { sim; queue = Queue.create (); waiter = None }
+(* Immediate dummy for empty ring and slot cells: never read, keeps
+   dead cells from retaining delivered payloads, and forces
+   [Array.make] to build generic (non-flat) arrays. [Obj.magic] is
+   confined to this one constant. *)
+let dummy : 'a. unit -> 'a = fun () -> Obj.magic 0
 
-let length mb = Queue.length mb.queue
+let ring_push mb v =
+  let cap = Array.length mb.buf in
+  if mb.len = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let nb = Array.make ncap (dummy ()) in
+    for i = 0 to mb.len - 1 do
+      nb.(i) <- mb.buf.((mb.head + i) land (cap - 1))
+    done;
+    mb.buf <- nb;
+    mb.head <- 0
+  end;
+  mb.buf.((mb.head + mb.len) land (Array.length mb.buf - 1)) <- v;
+  mb.len <- mb.len + 1
 
-let is_empty mb = Queue.is_empty mb.queue
+(* Precondition: [mb.len > 0]. *)
+let ring_pop mb =
+  let i = mb.head in
+  let v = mb.buf.(i) in
+  mb.buf.(i) <- dummy ();
+  mb.head <- (i + 1) land (Array.length mb.buf - 1);
+  mb.len <- mb.len - 1;
+  v
 
 let deliver mb v =
   match mb.waiter with
   | Some resume ->
       mb.waiter <- None;
       resume v
-  | None -> Queue.push v mb.queue
+  | None -> ring_push mb v
+
+(* [free] always has one index per slot, so releasing never overflows. *)
+let deliver_slot mb slot =
+  let v = mb.slots.(slot) in
+  mb.slots.(slot) <- dummy ();
+  mb.free.(mb.free_top) <- slot;
+  mb.free_top <- mb.free_top + 1;
+  deliver mb v
+
+let create sim =
+  let mb =
+    {
+      sim;
+      buf = [||];
+      head = 0;
+      len = 0;
+      waiter = None;
+      port = -1;
+      slots = [||];
+      free = [||];
+      free_top = 0;
+    }
+  in
+  mb.port <- Sim.register_port sim (fun slot -> deliver_slot mb slot);
+  mb
+
+let length mb = mb.len
+
+let is_empty mb = mb.len = 0
 
 let send mb v = deliver mb v
 
-let send_at mb ~at v = Sim.schedule mb.sim ~at (fun () -> deliver mb v)
+let alloc_slot mb v =
+  if mb.free_top = 0 then begin
+    let old = Array.length mb.slots in
+    let ncap = if old = 0 then 16 else 2 * old in
+    let ns = Array.make ncap (dummy ()) in
+    Array.blit mb.slots 0 ns 0 old;
+    mb.slots <- ns;
+    let nf = Array.make ncap 0 in
+    for i = 0 to ncap - old - 1 do
+      nf.(i) <- old + i
+    done;
+    mb.free <- nf;
+    mb.free_top <- ncap - old
+  end;
+  mb.free_top <- mb.free_top - 1;
+  let slot = mb.free.(mb.free_top) in
+  mb.slots.(slot) <- v;
+  slot
+
+let send_at mb ~at v =
+  let slot = alloc_slot mb v in
+  Sim.schedule_port mb.sim ~at ~port:mb.port ~slot
 
 let recv mb =
-  match Queue.take_opt mb.queue with
-  | Some v -> v
-  | None ->
-      Sim.suspend (fun resume ->
-          if mb.waiter <> None then
-            invalid_arg "Mailbox.recv: mailbox already has a waiter";
-          mb.waiter <- Some resume)
+  if mb.len > 0 then ring_pop mb
+  else
+    Sim.suspend (fun resume ->
+        if mb.waiter <> None then
+          invalid_arg "Mailbox.recv: mailbox already has a waiter";
+        mb.waiter <- Some resume)
 
-let try_recv mb = Queue.take_opt mb.queue
+let try_recv mb = if mb.len > 0 then Some (ring_pop mb) else None
 
 let recv_timeout mb ~timeout_ns =
-  match Queue.take_opt mb.queue with
-  | Some v -> Some v
-  | None ->
-      Sim.suspend (fun resume ->
-          if mb.waiter <> None then
-            invalid_arg "Mailbox.recv_timeout: mailbox already has a waiter";
-          let fired = ref false in
-          let rec wait v =
-            if not !fired then begin
-              fired := true;
-              resume (Some v)
-            end
-          and cancel () =
-            if not !fired then begin
-              fired := true;
-              (* Only uninstall our own waiter: a later [recv] may have
-                 replaced it after a delivery already resumed us. *)
-              (match mb.waiter with
-              | Some w when w == wait -> mb.waiter <- None
-              | _ -> ());
-              resume None
-            end
-          in
-          mb.waiter <- Some wait;
-          Sim.schedule mb.sim ~at:(Sim.now mb.sim +. timeout_ns) cancel)
+  if mb.len > 0 then Some (ring_pop mb)
+  else
+    Sim.suspend (fun resume ->
+        if mb.waiter <> None then
+          invalid_arg "Mailbox.recv_timeout: mailbox already has a waiter";
+        let fired = ref false in
+        let rec wait v =
+          if not !fired then begin
+            fired := true;
+            resume (Some v)
+          end
+        and cancel () =
+          if not !fired then begin
+            fired := true;
+            (* Only uninstall our own waiter: a later [recv] may have
+               replaced it after a delivery already resumed us. *)
+            (match mb.waiter with
+            | Some w when w == wait -> mb.waiter <- None
+            | _ -> ());
+            resume None
+          end
+        in
+        mb.waiter <- Some wait;
+        Sim.schedule mb.sim ~at:(Sim.now mb.sim +. timeout_ns) cancel)

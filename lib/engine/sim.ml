@@ -3,27 +3,136 @@ open Effect.Deep
 
 exception Stopped
 
+(* Queued events are pooled, mutable cells rather than per-event
+   closures: kind 0 carries an ordinary callback, kind 1 an
+   (int port, int slot) pair dispatched through the port registry —
+   the int-packed fast path used by Mailbox's timed deliveries — and
+   kind 2 a parked delay continuation, resumed directly by the run
+   loop with no wrapper closure. Cells are recycled through a free
+   stack the moment they are popped. *)
+type cell = {
+  mutable kind : int; (* 0 = closure, 1 = port delivery, 2 = delay wake *)
+  mutable fn : unit -> unit;
+  mutable port : int;
+  mutable slot : int;
+  mutable k : (unit, unit) continuation option;
+}
+
 type t = {
   mutable now : float;
-  events : (unit -> unit) Heap.t;
+  mutable horizon : float; (* the running [run]'s [until], else infinity *)
+  scratch : float array; (* unboxed priority return cell for take_below *)
+  events : cell Wheel.t;
+  mutable pool : cell array; (* free stack of recycled cells *)
+  mutable pool_top : int;
+  mutable ports : (int -> unit) array;
+  mutable n_ports : int;
+  mutable self_opt : t option; (* preallocated [Some t] for [current] *)
+  mutable pending_delay : float; (* absolute wake-up of the delay in flight *)
+  mutable delay_eff : unit Effect.t; (* preallocated [Delay t] *)
+  mutable delay_handler : ((unit, unit) continuation -> unit) option;
   mutable n_spawned : int;
   mutable n_finished : int;
+  mutable n_elided : int;
   mutable running : bool;
 }
 
 (* The effect payload carries the owning simulation so that nested or
-   sequential simulations (common in tests) cannot interfere. *)
-type _ Effect.t += Delay : t * float -> unit Effect.t
+   sequential simulations (common in tests) cannot interfere. The
+   wake-up time rides in [pending_delay] rather than the payload, so
+   the effect value itself is one preallocated [Delay t] per simulation
+   and the dominant effect on the hot path allocates nothing. *)
+type _ Effect.t += Delay : t -> unit Effect.t
 type _ Effect.t += Suspend : t * (('a -> unit) -> unit) -> 'a Effect.t
 
-let create () =
-  { now = 0.0; events = Heap.create (); n_spawned = 0; n_finished = 0; running = false }
+(* Placeholder for [delay_eff] before [create] ties the knot. *)
+type _ Effect.t += Uninit : unit Effect.t
+
+let nop () = ()
+
+let unbound_port (_ : int) = invalid_arg "Sim: delivery to unbound port"
 
 let now t = t.now
 
+let alloc_cell t =
+  if t.pool_top > 0 then begin
+    t.pool_top <- t.pool_top - 1;
+    t.pool.(t.pool_top)
+  end
+  else { kind = 0; fn = nop; port = -1; slot = -1; k = None }
+
+let release_cell t c =
+  (* Don't retain the callback or continuation. *)
+  c.fn <- nop;
+  c.k <- None;
+  if t.pool_top = Array.length t.pool then begin
+    let np = Array.make (max 64 (2 * t.pool_top)) c in
+    Array.blit t.pool 0 np 0 t.pool_top;
+    t.pool <- np
+  end;
+  t.pool.(t.pool_top) <- c;
+  t.pool_top <- t.pool_top + 1
+
 let schedule t ~at f =
   let at = if at < t.now then t.now else at in
-  Heap.push t.events at f
+  let c = alloc_cell t in
+  c.kind <- 0;
+  c.fn <- f;
+  Wheel.push t.events at c
+
+let register_port t handler =
+  let id = t.n_ports in
+  if id = Array.length t.ports then begin
+    let np = Array.make (max 16 (2 * id)) unbound_port in
+    Array.blit t.ports 0 np 0 id;
+    t.ports <- np
+  end;
+  t.ports.(id) <- handler;
+  t.n_ports <- id + 1;
+  id
+
+let schedule_port t ~at ~port ~slot =
+  let at = if at < t.now then t.now else at in
+  let c = alloc_cell t in
+  c.kind <- 1;
+  c.port <- port;
+  c.slot <- slot;
+  Wheel.push t.events at c
+
+(* Park a delay continuation directly in a pooled cell (kind 2): no
+   wrapper closure per suspension. *)
+let schedule_k t ~at k =
+  let at = if at < t.now then t.now else at in
+  let c = alloc_cell t in
+  c.kind <- 2;
+  c.k <- Some k;
+  Wheel.push t.events at c
+
+let create () =
+  let t =
+    {
+      now = 0.0;
+      horizon = infinity;
+      scratch = Array.make 1 0.0;
+      events = Wheel.create ();
+      pool = [||];
+      pool_top = 0;
+      ports = [||];
+      n_ports = 0;
+      self_opt = None;
+      pending_delay = 0.0;
+      delay_eff = Uninit;
+      delay_handler = None;
+      n_spawned = 0;
+      n_finished = 0;
+      n_elided = 0;
+      running = false;
+    }
+  in
+  t.self_opt <- Some t;
+  t.delay_eff <- Delay t;
+  t.delay_handler <- Some (fun k -> schedule_k t ~at:t.pending_delay k);
+  t
 
 (* Ambient simulation for the currently executing process, so that
    [delay]/[suspend] need no explicit handle at every call site. *)
@@ -31,7 +140,26 @@ let current : t option ref = ref None
 
 let delay d =
   match !current with
-  | Some t -> perform (Delay (t, if d < 0.0 then 0.0 else d))
+  | Some t ->
+      let d = if d < 0.0 then 0.0 else d in
+      let target = t.now +. d in
+      (* Elision fast path: when the wake-up could not interleave with
+         any queued event — the queue is empty — and the wake-up lies
+         within the current run's horizon, advance the clock in place
+         instead of a push/pop/continuation round-trip. Every
+         observable time is identical either way, and [run]'s processed
+         count plus [elided] is invariant. (A non-empty queue whose
+         minimum still lies strictly past [target] could also elide,
+         but probing the minimum on every delay forces a cached-min
+         refresh and costs more than the rare extra elision saves.) *)
+      if target <= t.horizon && Wheel.is_empty t.events then begin
+        t.now <- target;
+        t.n_elided <- t.n_elided + 1
+      end
+      else begin
+        t.pending_delay <- target;
+        perform t.delay_eff
+      end
   | None -> invalid_arg "Sim.delay: not inside a simulation process"
 
 let suspend register =
@@ -42,7 +170,7 @@ let suspend register =
 let exec t body =
   match_with
     (fun () ->
-      current := Some t;
+      current := t.self_opt;
       body ())
     ()
     {
@@ -60,12 +188,13 @@ let exec t body =
       effc =
         (fun (type b) (eff : b Effect.t) ->
           match eff with
-          | Delay (st, d) when st == t ->
-              Some
-                (fun (k : (b, unit) continuation) ->
-                  schedule t ~at:(t.now +. d) (fun () ->
-                      current := Some t;
-                      continue k ()))
+          | Delay st when st == t ->
+              (* Preallocated: parks the continuation at
+                 [t.pending_delay], the absolute wake-up the performer
+                 just stored. The annotation applies this branch's
+                 [b = unit] equation locally instead of letting it
+                 unify [b] away for the other branches. *)
+              (t.delay_handler : ((b, unit) continuation -> unit) option)
           | Suspend (st, register) when st == t ->
               Some
                 (fun (k : (b, unit) continuation) ->
@@ -75,7 +204,7 @@ let exec t body =
                         invalid_arg "Sim.suspend: resume called twice";
                       resumed := true;
                       schedule t ~at:t.now (fun () ->
-                          current := Some t;
+                          current := t.self_opt;
                           continue k v)))
           | _ -> None);
     }
@@ -87,26 +216,51 @@ let spawn t ?name f =
 
 let run t ?until () =
   t.running <- true;
+  t.horizon <- (match until with Some h -> h | None -> infinity);
   let processed = ref 0 in
   let continue_run = ref true in
   while !continue_run do
-    match Heap.peek_min t.events with
-    | None -> continue_run := false
-    | Some at -> (
-        match until with
-        | Some horizon when at > horizon ->
-            (* Clamp the clock but leave the event queued: a later
-               [run] call resumes exactly where this one stopped. *)
-            t.now <- horizon;
-            continue_run := false
-        | Some _ | None -> (
-            match Heap.pop_min t.events with
-            | Some (at, f) ->
-                t.now <- at;
-                incr processed;
-                f ()
-            | None -> assert false))
+    match Wheel.take_below t.events t.horizon t.scratch with
+    | Some c -> (
+        t.now <- t.scratch.(0);
+        incr processed;
+        (* Branches ordered by frequency: delay wakes dominate, then
+           timed deliveries, then general callbacks. *)
+        if c.kind = 2 then begin
+          match c.k with
+          | Some k ->
+              release_cell t c;
+              current := t.self_opt;
+              continue k ()
+          | None -> assert false
+        end
+        else if c.kind = 1 then begin
+          let port = c.port and slot = c.slot in
+          release_cell t c;
+          t.ports.(port) slot
+        end
+        else begin
+          let fn = c.fn in
+          release_cell t c;
+          fn ()
+        end)
+    | None ->
+        if t.scratch.(0) = infinity then begin
+          (* The queue drained before the horizon: the caller asked for
+             the window up to [until], so the clock must still land
+             there. *)
+          match until with
+          | Some h when t.now < h -> t.now <- h
+          | Some _ | None -> ()
+        end
+        else
+          (* A queued event lies past the horizon: clamp the clock but
+             leave the event queued, so a later [run] call resumes
+             exactly where this one stopped. *)
+          t.now <- t.horizon;
+        continue_run := false
   done;
+  t.horizon <- infinity;
   t.running <- false;
   current := None;
   !processed
@@ -115,4 +269,6 @@ let spawned t = t.n_spawned
 
 let finished t = t.n_finished
 
-let pending t = Heap.length t.events
+let elided t = t.n_elided
+
+let pending t = Wheel.length t.events

@@ -35,6 +35,21 @@ val spawn : t -> ?name:string -> (unit -> unit) -> unit
     use [spawn] for that. *)
 val schedule : t -> at:float -> (unit -> unit) -> unit
 
+(** [register_port t handler] registers a delivery handler and returns
+    its port id. Ports are the allocation-free alternative to
+    {!schedule} for high-frequency timed deliveries: the subscriber
+    registers one handler up front, and each delivery is just two ints
+    in a pooled event cell (see {!schedule_port}) instead of a fresh
+    closure. Ports cannot be unregistered; they live as long as the
+    simulation. *)
+val register_port : t -> (int -> unit) -> int
+
+(** [schedule_port t ~at ~port ~slot] arranges for the handler
+    registered under [port] to be called with [slot] at virtual time
+    [at] (clamped like {!schedule}). The handler must not perform
+    effects. *)
+val schedule_port : t -> at:float -> port:int -> slot:int -> unit
+
 (** Advance the calling process's virtual time by [d] nanoseconds.
     Must be called from within a spawned process. Negative delays are
     treated as zero. *)
@@ -57,6 +72,14 @@ val spawned : t -> int
 
 (** Number of processes that ran to completion. *)
 val finished : t -> int
+
+(** Number of delays elided by the scheduler fast path: a {!delay}
+    whose wake-up could not interleave with any queued event advances
+    the clock in place instead of round-tripping through the event set.
+    [run]'s return value plus this count — the *logical* event count —
+    is invariant under that optimization and is the figure benchmarks
+    should report. *)
+val elided : t -> int
 
 (** Events currently queued. From inside a callback the count excludes
     the executing event — a recurring event can use this to detect that

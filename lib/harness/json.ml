@@ -36,11 +36,22 @@ let rec write buf ~indent ~level v =
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
       (* JSON has no nan/infinity: non-finite values (e.g. the commit
-         rate of a zero-commit window) serialize as null. *)
+         rate of a zero-commit window) serialize as null. Finite
+         non-integral values use the shortest decimal form that parses
+         back to exactly [f] (%.15g usually suffices; 17 significant
+         digits always round-trip a double), so files aren't littered
+         with 0.30000000000000004-style artifacts. *)
       if not (Float.is_finite f) then Buffer.add_string buf "null"
       else if Float.is_integer f && Float.abs f < 1e15 then
         Buffer.add_string buf (Printf.sprintf "%.1f" f)
-      else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else begin
+        let s15 = Printf.sprintf "%.15g" f in
+        if float_of_string s15 = f then Buffer.add_string buf s15
+        else
+          let s16 = Printf.sprintf "%.16g" f in
+          if float_of_string s16 = f then Buffer.add_string buf s16
+          else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      end
   | String s ->
       Buffer.add_char buf '"';
       escape buf s;

@@ -179,15 +179,22 @@ let link_action t ~src ~dst =
       else Deliver
 
 let stall_until t ~core ~now =
-  List.fold_left
-    (fun acc s ->
-      if s.stall_core = core && now >= s.stall_from_ns && now < s.stall_until_ns
-      then
-        match acc with
-        | Some e when e >= s.stall_until_ns -> acc
-        | _ -> Some s.stall_until_ns
-      else acc)
-    None t.plan.stalls
+  (* Checked on every request pickup; with no stall windows planned the
+     fold's accumulator closure must not even be allocated. *)
+  match t.plan.stalls with
+  | [] -> None
+  | stalls ->
+      List.fold_left
+        (fun acc s ->
+          if
+            s.stall_core = core && now >= s.stall_from_ns
+            && now < s.stall_until_ns
+          then
+            match acc with
+            | Some e when e >= s.stall_until_ns -> acc
+            | _ -> Some s.stall_until_ns
+          else acc)
+        None stalls
 
 (* A partition holds messages on the cut link (both directions) until
    the window closes; it never drops them, so delivery stays eventual
@@ -195,18 +202,21 @@ let stall_until t ~core ~now =
    requests. Returns the latest heal instant among the windows
    covering this link at [now]. Pure data lookup, no PRNG draw. *)
 let partition_release t ~src ~dst ~now =
-  List.fold_left
-    (fun acc p ->
-      if
-        ((p.part_a = src && p.part_b = dst)
-        || (p.part_a = dst && p.part_b = src))
-        && now >= p.part_from_ns && now < p.part_until_ns
-      then
-        match acc with
-        | Some e when e >= p.part_until_ns -> acc
-        | _ -> Some p.part_until_ns
-      else acc)
-    None t.plan.parts
+  match t.plan.parts with
+  | [] -> None
+  | parts ->
+      List.fold_left
+        (fun acc p ->
+          if
+            ((p.part_a = src && p.part_b = dst)
+            || (p.part_a = dst && p.part_b = src))
+            && now >= p.part_from_ns && now < p.part_until_ns
+          then
+            match acc with
+            | Some e when e >= p.part_until_ns -> acc
+            | _ -> Some p.part_until_ns
+          else acc)
+        None parts
 
 let count_partitioned t = t.counters.partitioned <- t.counters.partitioned + 1
 

@@ -15,11 +15,23 @@ type 'a t = {
   sim : Sim.t;
   platform : Platform.t;
   active : int;
+  n : int;  (* total cores; stride of the flight table *)
+  (* Timing constants hoisted out of the per-message path. Each entry
+     is the value the corresponding [Platform] function returns — same
+     expression, evaluated once — so every virtual timestamp is
+     bit-for-bit identical to computing it per call. *)
+  send_oh : float;
+  recv_oh : float;
+  poll_cost : float;  (* fruitless scan over all active cores' flags *)
+  flight_tab : float array;  (* [src * n + dst] = Platform.flight_ns *)
+  cycles_tab : float array;  (* [c] = Platform.cycles_ns, -1.0 = unset *)
   boxes : 'a Mailbox.t array;
   mutable n_sent : int;
   metrics : metrics;
   mutable faults : Fault.t option;
 }
+
+let cycles_memo = 2048
 
 let create sim platform ~active =
   let n = Platform.n_cores platform in
@@ -27,6 +39,14 @@ let create sim platform ~active =
     sim;
     platform;
     active;
+    n;
+    send_oh = Platform.send_overhead_ns platform;
+    recv_oh = Platform.recv_overhead_ns platform;
+    poll_cost = float_of_int active *. platform.Platform.msg_poll_per_core_ns;
+    flight_tab =
+      Array.init (n * n) (fun i ->
+          Platform.flight_ns platform ~active ~src:(i / n) ~dst:(i mod n));
+    cycles_tab = Array.make cycles_memo (-1.0);
     boxes = Array.init n (fun _ -> Mailbox.create sim);
     n_sent = 0;
     metrics =
@@ -52,40 +72,43 @@ let active net = net.active
 
 let metrics net = net.metrics
 
+(* Fault-injected delivery, split out of [send_msg] so the common
+   no-fault path stays closure-free. *)
+let send_faulty net f ~src ~dst ~flight ~at msg =
+  let deliver_at at = Mailbox.send_at net.boxes.(dst) ~at msg in
+  (* A partitioned link holds the message until the window heals
+     (it then still takes its flight time); the link fault applies
+     on top. The sender has already paid its software overhead:
+     injection perturbs only what happens on the wire. *)
+  let at =
+    match Fault.partition_release f ~src ~dst ~now:(Sim.now net.sim) with
+    | Some heal ->
+        Fault.count_partitioned f;
+        heal +. flight
+    | None -> at
+  in
+  if Fault.link_active f then begin
+    match Fault.link_action f ~src ~dst with
+    | Fault.Deliver -> deliver_at at
+    | Fault.Drop -> ()
+    | Fault.Duplicate ->
+        deliver_at at;
+        (* The duplicate takes a second trip over the same link. *)
+        deliver_at (at +. flight)
+    | Fault.Delay extra_ns -> deliver_at (at +. extra_ns)
+  end
+  else deliver_at at
+
 let send_msg net ~src ~dst ~faulty msg =
   net.n_sent <- net.n_sent + 1;
   net.metrics.per_link.(src).(dst) <- net.metrics.per_link.(src).(dst) + 1;
-  Sim.delay (Platform.send_overhead_ns net.platform);
-  let flight = Platform.flight_ns net.platform ~active:net.active ~src ~dst in
+  Sim.delay net.send_oh;
+  let flight = net.flight_tab.((src * net.n) + dst) in
   Histogram.add net.metrics.latency flight;
-  let deliver_at at = Mailbox.send_at net.boxes.(dst) ~at msg in
-  let now = Sim.now net.sim in
-  let at = now +. flight in
+  let at = Sim.now net.sim +. flight in
   match net.faults with
-  | Some f when faulty ->
-      (* A partitioned link holds the message until the window heals
-         (it then still takes its flight time); the link fault applies
-         on top. The sender has already paid its software overhead:
-         injection perturbs only what happens on the wire. *)
-      let at =
-        match Fault.partition_release f ~src ~dst ~now with
-        | Some heal ->
-            Fault.count_partitioned f;
-            heal +. flight
-        | None -> at
-      in
-      if Fault.link_active f then begin
-        match Fault.link_action f ~src ~dst with
-        | Fault.Deliver -> deliver_at at
-        | Fault.Drop -> ()
-        | Fault.Duplicate ->
-            deliver_at at;
-            (* The duplicate takes a second trip over the same link. *)
-            deliver_at (at +. flight)
-        | Fault.Delay extra_ns -> deliver_at (at +. extra_ns)
-      end
-      else deliver_at at
-  | _ -> deliver_at at
+  | Some f when faulty -> send_faulty net f ~src ~dst ~flight ~at msg
+  | _ -> Mailbox.send_at net.boxes.(dst) ~at msg
 
 let send net ~src ~dst msg = send_msg net ~src ~dst ~faulty:true msg
 
@@ -100,14 +123,29 @@ let send_reliable net ~src ~dst msg = send_msg net ~src ~dst ~faulty:false msg
 let recv net ~self =
   let msg = Mailbox.recv net.boxes.(self) in
   net.metrics.received <- net.metrics.received + 1;
-  Sim.delay (Platform.recv_overhead_ns net.platform);
+  Sim.delay net.recv_oh;
   msg
+
+(* Non-suspending take used by the service loop's batch drain: when a
+   message has already arrived it is taken with exactly [recv]'s
+   virtual-time charge; when the mailbox is empty nothing is charged
+   (unlike [try_recv]'s fruitless-scan cost) and the caller falls back
+   to a blocking [recv]. *)
+let recv_pending net ~self =
+  let box = net.boxes.(self) in
+  if Mailbox.is_empty box then None
+  else begin
+    let msg = Mailbox.recv box in
+    net.metrics.received <- net.metrics.received + 1;
+    Sim.delay net.recv_oh;
+    Some msg
+  end
 
 let recv_timeout net ~self ~timeout_ns =
   match Mailbox.recv_timeout net.boxes.(self) ~timeout_ns with
   | Some msg ->
       net.metrics.received <- net.metrics.received + 1;
-      Sim.delay (Platform.recv_overhead_ns net.platform);
+      Sim.delay net.recv_oh;
       Some msg
   | None -> None
 
@@ -115,11 +153,11 @@ let try_recv net ~self =
   match Mailbox.try_recv net.boxes.(self) with
   | Some msg ->
       net.metrics.received <- net.metrics.received + 1;
-      Sim.delay (Platform.recv_overhead_ns net.platform);
+      Sim.delay net.recv_oh;
       Some msg
   | None ->
       (* A fruitless scan over the flags of all active cores. *)
-      let cost = float_of_int net.active *. net.platform.Platform.msg_poll_per_core_ns in
+      let cost = net.poll_cost in
       net.metrics.poll_scans <- net.metrics.poll_scans + 1;
       net.metrics.poll_scan_ns <- net.metrics.poll_scan_ns +. cost;
       Sim.delay cost;
@@ -139,4 +177,20 @@ let top_links ?(limit = 16) net =
   let sorted = List.sort (fun (_, _, a) (_, _, b) -> compare b a) !acc in
   List.filteri (fun i _ -> i < limit) sorted
 
-let compute net cycles = Sim.delay (Platform.cycles_ns net.platform cycles)
+(* Memoized cycles->ns conversion: the DTM charges a handful of
+   distinct cycle counts millions of times, and each fresh conversion
+   is a float division. Misses past the memo window fall back to the
+   direct formula; hits return the exact value that formula produced. *)
+let cycles_ns net cycles =
+  if cycles >= 0 && cycles < cycles_memo then begin
+    let v = net.cycles_tab.(cycles) in
+    if v >= 0.0 then v
+    else begin
+      let v = Platform.cycles_ns net.platform cycles in
+      net.cycles_tab.(cycles) <- v;
+      v
+    end
+  end
+  else Platform.cycles_ns net.platform cycles
+
+let compute net cycles = Sim.delay (cycles_ns net cycles)

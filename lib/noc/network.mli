@@ -55,6 +55,12 @@ val faults : 'a t -> Fault.t option
     charges the receive software overhead. *)
 val recv : 'a t -> self:int -> 'a
 
+(** [recv_pending net ~self] — non-suspending take for batch drains:
+    returns an already-arrived message with exactly {!recv}'s receive
+    overhead charged, or [None] with nothing charged when the mailbox
+    is empty (the caller then falls back to a blocking {!recv}). *)
+val recv_pending : 'a t -> self:int -> 'a option
+
 (** Like {!recv} but gives up after [timeout_ns] of virtual time,
     returning [None] with nothing charged (used for request-timeout
     hardening). *)
@@ -76,6 +82,11 @@ val metrics : 'a t -> metrics
 (** Busiest (src, dst, count) links, descending; at most [limit]
     (default 16). *)
 val top_links : ?limit:int -> 'a t -> (int * int * int) list
+
+(** [cycles_ns net c] — what [c] cycles of local computation cost in
+    ns at the platform's core frequency: {!Platform.cycles_ns} behind a
+    memo, bit-for-bit the same value. *)
+val cycles_ns : 'a t -> int -> float
 
 (** [compute net cycles] charges [cycles] of local computation at the
     platform's core frequency. *)

@@ -58,6 +58,21 @@ let scc = scc_setting 0
 
 let scc800 = scc_setting 1
 
+(* Scaled-out SCC-style mesh for beyond-chip simulations (hundreds to
+   thousands of cores): identical per-core software costs, per-hop wire
+   latency and memory parameters as the SCC under setting 0, on a
+   [cols] x [rows] mesh of 2-core tiles. The polling-detection latency
+   still grows with the number of active cores, so messaging slows down
+   with scale exactly as the SCC model predicts it would. *)
+let scc_mesh ~cols ~rows =
+  if cols < 1 || rows < 1 then
+    invalid_arg "Platform.scc_mesh: need cols >= 1 and rows >= 1";
+  {
+    scc with
+    name = Printf.sprintf "SCC-mesh-%dx%d" cols rows;
+    topology = Topology.Mesh { cols; rows; cores_per_tile = 2 };
+  }
+
 let opteron =
   let core_hz = 2.1e9 in
   {

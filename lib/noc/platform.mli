@@ -55,6 +55,12 @@ val scc : t
 (** SCC under setting 1 (800/1600/1066): "SCC800" in Section 7. *)
 val scc800 : t
 
+(** [scc_mesh ~cols ~rows] is an SCC-parameter platform scaled out to a
+    [cols] x [rows] mesh of 2-core tiles ([2 * cols * rows] cores):
+    the substrate for beyond-chip simulations (e.g. 512 or 1024 cores).
+    Raises [Invalid_argument] unless both dimensions are at least 1. *)
+val scc_mesh : cols:int -> rows:int -> t
+
 (** The 48-core 2.1 GHz AMD Opteron multi-core with Barrelfish-style
     cache-line message channels and hardware cache coherence. *)
 val opteron : t

@@ -28,8 +28,11 @@ type server = {
      replays the cached response without re-executing; anything older
      is dropped. Entries carry their last-touched instant so the cache
      stays bounded: an entry idle past the absorption window (see
-     [cache_ttl_ns]) can never absorb a live resend and is evicted. *)
-  last_resp : (core_id, cached) Hashtbl.t;
+     [cache_ttl_ns]) can never absorb a live resend and is evicted.
+     Dense array indexed by requester core id (grown on demand): the
+     cache is written on every reply, and a hash lookup there was a
+     measurable slice of the service loop. *)
+  mutable last_resp : cached option array;
   (* Failover: replica lock tables this server maintains as the backup
      of other partitions, fed by [System.Repl] messages from their
      primaries. Keyed by partition index; merged into [locks] when
@@ -55,7 +58,7 @@ let make ~core =
     occ_sum = 0;
     occ_max = 0;
     busy_ns = 0.0;
-    last_resp = Hashtbl.create 64;
+    last_resp = [||];
     replica = Hashtbl.create 4;
   }
 
@@ -76,7 +79,22 @@ let occupancy_stats s =
 
 let busy_ns s = s.busy_ns
 
-let resp_cache_size s = Hashtbl.length s.last_resp
+let resp_cache_size s =
+  Array.fold_left
+    (fun n c -> match c with None -> n | Some _ -> n + 1)
+    0 s.last_resp
+
+(* Grow the response cache to cover [core]. *)
+let ensure_cache s core =
+  if core >= Array.length s.last_resp then begin
+    let n = Array.length s.last_resp in
+    let arr = Array.make (max 64 (max (core + 1) (2 * n))) None in
+    Array.blit s.last_resp 0 arr 0 n;
+    s.last_resp <- arr
+  end
+
+let cache_get s core =
+  if core < Array.length s.last_resp then s.last_resp.(core) else None
 
 let trace_on env = Tm2c_engine.Trace.enabled env.System.trace
 
@@ -111,18 +129,21 @@ let kind_label = function
    and queue components. Conflict resolution (CM calls, status CASes)
    is intentionally excluded: that time lands in the queue residual. *)
 let service_estimate_ns env ~n_addrs =
-  Platform.cycles_ns
-    (Network.platform env.System.net)
+  Network.cycles_ns env.System.net
     (handle_base_cycles + (per_addr_cycles * n_addrs))
 
 let reply env s ~(req : System.request) resp =
-  if req.req_id > 0 then
-    Hashtbl.replace s.last_resp req.tx.m_core
-      {
-        c_req_id = req.req_id;
-        c_resp = Some resp;
-        c_stamp = Tm2c_engine.Sim.now env.System.sim;
-      };
+  if req.req_id > 0 then begin
+    let requester = req.tx.m_core in
+    ensure_cache s requester;
+    s.last_resp.(requester) <-
+      Some
+        {
+          c_req_id = req.req_id;
+          c_resp = Some resp;
+          c_stamp = Tm2c_engine.Sim.now env.System.sim;
+        }
+  end;
   Network.send env.System.net ~src:s.core ~dst:req.tx.m_core
     (System.Resp { req_id = req.req_id; resp })
 
@@ -144,19 +165,16 @@ let maybe_evict_cache env s =
     let ttl = cache_ttl_ns env in
     if ttl > 0.0 then begin
       let now = Tm2c_engine.Sim.now env.System.sim in
-      let dead = ref [] in
-      Hashtbl.iter
-        (fun core c -> if now -. c.c_stamp > ttl then dead := core :: !dead)
-        s.last_resp;
-      match !dead with
-      | [] -> ()
-      | dead ->
-          let c = Tm2c_noc.Fault.counters env.System.faults in
-          List.iter
-            (fun core ->
-              Hashtbl.remove s.last_resp core;
-              c.Tm2c_noc.Fault.cache_evicted <- c.Tm2c_noc.Fault.cache_evicted + 1)
-            dead
+      let arr = s.last_resp in
+      for core = 0 to Array.length arr - 1 do
+        match arr.(core) with
+        | Some c when now -. c.c_stamp > ttl ->
+            arr.(core) <- None;
+            let fc = Tm2c_noc.Fault.counters env.System.faults in
+            fc.Tm2c_noc.Fault.cache_evicted <-
+              fc.Tm2c_noc.Fault.cache_evicted + 1
+        | Some _ | None -> ()
+      done
     end
   end
 
@@ -490,7 +508,7 @@ let exclusive_blocked s =
 let absorb env s (req : System.request) =
   req.req_id > 0
   &&
-  match Hashtbl.find_opt s.last_resp req.tx.m_core with
+  match cache_get s req.tx.m_core with
   | Some c when req.req_id = c.c_req_id ->
       let fc = Tm2c_noc.Fault.counters env.System.faults in
       fc.Tm2c_noc.Fault.absorbed <- fc.Tm2c_noc.Fault.absorbed + 1;
@@ -698,9 +716,20 @@ let handle env s (req : System.request) =
         maybe_failover env s req;
         handle_fresh env s req
 
+(* One activation = one blocking receive plus a batch drain of every
+   message that has already arrived ([Network.recv_pending] charges the
+   same per-message receive overhead as [recv], so the virtual-time
+   accounting is identical to handling the backlog one wakeup at a
+   time); the loop only suspends again once the mailbox is dry. *)
 let service_loop env s =
   let rec loop () =
     let msg = Network.recv env.System.net ~self:s.core in
+    dispatch msg
+  and drain () =
+    match Network.recv_pending env.System.net ~self:s.core with
+    | Some msg -> dispatch msg
+    | None -> loop ()
+  and dispatch msg =
     (* Crash-stop ([scrash=]): once marked dead, the server dies
        silently at its next wakeup — the waking message (and anything
        queued behind it) is never handled or answered. *)
@@ -709,10 +738,10 @@ let service_loop env s =
       match msg with
       | System.Req req ->
           handle env s req;
-          loop ()
+          drain ()
       | System.Repl { src; part; epoch = _; op } ->
           apply_replica env s ~src ~part ~op;
-          loop ()
+          drain ()
       | System.Resp _ ->
           invalid_arg "Dtm.service_loop: service core received a response"
   in

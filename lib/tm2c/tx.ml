@@ -268,15 +268,20 @@ let send_release ctx ~dst kind =
        { tx = meta ctx; kind; req_id = 0; epoch = System.epoch_for ctx.env kind })
 
 let group_by_owner ctx addrs =
-  let tbl = Hashtbl.create 8 in
-  List.iter
-    (fun a ->
-      let owner = ctx.env.System.owner_of a in
-      let group = match Hashtbl.find_opt tbl owner with Some g -> g | None -> [] in
-      Hashtbl.replace tbl owner (a :: group))
-    addrs;
-  Hashtbl.fold (fun owner group acc -> (owner, group) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  (* Write sets are a handful of addresses, so assoc-list grouping
+     beats building (and collecting) a Hashtbl per commit. Groups
+     accumulate each owner's addresses in reverse traversal order,
+     exactly as the former hash-based grouping did. *)
+  let rec add groups owner a =
+    match groups with
+    | [] -> [ (owner, [ a ]) ]
+    | (o, g) :: rest when o = owner -> (o, a :: g) :: rest
+    | p :: rest -> p :: add rest owner a
+  in
+  let groups =
+    List.fold_left (fun acc a -> add acc (ctx.env.System.owner_of a) a) [] addrs
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) groups
 
 (* Without write-lock batching every address travels in its own
    message (the Section 3.3 ablation). *)

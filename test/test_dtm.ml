@@ -67,7 +67,10 @@ let submit rig ~core kind ~m =
           assert (r.req_id = rig.req_id);
           result := Some r.resp
       | Some (System.Req _) | Some (System.Repl _) | None -> ());
-  let _ = Runtime.run rig.t ~until:1e9 () in
+  (* A horizon relative to the current clock: [run ~until] now clamps
+     the clock to the horizon even when the queue drains early, so an
+     absolute horizon would leave later submits no headroom. *)
+  let _ = Runtime.run rig.t ~until:(Sim.now (Runtime.sim rig.t) +. 1e9) () in
   !result
 
 let test_read_grant_and_release () =

@@ -119,6 +119,108 @@ let test_heap_no_retention () =
   Gc.full_major ();
   check_int "all collectable once drained" 0 (live 0 (n - 1))
 
+(* The drain-shrink fix: a heap that grew for a burst must give the
+   memory back once occupancy falls below a quarter of capacity, and
+   shrinking must leave the structure intact for a later regrow. *)
+let test_heap_shrink_regrow () =
+  let h = Heap.create () in
+  let n = 4096 in
+  for i = 0 to n - 1 do
+    Heap.push h (float_of_int i) i
+  done;
+  let grown = Heap.capacity h in
+  check "grew to hold the burst" true (grown >= n);
+  for _ = 1 to n - 64 do
+    ignore (Heap.pop_min h)
+  done;
+  check "capacity released on drain" true (Heap.capacity h < grown / 2);
+  check_int "entries intact" 64 (Heap.length h);
+  for i = 0 to n - 1 do
+    Heap.push h (float_of_int (n + i)) i
+  done;
+  let prev = ref neg_infinity in
+  let sorted = ref true in
+  while Heap.length h > 0 do
+    match Heap.pop_min h with
+    | Some (p, _) ->
+        if p < !prev then sorted := false;
+        prev := p
+    | None -> ()
+  done;
+  check "sorted drain after shrink and regrow" true !sorted
+
+(* ---- Wheel ---- *)
+
+let test_wheel_fifo_ties () =
+  let w = Wheel.create () in
+  for i = 0 to 99 do
+    Wheel.push w 5.0 i
+  done;
+  for i = 0 to 99 do
+    match Wheel.pop_min w with
+    | Some (_, v) -> check_int "fifo order on equal priorities" i v
+    | None -> Alcotest.fail "wheel empty too early"
+  done
+
+let test_wheel_take_below () =
+  let w = Wheel.create () in
+  let scratch = Array.make 1 0.0 in
+  check "empty" true (Wheel.take_below w 100.0 scratch = None);
+  check "scratch = infinity when empty" true (scratch.(0) = infinity);
+  Wheel.push w 50.0 "a";
+  Wheel.push w 150.0 "b";
+  check "below limit pops" true (Wheel.take_below w 100.0 scratch = Some "a");
+  check_float "scratch carries the popped priority" 50.0 scratch.(0);
+  check "past limit stays queued" true (Wheel.take_below w 100.0 scratch = None);
+  check_float "scratch carries the blocked minimum" 150.0 scratch.(0);
+  check_int "blocked entry still queued" 1 (Wheel.length w)
+
+(* Differential test against the reference {!Heap}: the calendar queue
+   must pop exactly what the heap pops — same priorities, same FIFO
+   tie order — under same-timestamp bursts (tiny priority pool, so
+   ties are constant) and far-future outliers (entries far past the
+   bucket window, exercising the overflow tier and its migration back
+   into the buckets). Pushes respect the wheel's precondition: never
+   below the last popped priority. *)
+let wheel_heap_differential =
+  QCheck.Test.make ~name:"wheel matches heap (ties, far-future outliers)"
+    ~count:300
+    QCheck.(list (option (pair (int_bound 5) bool)))
+    (fun ops ->
+      let w = Wheel.create ~n_buckets:16 ~width_ns:32.0 () in
+      let h = Heap.create () in
+      let floor = ref 0.0 in
+      let seq = ref 0 in
+      let ok = ref true in
+      let pop_both () =
+        match (Wheel.pop_min w, Heap.pop_min h) with
+        | None, None -> false
+        | Some (pw, vw), Some (ph, vh) ->
+            if pw <> ph || vw <> vh then ok := false else floor := pw;
+            true
+        | _ ->
+            ok := false;
+            false
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Some (p, far) ->
+              let prio =
+                !floor
+                +. (float_of_int p *. 13.0)
+                +. (if far then 1.0e9 else 0.0)
+              in
+              Wheel.push w prio !seq;
+              Heap.push h prio !seq;
+              incr seq
+          | None -> ignore (pop_both ()))
+        ops;
+      while pop_both () do
+        ()
+      done;
+      !ok && Wheel.is_empty w && Heap.is_empty h)
+
 (* ---- Prng ---- *)
 
 let test_prng_deterministic () =
@@ -253,6 +355,19 @@ let test_sim_until_horizon () =
   let _ = Sim.run sim ~until:105.0 () in
   check_int "stopped at horizon" 10 !count;
   check_float "clock clamped" 105.0 (Sim.now sim)
+
+(* Regression for the horizon-clamp bug: when the queue drains before
+   [until], the clock must still land on [until] — callers advance
+   virtual time window by window and a short window must not leave the
+   clock stuck at the last event. *)
+let test_sim_until_drain_clamp () =
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () -> Sim.delay 10.0);
+  let _ = Sim.run sim ~until:100.0 () in
+  check_float "clock lands on the horizon" 100.0 (Sim.now sim);
+  (* Next window starts with nothing queued at all. *)
+  let _ = Sim.run sim ~until:250.0 () in
+  check_float "advances across an empty window" 250.0 (Sim.now sim)
 
 let test_sim_nested_spawn () =
   let sim = Sim.create () in
@@ -442,6 +557,10 @@ let suite =
     QCheck_alcotest.to_alcotest heap_sorted_prop;
     QCheck_alcotest.to_alcotest heap_model_prop;
     ("heap: no retention after pop", `Quick, test_heap_no_retention);
+    ("heap: shrink on drain, then regrow", `Quick, test_heap_shrink_regrow);
+    ("wheel: FIFO on ties", `Quick, test_wheel_fifo_ties);
+    ("wheel: take_below", `Quick, test_wheel_take_below);
+    QCheck_alcotest.to_alcotest wheel_heap_differential;
     ("prng: deterministic", `Quick, test_prng_deterministic);
     ("prng: seeds differ", `Quick, test_prng_seeds_differ);
     ("prng: split diverges", `Quick, test_prng_split);
@@ -456,6 +575,7 @@ let suite =
     ("sim: delay ordering", `Quick, test_sim_delay_order);
     ("sim: spawn counts", `Quick, test_sim_spawn_counts);
     ("sim: until horizon", `Quick, test_sim_until_horizon);
+    ("sim: until clamps after drain", `Quick, test_sim_until_drain_clamp);
     ("sim: nested spawn", `Quick, test_sim_nested_spawn);
     ("sim: suspend/resume", `Quick, test_sim_suspend_resume);
     ("sim: effects outside process", `Quick, test_sim_outside_process);
