@@ -12,6 +12,16 @@
    interface file. Waivers are explicit and file-scoped, listed below
    with their justification.
 
+   It also enforces exporter exhaustiveness: every constructor of
+   [Event.t] (parsed from lib/tm2c/event.mli) must be mentioned, as a
+   whole word, in each event exporter — the history log
+   (lib/check/histlog.ml), the Perfetto timeline
+   (lib/harness/perfetto.ml) and the flight recorder's event counter
+   (lib/tm2c/recorder.ml) — so a new event cannot silently vanish
+   from any of the three output formats. (The exporters avoid
+   wildcard matches for the same reason; this rule catches the
+   helper-table case the type checker cannot.)
+
    Usage: lint <lib-root>. Exits 1 and prints file:line: rule for
    every finding. *)
 
@@ -122,6 +132,96 @@ let check_mli_coverage root =
           (Sys.readdir dir))
     mli_required_dirs
 
+(* ---- exporter exhaustiveness ---- *)
+
+let is_ident c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let read_all file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Constructor names of [Event.t]: every "| Name" line of the .mli
+   (the type has one variant per line; payload records may span
+   further lines, which carry no "|"). *)
+let event_constructors file =
+  let names = ref [] in
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          let n = String.length line in
+          let i = ref 0 in
+          while !i < n && line.[!i] = ' ' do incr i done;
+          if !i + 2 < n && line.[!i] = '|' && line.[!i + 1] = ' ' then begin
+            let s = !i + 2 in
+            if line.[s] >= 'A' && line.[s] <= 'Z' then begin
+              let e = ref s in
+              while !e < n && is_ident line.[!e] do incr e done;
+              names := String.sub line s (!e - s) :: !names
+            end
+          end
+        done
+      with End_of_file -> ());
+  List.rev !names
+
+(* Whole-word occurrence, so "Service" is not satisfied by
+   "Service_done". *)
+let mentions_word text word =
+  let n = String.length text and m = String.length word in
+  let rec go i =
+    if i + m > n then false
+    else if
+      contains_at text word i
+      && (i = 0 || not (is_ident text.[i - 1]))
+      && (i + m = n || not (is_ident text.[i + m]))
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+let check_exporters root =
+  let event_mli = Filename.concat root "tm2c/event.mli" in
+  let exporters =
+    [ "check/histlog.ml"; "harness/perfetto.ml"; "tm2c/recorder.ml" ]
+  in
+  if not (Sys.file_exists event_mli) then
+    report event_mli 1 "event.mli not found (exporter-exhaustiveness rule)"
+  else begin
+    let ctors = event_constructors event_mli in
+    if List.length ctors < 10 then
+      report event_mli 1
+        (Printf.sprintf
+           "only %d Event constructors parsed — the exhaustiveness rule lost \
+            its anchor"
+           (List.length ctors));
+    List.iter
+      (fun rel ->
+        let path = Filename.concat root rel in
+        if not (Sys.file_exists path) then
+          report path 1 "event exporter missing (exhaustiveness rule)"
+        else
+          let text = read_all path in
+          List.iter
+            (fun ctor ->
+              if not (mentions_word text ctor) then
+                report path 1
+                  (Printf.sprintf
+                     "event exporter does not handle Event.%s — every \
+                      constructor must reach every output format"
+                     ctor))
+            ctors)
+      exporters
+  end
+
 let () =
   let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
   if not (Sys.file_exists root && Sys.is_directory root) then begin
@@ -130,6 +230,7 @@ let () =
   end;
   walk root;
   check_mli_coverage root;
+  check_exporters root;
   match List.sort compare !findings with
   | [] -> print_endline "lint: clean"
   | fs ->

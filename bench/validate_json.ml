@@ -30,8 +30,8 @@ let () =
            faults rules below only run on runs that carry the section,
            which v3 made mandatory and v4 extended. *)
         (match Json.member "schema_version" v with
-        | Some (Json.Int (2 | 3 | 4)) -> ()
-        | Some (Json.Int n) -> fail "schema_version %d, expected 2, 3 or 4" n
+        | Some (Json.Int (2 | 3 | 4 | 5)) -> ()
+        | Some (Json.Int n) -> fail "schema_version %d, expected 2..5" n
         | _ -> fail "missing schema_version");
         List.concat_map
           (fun e ->
@@ -87,7 +87,7 @@ let () =
         ]
   | _ -> ());
   (match Json.member "schema_version" v with
-  | Some (Json.Int 4) ->
+  | Some (Json.Int (4 | 5)) ->
       List.iter (require first_run)
         [
           [ "faults"; "replicas" ];
@@ -96,6 +96,25 @@ let () =
           [ "faults"; "stale_rejections" ];
           [ "faults"; "cache_evicted" ];
           [ "wedged" ];
+        ]
+  | _ -> ());
+  (* v5: quantile sketches replace the histograms, the trace section
+     carries the checker sink's high-water mark, and every run gains a
+     "metrics" section — the flight recorder's final snapshot. *)
+  (match Json.member "schema_version" v with
+  | Some (Json.Int 5) | None ->
+      List.iter (require first_run)
+        [
+          [ "network"; "latency_ns"; "p999" ];
+          [ "network"; "latency_ns"; "rel_error" ];
+          [ "trace"; "sink_high_water" ];
+          [ "metrics"; "window_ns" ];
+          [ "metrics"; "n_windows" ];
+          [ "metrics"; "counters"; "commits"; "total" ];
+          [ "metrics"; "counters"; "commits"; "windowed_sum" ];
+          [ "metrics"; "sketches"; "commit_latency_ns"; "p99" ];
+          [ "metrics"; "events" ];
+          [ "metrics"; "host_profile"; "wheel"; "seconds" ];
         ]
   | _ -> ());
   List.iteri
@@ -128,6 +147,94 @@ let () =
           ignore (count "resends");
           ignore (count "absorbed");
           ignore (count "leases_reclaimed"))
+    runs;
+  (* Sketch-quantile monotonicity (v5), on every run: walk the whole
+     record and require p50 <= p90 <= p99 (<= p999) of every sketch
+     summary — any object carrying the quantile ladder. Estimates come
+     from cumulative bucket walks at increasing ranks, so a violation
+     means the sketch (or an exporter) is broken. *)
+  let quantiles = ref 0 in
+  let qnum obj k = Option.bind (Json.member k obj) Json.to_float_opt in
+  let rec walk_quantiles ri ctx j =
+    match j with
+    | Json.Obj fields ->
+        (match (qnum j "p50", qnum j "p90", qnum j "p99") with
+        | Some p50, Some p90, Some p99 ->
+            let ladder =
+              match qnum j "p999" with
+              | Some p999 -> [ (p50, p90, "p50<=p90"); (p90, p99, "p90<=p99"); (p99, p999, "p99<=p999") ]
+              | None -> [ (p50, p90, "p50<=p90"); (p90, p99, "p90<=p99") ]
+            in
+            List.iter
+              (fun (lo, hi, label) ->
+                if lo > hi then
+                  fail "run %d: %s: quantile inversion %s (%.6g > %.6g)" ri ctx
+                    label lo hi)
+              ladder;
+            incr quantiles
+        | _ -> ());
+        List.iter (fun (k, v) -> walk_quantiles ri (ctx ^ "." ^ k) v) fields
+    | Json.List items -> List.iter (walk_quantiles ri ctx) items
+    | _ -> ()
+  in
+  List.iteri (fun ri run -> walk_quantiles ri "run" run) runs;
+  (* Flight-recorder invariants (v5), on every run that carries the
+     metrics section: the sum of emitted windowed deltas telescopes to
+     the counter's total (the windowed stream lost nothing), and the
+     recorder's headline counters agree with the result section. *)
+  List.iteri
+    (fun ri run ->
+      match Json.member "metrics" run with
+      | None -> ()
+      | Some m ->
+          (match Json.member "counters" m with
+          | Some (Json.Obj cs) ->
+              List.iter
+                (fun (name, c) ->
+                  let num k =
+                    match Option.bind (Json.member k c) Json.to_float_opt with
+                    | Some f -> f
+                    | None ->
+                        fail "run %d: metrics.counters.%s missing %s" ri name k
+                  in
+                  let total = num "total" and windowed = num "windowed_sum" in
+                  if
+                    Float.abs (total -. windowed)
+                    > tolerance *. Float.max (Float.abs total) 1.0
+                  then
+                    fail
+                      "run %d: metrics.counters.%s windowed sum %.6g <> total \
+                       %.6g (a window went missing)"
+                      ri name windowed total)
+                cs
+          | _ -> fail "run %d: metrics.counters missing" ri);
+          let counter_total name =
+            match
+              Option.bind
+                (Json.path [ "counters"; name; "total" ] m)
+                Json.to_float_opt
+            with
+            | Some f -> f
+            | None -> fail "run %d: metrics.counters.%s missing" ri name
+          in
+          let result_int name =
+            match
+              Option.bind (Json.path [ "result"; name ] run) Json.to_int_opt
+            with
+            | Some n -> n
+            | None -> fail "run %d: result.%s missing" ri name
+          in
+          List.iter
+            (fun (cname, rname) ->
+              let c = counter_total cname and r = result_int rname in
+              if int_of_float c <> r then
+                fail "run %d: metrics.counters.%s.total %.0f <> result.%s %d"
+                  ri cname c rname r)
+            [ ("ops", "ops"); ("commits", "commits"); ("aborts", "aborts") ];
+          match Option.bind (Json.member "n_windows" m) Json.to_int_opt with
+          | Some n when n >= 1 -> ()
+          | Some n -> fail "run %d: metrics.n_windows %d < 1" ri n
+          | None -> fail "run %d: metrics.n_windows missing" ri)
     runs;
   (* Phase-accounting invariant, on every run in the file: the
      instrumentation charges each telescoping segment of a committed
@@ -163,5 +270,7 @@ let () =
             cores
       | _ -> fail "run %d: phases.committed missing" ri)
     runs;
-  Printf.printf "%s: valid export (%d runs, %d per-core phase sums within %g)\n"
-    path (List.length runs) !checked tolerance
+  Printf.printf
+    "%s: valid export (%d runs, %d per-core phase sums within %g, %d quantile \
+     ladders monotone)\n"
+    path (List.length runs) !checked tolerance !quantiles

@@ -120,12 +120,26 @@ let report t (r : Workload.result) =
   let net = (Runtime.env t).System.net in
   let m = Tm2c_noc.Network.metrics net in
   let lat = m.Tm2c_noc.Network.latency in
-  if Tm2c_engine.Histogram.count lat > 0 then
-    Printf.printf "msg latency   %10.0f ns mean (p50 %.0f, p99 %.0f, max %.0f)\n"
-      (Tm2c_engine.Histogram.mean lat)
-      (Tm2c_engine.Histogram.percentile lat 50.0)
-      (Tm2c_engine.Histogram.percentile lat 99.0)
-      (Tm2c_engine.Histogram.max_value lat);
+  if Tm2c_engine.Sketch.count lat > 0 then
+    Printf.printf
+      "msg latency   %10.0f ns mean (p50 %.0f, p99 %.0f, p99.9 %.0f, max %.0f)\n"
+      (Tm2c_engine.Sketch.mean lat)
+      (Tm2c_engine.Sketch.percentile lat 50.0)
+      (Tm2c_engine.Sketch.percentile lat 99.0)
+      (Tm2c_engine.Sketch.percentile lat 99.9)
+      (Tm2c_engine.Sketch.max_value lat);
+  let cl = (Runtime.env t).System.commit_lat in
+  if Tm2c_engine.Sketch.count cl > 0 then
+    Printf.printf
+      "commit lat    %10.0f ns mean (p50 %.0f, p99 %.0f, p99.9 %.0f, max %.0f)\n"
+      (Tm2c_engine.Sketch.mean cl)
+      (Tm2c_engine.Sketch.percentile cl 50.0)
+      (Tm2c_engine.Sketch.percentile cl 99.0)
+      (Tm2c_engine.Sketch.percentile cl 99.9)
+      (Tm2c_engine.Sketch.max_value cl);
+  if Runtime.sink_high_water t > 0 then
+    Printf.printf "trace sink    %10d events held (high water)\n"
+      (Runtime.sink_high_water t);
   List.iter
     (fun s ->
       let qmean, qmax = Dtm.queue_depth_stats s in
@@ -165,8 +179,9 @@ let fault_plan_conv =
 
 let run bench platform cm cores service multitask eager fault_plan timeout_ns
     lease_ns replicas watchdog_ms trace trace_out json perfetto timeseries_ms
-    check history witness duration_ms seed balance accounts buckets updates
-    elastic size input_kb chunk_kb =
+    metrics_out metrics_window_ms self_profile check history witness
+    duration_ms seed balance accounts buckets updates elastic size input_kb
+    chunk_kb =
   let deployment = if multitask then Runtime.Multitask else Runtime.Dedicated in
   let service = match service with Some s -> s | None -> max 1 (cores / 2) in
   let cfg =
@@ -201,6 +216,7 @@ let run bench platform cm cores service multitask eager fault_plan timeout_ns
     if check || history <> None then begin
       let c = Tm2c_check.Collector.create () in
       Tm2c_check.Collector.attach c (Runtime.trace t);
+      Runtime.set_sink_high_water t (fun () -> Tm2c_check.Collector.length c);
       Some c
     end
     else None
@@ -214,6 +230,19 @@ let run bench platform cm cores service multitask eager fault_plan timeout_ns
     in
     Runtime.enable_timeseries t ~window_ns:(window_ms *. 1e6)
   end;
+  (* Flight recorder: streamed snapshots with --metrics-out, and the
+     in-memory final snapshot whenever the JSON export wants one. *)
+  let metrics_oc = Option.map open_out metrics_out in
+  if metrics_oc <> None || json <> None then begin
+    let window_ms =
+      match metrics_window_ms with Some w -> w | None -> duration_ms /. 16.0
+    in
+    Runtime.enable_recorder t
+      ~window_ns:(window_ms *. 1e6)
+      ?out:(Option.map (fun oc -> output_string oc) metrics_oc)
+      ()
+  end;
+  if self_profile then Runtime.enable_self_profile t ~clock:Unix.gettimeofday;
   Printf.printf "TM2C on %s: %d cores (%d app / %d DTM, %s), %s, %s writes\n\n"
     platform.Tm2c_noc.Platform.name cores
     (Array.length (Runtime.app_cores t))
@@ -290,6 +319,32 @@ let run bench platform cm cores service multitask eager fault_plan timeout_ns
         r
   in
   report t r;
+  (match metrics_oc with
+  | Some oc ->
+      (* drive paths finished the recorder inside collect; the eof
+         marker is already in the stream. *)
+      close_out oc;
+      Printf.printf "wrote metrics snapshots to %s (%d windows)\n"
+        (Option.get metrics_out)
+        (match Runtime.recorder t with
+        | Some rec_ -> Tm2c_core.Recorder.n_windows rec_
+        | None -> 0)
+  | None -> ());
+  if self_profile then begin
+    let prof = Runtime.self_profile t in
+    let total = Array.fold_left (fun a (_, s, _) -> a +. s) 0.0 prof in
+    if total > 0.0 then begin
+      Printf.printf "host profile  %10.3f s measured\n" total;
+      Array.iter
+        (fun (name, seconds, samples) ->
+          if samples > 0 then
+            Printf.printf "  %-18s %8.3f s  %5.1f %%  (%d dispatches)\n" name
+              seconds
+              (100.0 *. seconds /. total)
+              samples)
+        prof
+    end
+  end;
   if tracing then warn_overflow t;
   (match trace_out with
   | Some path ->
@@ -460,6 +515,29 @@ let cmd =
              ~doc:"Sampler window in virtual milliseconds for the --json \
                    time-series (default: duration/32).")
   in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Stream flight-recorder snapshots to $(docv): one \
+                   OpenMetrics-style text block per window (windowed counter \
+                   deltas, latency quantiles, per-partition DTM gauges, \
+                   top-K links and abort-blame pairs), '# eof'-terminated. \
+                   Memory stays constant in run length.")
+  in
+  let metrics_window_ms =
+    Arg.(value & opt (some float) None
+         & info [ "metrics-window-ms" ] ~docv:"MS"
+             ~doc:"Flight-recorder window in virtual milliseconds (default: \
+                   duration/16).")
+  in
+  let self_profile =
+    Arg.(value & flag
+         & info [ "self-profile" ]
+             ~doc:"Attribute host (wall-clock) time to simulator categories \
+                   — wheel, delay resume, mailbox delivery, callback, DTM, \
+                   network — and print the shares after the run. Virtual \
+                   results are unchanged.")
+  in
   let check =
     Arg.(value & flag
          & info [ "check" ]
@@ -515,8 +593,9 @@ let cmd =
     Term.(
       const run $ bench $ platform $ cm $ cores $ service $ multitask $ eager
       $ fault_plan $ timeout_ns $ lease_ns $ replicas $ watchdog_ms $ trace
-      $ trace_out $ json $ perfetto $ timeseries_ms $ check $ history
-      $ witness $ duration $ seed $ balance $ accounts $ buckets $ updates
-      $ elastic $ size $ input_kb $ chunk_kb)
+      $ trace_out $ json $ perfetto $ timeseries_ms $ metrics_out
+      $ metrics_window_ms $ self_profile $ check $ history $ witness
+      $ duration $ seed $ balance $ accounts $ buckets $ updates $ elastic
+      $ size $ input_kb $ chunk_kb)
 
 let () = exit (Cmd.eval cmd)

@@ -28,6 +28,9 @@ let preflight : (Runtime.t -> unit) option ref = ref None
 let run_preflight t = match !preflight with Some f -> f t | None -> ()
 
 let collect t ~events ~duration_ns =
+  (* Close out the flight recorder (final partial window + eof) before
+     reading any totals; a no-op when none is installed. *)
+  Runtime.finish_recorder t;
   let stats = Runtime.stats t in
   let ops = Stats.total_ops stats in
   let duration_ms = duration_ns /. 1e6 in

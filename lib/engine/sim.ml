@@ -35,7 +35,31 @@ type t = {
   mutable n_finished : int;
   mutable n_elided : int;
   mutable running : bool;
+  (* Host-side self-profiler. The clock is *injected* (the engine
+     itself never reads wall time — virtual determinism is the
+     contract the lint enforces); when set, [run] switches to an
+     instrumented loop that stamps the clock around the event-set pop
+     and around each dispatch, attributing host seconds to one of
+     [prof_categories]. *)
+  mutable host_clock : (unit -> float) option;
+  prof_s : float array;  (* host seconds per category *)
+  prof_n : int array;  (* samples per category *)
+  mutable prof_tag : int;  (* dispatch override set via [prof_mark]; -1 = none *)
 }
+
+(* 0 = wheel (event-set pop + queue bookkeeping); 1 = delay resume
+   (continuing a parked fiber — includes the fiber's own execution up
+   to its next suspension); 2 = mailbox delivery (port dispatch);
+   3 = callback (scheduled closures, also covering fiber starts);
+   4/5 = subsystem refinements claimed via [prof_mark]: a dispatch
+   that entered the DTM request handler or the message-send path is
+   attributed there instead of its scheduling category. *)
+let prof_categories =
+  [| "wheel"; "delay_resume"; "mailbox_delivery"; "callback"; "dtm"; "network" |]
+
+let prof_cat_dtm = 4
+
+let prof_cat_network = 5
 
 (* The effect payload carries the owning simulation so that nested or
    sequential simulations (common in tests) cannot interfere. The
@@ -127,6 +151,10 @@ let create () =
       n_finished = 0;
       n_elided = 0;
       running = false;
+      host_clock = None;
+      prof_s = Array.make (Array.length prof_categories) 0.0;
+      prof_n = Array.make (Array.length prof_categories) 0;
+      prof_tag = -1;
     }
   in
   t.self_opt <- Some t;
@@ -214,10 +242,8 @@ let spawn t ?name f =
   t.n_spawned <- t.n_spawned + 1;
   schedule t ~at:t.now (fun () -> exec t f)
 
-let run t ?until () =
-  t.running <- true;
-  t.horizon <- (match until with Some h -> h | None -> infinity);
-  let processed = ref 0 in
+(* The uninstrumented hot loop. *)
+let run_plain t until processed =
   let continue_run = ref true in
   while !continue_run do
     match Wheel.take_below t.events t.horizon t.scratch with
@@ -259,11 +285,89 @@ let run t ?until () =
              exactly where this one stopped. *)
           t.now <- t.horizon;
         continue_run := false
-  done;
+  done
+
+(* Same loop with the injected clock stamped around the pop and the
+   dispatch. Note the dispatch category measures everything until
+   control returns to the scheduler: a resumed fiber's host time (its
+   transactional work, DTM handling, network sends) lands in
+   [delay_resume] or [callback] — the finer DTM/network shares are
+   carved out by their own injected-clock brackets and reported
+   alongside. Two clock reads per event. *)
+let run_profiled t clk until processed =
+  let continue_run = ref true in
+  while !continue_run do
+    let t0 = clk () in
+    match Wheel.take_below t.events t.horizon t.scratch with
+    | Some c ->
+        t.now <- t.scratch.(0);
+        incr processed;
+        let t1 = clk () in
+        t.prof_s.(0) <- t.prof_s.(0) +. (t1 -. t0);
+        t.prof_n.(0) <- t.prof_n.(0) + 1;
+        let base = if c.kind = 2 then 1 else if c.kind = 1 then 2 else 3 in
+        t.prof_tag <- -1;
+        (if c.kind = 2 then begin
+           match c.k with
+           | Some k ->
+               release_cell t c;
+               current := t.self_opt;
+               continue k ()
+           | None -> assert false
+         end
+         else if c.kind = 1 then begin
+           let port = c.port and slot = c.slot in
+           release_cell t c;
+           t.ports.(port) slot
+         end
+         else begin
+           let fn = c.fn in
+           release_cell t c;
+           fn ()
+         end);
+        let cat = if t.prof_tag >= 0 then t.prof_tag else base in
+        t.prof_s.(cat) <- t.prof_s.(cat) +. (clk () -. t1);
+        t.prof_n.(cat) <- t.prof_n.(cat) + 1
+    | None ->
+        t.prof_s.(0) <- t.prof_s.(0) +. (clk () -. t0);
+        (if t.scratch.(0) = infinity then begin
+           match until with
+           | Some h when t.now < h -> t.now <- h
+           | Some _ | None -> ()
+         end
+         else t.now <- t.horizon);
+        continue_run := false
+  done
+
+let run t ?until () =
+  t.running <- true;
+  t.horizon <- (match until with Some h -> h | None -> infinity);
+  let processed = ref 0 in
+  (match t.host_clock with
+  | None -> run_plain t until processed
+  | Some clk -> run_profiled t clk until processed);
   t.horizon <- infinity;
   t.running <- false;
   current := None;
   !processed
+
+(* [Some clock] switches {!run} to the instrumented loop; [None]
+   restores the uninstrumented one (accumulated figures are kept). *)
+let set_host_clock t clock = t.host_clock <- clock
+
+(* Claim the current dispatch for category [cat]. First mark wins, so
+   a message send issued from inside DTM handling stays "dtm". A
+   bracket-based measurement cannot work here: a virtual delay inside
+   the measured region parks the fiber and the bracket would span
+   every dispatch interleaved before the resume. Attribution at
+   dispatch granularity is sound (the categories partition the run's
+   host time exactly). No-op without an injected clock. *)
+let prof_mark t cat =
+  if t.host_clock != None && t.prof_tag < 0 then t.prof_tag <- cat
+
+let host_profile t =
+  Array.init (Array.length prof_categories) (fun i ->
+      (prof_categories.(i), t.prof_s.(i), t.prof_n.(i)))
 
 let spawned t = t.n_spawned
 

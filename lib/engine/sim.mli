@@ -85,3 +85,34 @@ val elided : t -> int
     the executing event — a recurring event can use this to detect that
     it is the only remaining activity and stop rescheduling itself. *)
 val pending : t -> int
+
+(** Host-side self-profiler. The engine never reads wall time itself
+    (virtual determinism is the contract the source lint enforces):
+    the harness *injects* a monotonic clock in seconds (the Unix
+    wall clock, from bin/), and {!run} switches to an
+    instrumented loop that attributes host time to scheduler
+    categories — ["wheel"] (event-set pop), ["delay_resume"]
+    (continuing a parked fiber, including the fiber's own execution up
+    to its next suspension), ["mailbox_delivery"] (port dispatch),
+    ["callback"], plus the subsystem refinements ["dtm"] and
+    ["network"] claimed through {!prof_mark}. Costs two clock reads
+    per event; [None] restores the uninstrumented loop (accumulated
+    figures are kept). Virtual results are identical either way. *)
+val set_host_clock : t -> (unit -> float) option -> unit
+
+(** [prof_mark t cat] attributes the currently executing dispatch to
+    refinement category [cat] ({!prof_cat_dtm} or {!prof_cat_network})
+    instead of its scheduling category. First mark per dispatch wins
+    (a send issued from inside DTM handling stays "dtm"); no-op
+    without an injected clock. Attribution is at whole-dispatch
+    granularity, so the categories partition the measured host time
+    exactly. *)
+val prof_mark : t -> int -> unit
+
+val prof_cat_dtm : int
+
+val prof_cat_network : int
+
+(** (category, host seconds, samples) per category, in a fixed order;
+    all zero until a clock has been injected and {!run} has run. *)
+val host_profile : t -> (string * float * int) array

@@ -1,0 +1,277 @@
+(* Log-linear ("HDR-style") mergeable quantile sketch for non-negative
+   measurements.
+
+   Layout: values below 1.0 land in [sub] linear buckets over [0, 1);
+   a value v in [2^e, 2^(e+1)) (e < octaves) lands in one of [sub]
+   linear sub-buckets of its octave, indexed by its mantissa; anything
+   at or above 2^octaves falls into one overflow bucket. A quantile
+   estimate is the midpoint of the bucket holding the rank-th sample,
+   clamped to the observed [min, max].
+
+   Error model: within an octave the bucket width is 2^e / sub and the
+   bucket's lower edge is at least 2^e, so the midpoint is within
+   1/(2*sub) of the true sample, *relatively*. Below 1.0 the same
+   bound holds absolutely (width 1/sub). [create] picks [sub] as the
+   smallest power of two meeting the requested bound, so the
+   documented guarantee is [rel_error t] = 1/(2*sub) <= requested.
+   Index arithmetic is exact (scaling by powers of two and mantissa
+   sub-bucketing introduce no rounding), so the bound has no hidden
+   epsilon beyond the midpoint's own last-bit rounding.
+
+   [add] is O(1) and allocation-free after the first sample (the
+   counts array is created lazily so unused sketches cost a few
+   words). [merge] adds counts elementwise — associative and
+   order-independent, the property that lets per-core sketches
+   combine into one distribution without retaining samples. *)
+
+type t = {
+  sub : int;  (* linear sub-buckets per octave; a power of two *)
+  rel_error : float;  (* achieved bound: 1 / (2 * sub) *)
+  mutable counts : int array;  (* lazily allocated *)
+  mutable n : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+(* Same ceiling as Histogram's 40 buckets: ns-scale values up to
+   ~2^40 ns (~18 simulated minutes) resolve; beyond that the overflow
+   bucket still keeps count/sum/max exact. *)
+let octaves = 40
+
+let max_sub = 4096
+
+let default_rel_error = 0.01
+
+let n_buckets sub = (sub * (octaves + 1)) + 1
+
+let create ?(rel_error = default_rel_error) () =
+  if not (rel_error > 0.0 && rel_error < 0.5) then
+    invalid_arg "Sketch.create: rel_error must be in (0, 0.5)";
+  let rec fit s =
+    if s >= max_sub || 1.0 /. float_of_int (2 * s) <= rel_error then s
+    else fit (2 * s)
+  in
+  let sub = fit 1 in
+  {
+    sub;
+    rel_error = 1.0 /. float_of_int (2 * sub);
+    counts = [||];
+    n = 0;
+    sum = 0.0;
+    min = infinity;
+    max = neg_infinity;
+  }
+
+let rel_error t = t.rel_error
+
+(* Bucket index of [v >= 0]. The octave scaling multiplies by exact
+   powers of two (Histogram's exponent-loop idiom, kept
+   self-tail-recursive so the float stays in a register), and the
+   final mantissa sub-bucket is an exact product: the index is the
+   mathematically correct one for every finite [v]. *)
+let rec log_index v acc sub =
+  if v >= 65536.0 then log_index (v *. (1.0 /. 65536.0)) (acc + (16 * sub)) sub
+  else if v >= 16.0 then log_index (v *. (1.0 /. 16.0)) (acc + (4 * sub)) sub
+  else if v >= 2.0 then log_index (v *. 0.5) (acc + sub) sub
+  else acc + int_of_float ((v -. 1.0) *. float_of_int sub)
+
+let index_of t v =
+  if v < 1.0 then int_of_float (v *. float_of_int t.sub)
+  else begin
+    let i = log_index v t.sub t.sub in
+    let last = n_buckets t.sub - 1 in
+    if i >= last then last else i
+  end
+
+let add t v =
+  let v = if v < 0.0 then 0.0 else v in
+  if Array.length t.counts = 0 then t.counts <- Array.make (n_buckets t.sub) 0;
+  let i = index_of t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v
+
+let count t = t.n
+
+let sum t = t.sum
+
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let min_value t = if t.n = 0 then 0.0 else t.min
+
+let max_value t = if t.n = 0 then 0.0 else t.max
+
+(* Edges of bucket [i]: [0, sub) are the linear sub-unit buckets,
+   [sub + e*sub + s] covers 2^e * [1 + s/sub, 1 + (s+1)/sub), and the
+   last bucket is the overflow tail. *)
+let bucket_lower t i =
+  if i < t.sub then float_of_int i /. float_of_int t.sub
+  else begin
+    let e = (i - t.sub) / t.sub and s = (i - t.sub) mod t.sub in
+    Float.ldexp (1.0 +. (float_of_int s /. float_of_int t.sub)) e
+  end
+
+let bucket_upper t i =
+  if i >= n_buckets t.sub - 1 then infinity else bucket_lower t (i + 1)
+
+let clamp t v =
+  if v < t.min then t.min else if v > t.max then t.max else v
+
+(* Midpoint estimate for the sample in bucket [i], clamped to the
+   observed range (clamping can only reduce the error: every sample in
+   the bucket lies within [min, max]). The overflow bucket has no
+   midpoint and reports the observed max. *)
+let estimate t i =
+  if i >= n_buckets t.sub - 1 then t.max
+  else clamp t (0.5 *. (bucket_lower t i +. bucket_upper t i))
+
+(* Histogram's rank rule: the p-th percentile is the rank-th smallest
+   sample with rank = clamp(round(n * p / 100), 1, n). *)
+let rank_of n p =
+  let r = int_of_float (Float.round (float_of_int n *. p /. 100.0)) in
+  if r < 1 then 1 else if r > n then n else r
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let rank = rank_of t.n p in
+    let seen = ref 0 and result = ref 0.0 in
+    (try
+       Array.iteri
+         (fun i c ->
+           seen := !seen + c;
+           if !seen >= rank then begin
+             result := estimate t i;
+             raise Exit
+           end)
+         t.counts
+     with Exit -> ());
+    !result
+  end
+
+let merge ~into src =
+  if into.sub <> src.sub then
+    invalid_arg "Sketch.merge: mismatched resolutions";
+  if src.n > 0 then begin
+    if Array.length into.counts = 0 then
+      into.counts <- Array.make (n_buckets into.sub) 0;
+    Array.iteri
+      (fun i c -> if c > 0 then into.counts.(i) <- into.counts.(i) + c)
+      src.counts;
+    into.n <- into.n + src.n;
+    into.sum <- into.sum +. src.sum;
+    if src.min < into.min then into.min <- src.min;
+    if src.max > into.max then into.max <- src.max
+  end
+
+(* Non-empty buckets as (inclusive-ish upper edge, count), low to
+   high; the overflow bucket reports the observed max as its edge. *)
+let buckets t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let upper = bucket_upper t i in
+        let upper = if upper = infinity then t.max else upper in
+        acc := (upper, c) :: !acc
+      end)
+    t.counts;
+  List.rev !acc
+
+let reset t =
+  if Array.length t.counts > 0 then
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.n <- 0;
+  t.sum <- 0.0;
+  t.min <- infinity;
+  t.max <- neg_infinity
+
+(* ---- windows ----
+
+   A window is a baseline snapshot of the counts: the delta between
+   the live sketch and its baseline is the distribution of everything
+   added since [window_roll]. Producers keep writing the one
+   cumulative sketch (no double write on the hot path); the snapshot
+   subsystem reads window quantiles at each tick and rolls the
+   baseline, so windowed emission costs one array blit per window. *)
+
+type window = {
+  mutable w_counts : int array;  (* [||] until the source materializes *)
+  mutable w_n : int;
+  mutable w_sum : float;
+}
+
+let window_of t =
+  {
+    w_counts = (if Array.length t.counts = 0 then [||] else Array.copy t.counts);
+    w_n = t.n;
+    w_sum = t.sum;
+  }
+
+let window_roll t w =
+  (if Array.length t.counts > 0 then
+     if Array.length w.w_counts = Array.length t.counts then
+       Array.blit t.counts 0 w.w_counts 0 (Array.length t.counts)
+     else w.w_counts <- Array.copy t.counts);
+  w.w_n <- t.n;
+  w.w_sum <- t.sum
+
+let window_count t w = t.n - w.w_n
+
+let window_sum t w = t.sum -. w.w_sum
+
+let base_count w i = if Array.length w.w_counts = 0 then 0 else w.w_counts.(i)
+
+let window_percentile t w p =
+  let n = window_count t w in
+  if n <= 0 then 0.0
+  else begin
+    let rank = rank_of n p in
+    let seen = ref 0 and result = ref 0.0 in
+    (try
+       Array.iteri
+         (fun i c ->
+           let d = c - base_count w i in
+           if d > 0 then begin
+             seen := !seen + d;
+             if !seen >= rank then begin
+               (* Clamped to the cumulative [min, max] — a superset of
+                  the window's range, so the clamp stays sound. *)
+               result := estimate t i;
+               raise Exit
+             end
+           end)
+         t.counts
+     with Exit -> ());
+    !result
+  end
+
+(* Fold everything added since the baseline into [into] (same
+   resolution required); [into]'s range conservatively absorbs the
+   cumulative [min, max]. Used to merge per-core per-phase windows
+   into one per-phase distribution at each snapshot tick. *)
+let window_merge t w ~into =
+  if into.sub <> t.sub then
+    invalid_arg "Sketch.window_merge: mismatched resolutions";
+  let dn = window_count t w in
+  if dn > 0 then begin
+    if Array.length into.counts = 0 then
+      into.counts <- Array.make (n_buckets into.sub) 0;
+    Array.iteri
+      (fun i c ->
+        let d = c - base_count w i in
+        if d > 0 then into.counts.(i) <- into.counts.(i) + d)
+      t.counts;
+    into.n <- into.n + dn;
+    into.sum <- into.sum +. window_sum t w;
+    if t.min < into.min then into.min <- t.min;
+    if t.max > into.max then into.max <- t.max
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.1f min=%.1f max=%.1f p50=%.1f p99=%.1f (±%.2g rel)"
+    t.n (mean t) (min_value t) (max_value t) (percentile t 50.0)
+    (percentile t 99.0) t.rel_error

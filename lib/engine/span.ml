@@ -1,6 +1,7 @@
 (* Per-core phase-time accumulator: attributes every nanosecond of an
    activity (here: a transaction attempt) to one of a fixed set of
-   phases, keeping a per-core histogram and running sum per phase.
+   phases, keeping a per-core quantile sketch and running sum per
+   phase.
 
    Disabled by default and guarded like Trace: call sites check
    [Span.enabled] before doing any timestamp arithmetic, so a disabled
@@ -17,21 +18,29 @@
 type t = {
   phases : string array;
   mutable enabled : bool;
-  hists : Histogram.t array array;  (* [core].(phase) *)
+  rel_error : float;
+  sketches : Sketch.t array array;  (* [core].(phase) *)
   sums : float array array;  (* [core].(phase) total ns *)
   attempts : int array;  (* flushed attempts per core *)
   attempt_ns : float array;  (* summed attempt durations per core *)
 }
 
-let create ~n_cores ~phases =
+(* Coarser default resolution than a standalone sketch: spans keep
+   n_cores * n_phases sketches, and sketch counts arrays are only
+   materialized per (core, phase) on first use, so the default keeps a
+   fully active 48-core run in the hundreds of KB. *)
+let default_rel_error = 0.02
+
+let create ?(rel_error = default_rel_error) ~n_cores ~phases () =
   if n_cores <= 0 then invalid_arg "Span.create: need at least one core";
   if Array.length phases = 0 then invalid_arg "Span.create: need at least one phase";
   {
     phases = Array.copy phases;
     enabled = false;
-    hists =
+    rel_error;
+    sketches =
       Array.init n_cores (fun _ ->
-          Array.init (Array.length phases) (fun _ -> Histogram.create ()));
+          Array.init (Array.length phases) (fun _ -> Sketch.create ~rel_error ()));
     sums = Array.init n_cores (fun _ -> Array.make (Array.length phases) 0.0);
     attempts = Array.make n_cores 0;
     attempt_ns = Array.make n_cores 0.0;
@@ -49,15 +58,17 @@ let n_phases t = Array.length t.phases
 
 let n_cores t = Array.length t.sums
 
+let rel_error t = t.rel_error
+
 (* One-off sample outside the scratch protocol (e.g. a backoff delay
    that happens between attempts). *)
 let add t ~core ~phase dur =
   let dur = if dur < 0.0 then 0.0 else dur in
-  Histogram.add t.hists.(core).(phase) dur;
+  Sketch.add t.sketches.(core).(phase) dur;
   t.sums.(core).(phase) <- t.sums.(core).(phase) +. dur
 
 (* Fold one attempt's scratch durations into the per-core aggregate
-   and clear the scratch. Zero phases are skipped in the histograms
+   and clear the scratch. Zero phases are skipped in the sketches
    (an attempt that never waited is not a 0 ns wait sample) but the
    sums stay exact either way. *)
 let flush t ~core scratch ~total =
@@ -66,7 +77,7 @@ let flush t ~core scratch ~total =
   for p = 0 to Array.length scratch - 1 do
     let d = scratch.(p) in
     if d > 0.0 then begin
-      Histogram.add t.hists.(core).(p) d;
+      Sketch.add t.sketches.(core).(p) d;
       t.sums.(core).(p) <- t.sums.(core).(p) +. d
     end;
     scratch.(p) <- 0.0
@@ -74,7 +85,15 @@ let flush t ~core scratch ~total =
   t.attempts.(core) <- t.attempts.(core) + 1;
   t.attempt_ns.(core) <- t.attempt_ns.(core) +. (if total < 0.0 then 0.0 else total)
 
-let hist t ~core ~phase = t.hists.(core).(phase)
+let sketch t ~core ~phase = t.sketches.(core).(phase)
+
+(* All cores' sketches for one phase folded into a fresh sketch —
+   [Sketch.merge] is associative and order-independent, so this equals
+   the sketch a single global stream would have produced. *)
+let merged_sketch t ~phase =
+  let into = Sketch.create ~rel_error:t.rel_error () in
+  Array.iter (fun row -> Sketch.merge ~into row.(phase)) t.sketches;
+  into
 
 let sum t ~core ~phase = t.sums.(core).(phase)
 
@@ -87,7 +106,7 @@ let attempt_ns t ~core = t.attempt_ns.(core)
 let phase_total t ~core = Array.fold_left ( +. ) 0.0 t.sums.(core)
 
 let reset t =
-  Array.iter (Array.iter Histogram.reset) t.hists;
+  Array.iter (Array.iter Sketch.reset) t.sketches;
   Array.iter (fun row -> Array.fill row 0 (Array.length row) 0.0) t.sums;
   Array.fill t.attempts 0 (Array.length t.attempts) 0;
   Array.fill t.attempt_ns 0 (Array.length t.attempt_ns) 0.0

@@ -1,6 +1,6 @@
 (** Per-core phase-time accumulator: attributes every nanosecond of an
     activity (a transaction attempt) to one of a fixed set of named
-    phases — per-core histogram plus running sum per phase.
+    phases — per-core quantile sketch plus running sum per phase.
 
     Disabled by default; guard instrumentation with {!enabled} so a
     disabled span costs one boolean read and zero allocation.
@@ -14,7 +14,10 @@
 
 type t
 
-val create : n_cores:int -> phases:string array -> t
+(** [rel_error] is each per-(core, phase) sketch's resolution;
+    defaults to 0.02 (coarser than a standalone {!Sketch}, since a
+    span holds [n_cores * n_phases] of them). *)
+val create : ?rel_error:float -> n_cores:int -> phases:string array -> unit -> t
 
 val enabled : t -> bool
 
@@ -29,6 +32,9 @@ val n_phases : t -> int
 
 val n_cores : t -> int
 
+(** The per-sketch relative-error bound this span was created with. *)
+val rel_error : t -> float
+
 (** One-off sample outside the scratch protocol (e.g. a between-
     attempts backoff delay). Negative durations clamp to zero. *)
 val add : t -> core:int -> phase:int -> float -> unit
@@ -36,10 +42,15 @@ val add : t -> core:int -> phase:int -> float -> unit
 (** [flush t ~core scratch ~total] folds one attempt's scratch
     durations into the aggregate and zeroes the scratch. [total] is
     the attempt's measured wall (virtual) duration. Zero-duration
-    phases are skipped in the histograms but kept exact in the sums. *)
+    phases are skipped in the sketches but kept exact in the sums. *)
 val flush : t -> core:int -> float array -> total:float -> unit
 
-val hist : t -> core:int -> phase:int -> Histogram.t
+val sketch : t -> core:int -> phase:int -> Sketch.t
+
+(** All cores' sketches for one phase folded into a fresh sketch
+    (merge is order-independent, so this equals a single global
+    stream's sketch). *)
+val merged_sketch : t -> phase:int -> Sketch.t
 
 (** Total ns charged to a phase on a core. *)
 val sum : t -> core:int -> phase:int -> float

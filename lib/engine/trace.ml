@@ -20,6 +20,10 @@ type 'a t = {
      unlike the ring it never drops, so a history checker or streaming
      log sees the complete run even when the ring wraps. *)
   mutable sink : (float -> 'a -> unit) option;
+  (* Second, independent tap with the same contract: the flight
+     recorder counts events here without disturbing whatever checker
+     owns [sink] (Collector.attach/detach overwrite it freely). *)
+  mutable tap : (float -> 'a -> unit) option;
 }
 
 let create ?(capacity = 65_536) () =
@@ -33,6 +37,7 @@ let create ?(capacity = 65_536) () =
     len = 0;
     dropped = 0;
     sink = None;
+    tap = None;
   }
 
 let enabled t = t.enabled
@@ -56,9 +61,12 @@ let clear t =
 
 let set_sink t sink = t.sink <- sink
 
+let set_tap t tap = t.tap <- tap
+
 let record t ~now ev =
   if t.enabled then begin
     (match t.sink with Some f -> f now ev | None -> ());
+    (match t.tap with Some f -> f now ev | None -> ());
     if Array.length t.events = 0 then t.events <- Array.make t.capacity ev;
     t.times.(t.head) <- now;
     t.events.(t.head) <- ev;

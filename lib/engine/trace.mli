@@ -43,6 +43,12 @@ val record : 'a t -> now:float -> 'a -> unit
     uninstalls. Recording still requires {!enabled}. *)
 val set_sink : 'a t -> (float -> 'a -> unit) option -> unit
 
+(** Second, independent tap with the same contract as {!set_sink},
+    called after it. The checker stack owns the sink (and replaces it
+    freely); the flight recorder counts events through the tap, so
+    neither disturbs the other. *)
+val set_tap : 'a t -> (float -> 'a -> unit) option -> unit
+
 (** Oldest-first iteration over (timestamp, event). *)
 val iter : 'a t -> (float -> 'a -> unit) -> unit
 

@@ -91,11 +91,20 @@ let run_ids ?json ?(check = false) ids scale =
             Tm2c_core.Runtime.enable_profiling t;
             if Tm2c_core.Runtime.timeseries t = None then
               Tm2c_core.Runtime.enable_timeseries t
-                ~window_ns:(scale.Exp.window_ns /. 16.0)
+                ~window_ns:(scale.Exp.window_ns /. 16.0);
+            (* And the flight recorder (same cadence), so every
+               exported run carries a "metrics" final snapshot. *)
+            if Tm2c_core.Runtime.recorder t = None then
+              Tm2c_core.Runtime.enable_recorder t
+                ~window_ns:(scale.Exp.window_ns /. 16.0) ()
           end;
           if check && not (List.mem_assq t !collectors) then begin
             let c = Tm2c_check.Collector.create () in
             Tm2c_check.Collector.attach c (Tm2c_core.Runtime.trace t);
+            (* The collector grows monotonically, so its final length
+               is the sink's high-water mark. *)
+            Tm2c_core.Runtime.set_sink_high_water t (fun () ->
+                Tm2c_check.Collector.length c);
             collectors := (t, c) :: !collectors;
             (* Checked runs also get the liveness watchdog: a wedged
                configuration fails fast with a named-core verdict
@@ -142,8 +151,12 @@ let run_ids ?json ?(check = false) ids scale =
                counters, present and all-zero even on clean runs).
                v4: the faults section gained the reorder / partition /
                server-crash injections and the replication counters,
-               and runs gained a "wedged" flag. *)
-            ("schema_version", Json.Int 4);
+               and runs gained a "wedged" flag. v5: quantile sketches
+               replace histograms (p999 + rel_error keys), the trace
+               section gained "sink_high_water", and runs gained a
+               "metrics" section (the flight recorder's final
+               snapshot, including the host self-profile). *)
+            ("schema_version", Json.Int 5);
             ("scale", Json.String scale.Exp.label);
             ( "experiments",
               Json.List

@@ -67,23 +67,35 @@ let cores_json stats ~n =
   done;
   Json.List !rows
 
-let histogram_json h =
+(* Quantile-sketch summary (schema v5: sketches replace the
+   bucket-edge histogram percentiles everywhere; [rel_error] documents
+   the estimates' guaranteed relative-error bound and [p999] joins the
+   quantile ladder). [buckets] (off for the per-phase sketches, which
+   would dominate the export) adds the raw (upper edge, count) rows. *)
+let sketch_json ?(buckets = false) sk =
   Json.Obj
-    [
-      ("count", Json.Int (Histogram.count h));
-      ("sum", Json.Float (Histogram.sum h));
-      ("mean", Json.Float (Histogram.mean h));
-      ("min", Json.Float (Histogram.min_value h));
-      ("max", Json.Float (Histogram.max_value h));
-      ("p50", Json.Float (Histogram.percentile h 50.0));
-      ("p90", Json.Float (Histogram.percentile h 90.0));
-      ("p99", Json.Float (Histogram.percentile h 99.0));
-      ( "buckets",
-        Json.List
-          (List.map
-             (fun (upper, n) -> Json.List [ Json.Float upper; Json.Int n ])
-             (Histogram.buckets h)) );
-    ]
+    ([
+       ("count", Json.Int (Sketch.count sk));
+       ("sum", Json.Float (Sketch.sum sk));
+       ("mean", Json.Float (Sketch.mean sk));
+       ("min", Json.Float (Sketch.min_value sk));
+       ("max", Json.Float (Sketch.max_value sk));
+       ("p50", Json.Float (Sketch.percentile sk 50.0));
+       ("p90", Json.Float (Sketch.percentile sk 90.0));
+       ("p99", Json.Float (Sketch.percentile sk 99.0));
+       ("p999", Json.Float (Sketch.percentile sk 99.9));
+       ("rel_error", Json.Float (Sketch.rel_error sk));
+     ]
+    @
+    if buckets then
+      [
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (upper, n) -> Json.List [ Json.Float upper; Json.Int n ])
+               (Sketch.buckets sk)) );
+      ]
+    else [])
 
 let network_json net =
   let m = Network.metrics net in
@@ -93,7 +105,7 @@ let network_json net =
       ("received", Json.Int m.Network.received);
       ("poll_scans", Json.Int m.Network.poll_scans);
       ("poll_scan_ns", Json.Float m.Network.poll_scan_ns);
-      ("latency_ns", histogram_json m.Network.latency);
+      ("latency_ns", sketch_json ~buckets:true m.Network.latency);
       ( "top_links",
         Json.List
           (List.map
@@ -112,6 +124,9 @@ let dtm_json servers =
            [
              ("core", Json.Int (Dtm.core s));
              ("served", Json.Int (Dtm.served s));
+             ("busy_ns", Json.Float (Dtm.busy_ns s));
+             ("resp_cache", Json.Int (Dtm.resp_cache_size s));
+             ("lease_reclaims", Json.Int (Dtm.lease_reclaims s));
              ( "queue_depth",
                Json.Obj [ ("mean", Json.Float qmean); ("max", Json.Int qmax) ] );
              ( "occupancy",
@@ -175,7 +190,7 @@ let span_json span =
                           Json.Obj
                             [
                               ("sum", Json.Float (Span.sum span ~core ~phase));
-                              ("hist", histogram_json (Span.hist span ~core ~phase));
+                              ("sketch", sketch_json (Span.sketch span ~core ~phase));
                             ] ))
                       (Span.phases span))) );
           ]
@@ -220,7 +235,8 @@ let timeseries_json ts =
              (Timeseries.channels ts)) );
     ]
 
-let trace_json tr =
+let trace_json t =
+  let tr = Runtime.trace t in
   Json.Obj
     [
       ("enabled", Json.Bool (Trace.enabled tr));
@@ -229,6 +245,62 @@ let trace_json tr =
       (* Events overwritten because the ring wrapped: nonzero means the
          trace (and any Perfetto export of it) holds only the tail. *)
       ("dropped", Json.Int (Trace.dropped tr));
+      (* Peak number of events the attached checker sink (Collector)
+         held at once — 0 when no sink was attached (v5). *)
+      ("sink_high_water", Json.Int (Runtime.sink_high_water t));
+    ]
+
+(* Host-side self-profiler shares (v5): all-zero unless
+   [Runtime.enable_self_profile] injected a wall clock before the run. *)
+let host_profile_json t =
+  Json.Obj
+    (Array.to_list
+       (Array.map
+          (fun (name, seconds, samples) ->
+            ( name,
+              Json.Obj
+                [
+                  ("seconds", Json.Float seconds); ("samples", Json.Int samples);
+                ] ))
+          (Runtime.self_profile t)))
+
+(* Flight-recorder final snapshot (v5). [windowed_sum] of each counter
+   equals [total] after [finish] — the telescoping invariant
+   bench/validate_json re-checks, witnessing that the windowed stream
+   lost nothing. *)
+let metrics_json t r =
+  Json.Obj
+    [
+      ("window_ns", Json.Float (Recorder.window_ns r));
+      ("n_windows", Json.Int (Recorder.n_windows r));
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (name, total, windowed) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("total", Json.Float total);
+                     ("windowed_sum", Json.Float windowed);
+                   ] ))
+             (Recorder.counter_totals r)) );
+      ( "sketches",
+        Json.Obj
+          (List.map
+             (fun (name, sk) -> (name, sketch_json sk))
+             (Recorder.sketch_totals r)) );
+      ( "phase_sketches",
+        Json.Obj
+          (List.filter_map
+             (fun (name, sk) ->
+               if Sketch.count sk > 0 then Some (name, sketch_json sk) else None)
+             (Recorder.phase_sketches r)) );
+      ( "events",
+        Json.Obj
+          (List.map
+             (fun (name, n) -> (name, Json.Int n))
+             (Recorder.event_totals r)) );
+      ("host_profile", host_profile_json t);
     ]
 
 (* Fault-injection and hardening accounting (schema v3; v4 adds the
@@ -296,8 +368,11 @@ let run_json t (r : Tm2c_apps.Workload.result) =
        (* The watchdog cut this run short of its horizon (v4). *)
        ("wedged", Json.Bool (Runtime.wedged t));
        ("phases", phases_json t);
-       ("trace", trace_json (Runtime.trace t));
+       ("trace", trace_json t);
      ]
+    @ (match Runtime.recorder t with
+      | Some r -> [ ("metrics", metrics_json t r) ]
+      | None -> [])
     @
     match Runtime.timeseries t with
     | Some ts -> [ ("timeseries", timeseries_json ts) ]

@@ -1,13 +1,17 @@
 (** JSON export of one run: the workload result plus the runtime's
     observability metrics — per-core commit/abort counters, network
-    message totals and latency histogram, lock-service queue-depth and
-    occupancy stats, and per-conflict abort causality. *)
+    message totals and latency quantiles, lock-service queue-depth and
+    occupancy stats, per-conflict abort causality, and (schema v5) the
+    flight recorder's final snapshot. *)
 
 val config_json : Tm2c_core.Runtime.config -> Json.t
 
 val result_json : Tm2c_apps.Workload.result -> Json.t
 
-val histogram_json : Tm2c_engine.Histogram.t -> Json.t
+(** Quantile-sketch summary: count/sum/mean/min/max, the
+    p50/p90/p99/p999 ladder and the sketch's guaranteed [rel_error];
+    [buckets] adds the raw (upper edge, count) rows. *)
+val sketch_json : ?buckets:bool -> Tm2c_engine.Sketch.t -> Json.t
 
 (** Per-attempt phase attribution (committed and aborted sides of the
     runtime's {!Tm2c_engine.Span} pair); [enabled: false] with empty
@@ -17,11 +21,22 @@ val phases_json : Tm2c_core.Runtime.t -> Json.t
 (** Windowed simulated-time samples (see {!Tm2c_engine.Timeseries}). *)
 val timeseries_json : Tm2c_engine.Timeseries.t -> Json.t
 
-(** Trace-ring status: enabled flag, capacity, events held, and the
-    dropped (overwritten) count. *)
-val trace_json : Tm2c_core.Event.t Tm2c_engine.Trace.t -> Json.t
+(** Trace-ring status: enabled flag, capacity, events held, the
+    dropped (overwritten) count, and the checker sink's high-water
+    mark. *)
+val trace_json : Tm2c_core.Runtime.t -> Json.t
+
+(** Host-side self-profiler category shares (all-zero unless
+    [Runtime.enable_self_profile] ran). *)
+val host_profile_json : Tm2c_core.Runtime.t -> Json.t
+
+(** Flight-recorder final snapshot: windowed-counter totals and
+    telescoped sums, latency and per-phase sketches, event counts and
+    the host profile. *)
+val metrics_json : Tm2c_core.Runtime.t -> Tm2c_core.Recorder.t -> Json.t
 
 (** [run_json t r] — the full self-describing record for one run on
     runtime [t] that produced result [r]. Includes a ["timeseries"]
-    section when the sampler was enabled. *)
+    section when the sampler was enabled and a ["metrics"] section
+    when the flight recorder was. *)
 val run_json : Tm2c_core.Runtime.t -> Tm2c_apps.Workload.result -> Json.t

@@ -1,11 +1,11 @@
 open Tm2c_engine
 
-(* Always-on message-layer metrics: cheap counters only (a histogram
+(* Always-on message-layer metrics: cheap counters only (a sketch
    add and two array increments per send), so they never perturb the
    simulated timings. *)
 type metrics = {
   per_link : int array array;  (* [src].(dst) messages sent *)
-  latency : Histogram.t;  (* in-flight ns: wire hops + detection scan *)
+  latency : Sketch.t;  (* in-flight ns: wire hops + detection scan *)
   mutable received : int;
   mutable poll_scans : int;  (* fruitless try_recv scans *)
   mutable poll_scan_ns : float;  (* virtual ns burned by those scans *)
@@ -52,7 +52,7 @@ let create sim platform ~active =
     metrics =
       {
         per_link = Array.init n (fun _ -> Array.make n 0);
-        latency = Histogram.create ();
+        latency = Sketch.create ();
         received = 0;
         poll_scans = 0;
         poll_scan_ns = 0.0;
@@ -100,11 +100,15 @@ let send_faulty net f ~src ~dst ~flight ~at msg =
   else deliver_at at
 
 let send_msg net ~src ~dst ~faulty msg =
+  (* Self-profiler: attribute the current scheduler dispatch to the
+     message layer (no-op unless a host clock is injected into the
+     simulation; see Sim.prof_mark). *)
+  Sim.prof_mark net.sim Sim.prof_cat_network;
   net.n_sent <- net.n_sent + 1;
   net.metrics.per_link.(src).(dst) <- net.metrics.per_link.(src).(dst) + 1;
   Sim.delay net.send_oh;
   let flight = net.flight_tab.((src * net.n) + dst) in
-  Histogram.add net.metrics.latency flight;
+  Sketch.add net.metrics.latency flight;
   let at = Sim.now net.sim +. flight in
   match net.faults with
   | Some f when faulty -> send_faulty net f ~src ~dst ~flight ~at msg

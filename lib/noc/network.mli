@@ -13,7 +13,7 @@ type 'a t
     the simulated timings). *)
 type metrics = {
   per_link : int array array;  (** [per_link.(src).(dst)] messages sent *)
-  latency : Tm2c_engine.Histogram.t;
+  latency : Tm2c_engine.Sketch.t;
       (** in-flight time per message (wire hops + detection scan), ns *)
   mutable received : int;
   mutable poll_scans : int;  (** fruitless [try_recv] scans *)

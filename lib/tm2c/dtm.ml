@@ -21,6 +21,10 @@ type server = {
   (* Virtual ns spent inside [handle] (pickup to response sent):
      busy_ns / run duration is the service core's utilization. *)
   mutable busy_ns : float;
+  (* Lease reclamations performed by this server (the global figure
+     lives in Fault.counters; the per-server split feeds the flight
+     recorder's per-partition gauges). *)
+  mutable lease_reclaims : int;
   (* Duplicate absorption: per requester, the newest awaited request id
      seen and the response sent for it (None while it is still queued,
      e.g. a waiting Exclusive_acquire). Requests are idempotent via
@@ -58,6 +62,7 @@ let make ~core =
     occ_sum = 0;
     occ_max = 0;
     busy_ns = 0.0;
+    lease_reclaims = 0;
     last_resp = [||];
     replica = Hashtbl.create 4;
   }
@@ -78,6 +83,8 @@ let occupancy_stats s =
   else (float_of_int s.occ_sum /. float_of_int s.served, s.occ_max)
 
 let busy_ns s = s.busy_ns
+
+let lease_reclaims s = s.lease_reclaims
 
 let resp_cache_size s =
   Array.fold_left
@@ -240,6 +247,7 @@ let reclaim env s ~addr ~revoke (h : holder) =
   | (Enemy_aborted | Enemy_stale) as outcome ->
       let c = Tm2c_noc.Fault.counters env.System.faults in
       c.Tm2c_noc.Fault.leases_reclaimed <- c.Tm2c_noc.Fault.leases_reclaimed + 1;
+      s.lease_reclaims <- s.lease_reclaims + 1;
       if trace_on env then
         emit env
           (Event.Lease_reclaimed
@@ -644,6 +652,9 @@ let maybe_failover env s (req : System.request) =
     | Some _ | None -> ()
 
 let handle_fresh env s (req : System.request) =
+  (* Re-claim: a stall-window delay in [handle] may have parked the
+     fiber, putting this continuation in a fresh dispatch. *)
+  Tm2c_engine.Sim.prof_mark env.System.sim Tm2c_engine.Sim.prof_cat_dtm;
   s.served <- s.served + 1;
   maybe_evict_cache env s;
   let pickup_ns = Tm2c_engine.Sim.now env.System.sim in
@@ -700,6 +711,9 @@ let handle_fresh env s (req : System.request) =
          { server = s.core; requester = req.tx.m_core; req_id = req.req_id })
 
 let handle env s (req : System.request) =
+  (* Self-profiler: claim this dispatch for the DTM (no-op without an
+     injected host clock; see Sim.prof_mark). *)
+  Tm2c_engine.Sim.prof_mark env.System.sim Tm2c_engine.Sim.prof_cat_dtm;
   (* DS-server stall window: the server sits idle (requests queue up
      in its mailbox) until the window closes. *)
   (match

@@ -40,6 +40,10 @@ val occupancy_stats : server -> float * int
     core's utilization. *)
 val busy_ns : server -> float
 
+(** Lease reclamations performed by this server (the per-partition
+    split of [Fault.counters.leases_reclaimed]). *)
+val lease_reclaims : server -> int
+
 (** Live entries in the duplicate-absorption response cache. Bounded:
     entries idle past the absorption window — max(timeout * 32, lease)
     — are evicted opportunistically (every 64th request), so the cache

@@ -1,0 +1,430 @@
+(* Streaming flight recorder: a periodic snapshot subsystem driven by
+   simulated time.
+
+   Every [window_ns] of virtual time it assembles one snapshot block —
+   windowed deltas of the always-on counters, windowed and cumulative
+   quantiles from the latency sketches, per-phase latency quantiles
+   merged across cores, per-DS-partition service gauges, the top-K
+   busiest NoC links and top-K abort-blame pairs — emits it through
+   [out] in an OpenMetrics-style text format, and then rolls every
+   baseline. Nothing is retained per window beyond a handful of
+   scalars, so resident memory is constant in run length (unlike
+   Timeseries, which accumulates one sample per window per channel).
+
+   Producers are untouched: they keep writing the one cumulative
+   counter or sketch they always wrote, and the recorder reads deltas
+   against private baselines (Sketch windows for distributions,
+   previous-value tables for counters). Event counts arrive through
+   the trace's second tap ([Trace.set_tap], wired by
+   [Runtime.enable_recorder]) so the checker stack keeps exclusive
+   ownership of the primary sink. *)
+
+open Tm2c_engine
+open Tm2c_noc
+
+type counter = {
+  c_name : string;
+  c_read : unit -> float;
+  mutable c_start : float;  (* value when the recorder started *)
+  mutable c_prev : float;  (* value at the last window roll *)
+  mutable c_emitted : float;  (* sum of windowed deltas emitted *)
+}
+
+type tracked_sketch = {
+  s_name : string;
+  s_sketch : Sketch.t;
+  s_window : Sketch.window;
+}
+
+(* Per-DS-server baselines for the windowed service counters. *)
+type server_prev = {
+  mutable p_served : int;
+  mutable p_busy : float;
+  mutable p_reclaims : int;
+}
+
+type t = {
+  env : System.env;
+  window_ns : float;
+  top_k : int;
+  out : (string -> unit) option;
+  servers : unit -> Dtm.server list;
+  mutable sink_high_water : unit -> int;
+  counters : counter list;
+  sketches : tracked_sketch list;
+  span_windows : Sketch.window array array;  (* [core].(phase), over span_commit *)
+  span_scratch : Sketch.t array;  (* per-phase merge target, reused each tick *)
+  prev_links : int array array;
+  prev_servers : (int, server_prev) Hashtbl.t;
+  prev_blame : (Obs.key, int) Hashtbl.t;
+  ev_counts : int array;
+  ev_prev : int array;
+  buf : Buffer.t;
+  mutable n_windows : int;
+  mutable started : bool;
+  mutable finished : bool;
+}
+
+(* Snake-case metric label per Event constructor, index-aligned with
+   [event_index] below. *)
+let event_names =
+  [|
+    "tx_start"; "tx_read"; "tx_write"; "tx_commit_begin"; "host_write";
+    "rlock_released"; "wlock_granted"; "tx_publish"; "tx_committed";
+    "tx_aborted"; "lock_conflict"; "enemy_aborted"; "req_sent"; "service";
+    "service_done"; "barrier"; "msg_dropped"; "msg_duplicated"; "req_resent";
+    "core_crashed"; "lease_reclaimed"; "server_crashed"; "epoch_bumped";
+    "replica_applied"; "failover_done"; "stale_epoch_rejected";
+  |]
+
+(* Deliberately exhaustive (no wildcard): adding an Event constructor
+   must not silently vanish from the flight recorder — the exporter
+   lint (bench/lint.ml) additionally checks every constructor is named
+   here. *)
+let event_index (ev : Event.t) =
+  match ev with
+  | Event.Tx_start _ -> 0
+  | Event.Tx_read _ -> 1
+  | Event.Tx_write _ -> 2
+  | Event.Tx_commit_begin _ -> 3
+  | Event.Host_write _ -> 4
+  | Event.Rlock_released _ -> 5
+  | Event.Wlock_granted _ -> 6
+  | Event.Tx_publish _ -> 7
+  | Event.Tx_committed _ -> 8
+  | Event.Tx_aborted _ -> 9
+  | Event.Lock_conflict _ -> 10
+  | Event.Enemy_aborted _ -> 11
+  | Event.Req_sent _ -> 12
+  | Event.Service _ -> 13
+  | Event.Service_done _ -> 14
+  | Event.Barrier _ -> 15
+  | Event.Msg_dropped _ -> 16
+  | Event.Msg_duplicated _ -> 17
+  | Event.Req_resent _ -> 18
+  | Event.Core_crashed _ -> 19
+  | Event.Lease_reclaimed _ -> 20
+  | Event.Server_crashed _ -> 21
+  | Event.Epoch_bumped _ -> 22
+  | Event.Replica_applied _ -> 23
+  | Event.Failover_done _ -> 24
+  | Event.Stale_epoch_rejected _ -> 25
+
+let record_event t ev = t.ev_counts.(event_index ev) <- t.ev_counts.(event_index ev) + 1
+
+let quantiles = [ (50.0, "0.5"); (90.0, "0.9"); (99.0, "0.99"); (99.9, "0.999") ]
+
+let create ~env ~window_ns ?out ?(top_k = 8) ~servers () =
+  if window_ns <= 0.0 then invalid_arg "Recorder.create: window_ns must be positive";
+  if top_k < 1 then invalid_arg "Recorder.create: top_k must be >= 1";
+  let stats = env.System.stats in
+  let net = env.System.net in
+  let fc = Fault.counters env.System.faults in
+  let fi = float_of_int in
+  let mk name read =
+    { c_name = name; c_read = read; c_start = 0.0; c_prev = 0.0; c_emitted = 0.0 }
+  in
+  let counters =
+    [
+      mk "ops" (fun () -> fi (Stats.total_ops stats));
+      mk "commits" (fun () -> fi (Stats.total_commits stats));
+      mk "aborts" (fun () -> fi (Stats.total_aborts stats));
+      mk "messages_sent" (fun () -> fi (Network.sent net));
+      mk "messages_received" (fun () -> fi (Network.metrics net).Network.received);
+      mk "poll_scans" (fun () -> fi (Network.metrics net).Network.poll_scans);
+      mk "trace_events_dropped" (fun () -> fi (Trace.dropped env.System.trace));
+      mk "faults_msgs_dropped" (fun () -> fi fc.Fault.dropped);
+      mk "faults_msgs_duplicated" (fun () -> fi fc.Fault.duplicated);
+      mk "resends" (fun () -> fi fc.Fault.resends);
+      mk "leases_reclaimed" (fun () -> fi fc.Fault.leases_reclaimed);
+      mk "failovers" (fun () -> fi fc.Fault.failovers);
+      mk "stale_rejections" (fun () -> fi fc.Fault.stale_rejections);
+      mk "replicated" (fun () -> fi fc.Fault.replicated);
+    ]
+  in
+  let sketches =
+    [
+      {
+        s_name = "commit_latency_ns";
+        s_sketch = env.System.commit_lat;
+        s_window = Sketch.window_of env.System.commit_lat;
+      };
+      {
+        s_name = "msg_latency_ns";
+        s_sketch = (Network.metrics net).Network.latency;
+        s_window = Sketch.window_of (Network.metrics net).Network.latency;
+      };
+    ]
+  in
+  let span = env.System.span_commit in
+  let span_windows =
+    Array.init (Span.n_cores span) (fun core ->
+        Array.init (Span.n_phases span) (fun phase ->
+            Sketch.window_of (Span.sketch span ~core ~phase)))
+  in
+  let span_scratch =
+    Array.init (Span.n_phases span) (fun _ ->
+        Sketch.create ~rel_error:(Span.rel_error span) ())
+  in
+  {
+    env;
+    window_ns;
+    top_k;
+    out;
+    servers;
+    sink_high_water = (fun () -> 0);
+    counters;
+    sketches;
+    span_windows;
+    span_scratch;
+    prev_links = Array.map Array.copy (Network.metrics net).Network.per_link;
+    prev_servers = Hashtbl.create 16;
+    prev_blame = Hashtbl.create 64;
+    ev_counts = Array.make (Array.length event_names) 0;
+    ev_prev = Array.make (Array.length event_names) 0;
+    buf = Buffer.create 4096;
+    n_windows = 0;
+    started = false;
+    finished = false;
+  }
+
+let set_sink_high_water t f = t.sink_high_water <- f
+
+let window_ns t = t.window_ns
+
+let n_windows t = t.n_windows
+
+(* [name{k="v",...} value] with integral values printed exactly. *)
+let labels kvs =
+  match kvs with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) kvs)
+      ^ "}"
+
+let pr buf name lbls v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.bprintf buf "tm2c_%s%s %.0f\n" name lbls v
+  else Printf.bprintf buf "tm2c_%s%s %g\n" name lbls v
+
+let server_prev_for t core =
+  match Hashtbl.find_opt t.prev_servers core with
+  | Some p -> p
+  | None ->
+      let p = { p_served = 0; p_busy = 0.0; p_reclaims = 0 } in
+      Hashtbl.add t.prev_servers core p;
+      p
+
+(* Take the [k] largest (by [weight]) of [items] without sorting the
+   whole list — window top-Ks only ever need a handful. *)
+let top_by k weight items =
+  let sorted = List.sort (fun a b -> compare (weight b) (weight a)) items in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take k sorted
+
+let emit_window t ~t_ns =
+  let b = t.buf in
+  Buffer.clear b;
+  Printf.bprintf b "# window %d t_ns %.0f\n" t.n_windows t_ns;
+  (* Counters: cumulative total since [start], plus this window's
+     delta. The emitted deltas telescope: their sum always equals the
+     last emitted total, the invariant validate_json re-checks. *)
+  List.iter
+    (fun c ->
+      let v = c.c_read () in
+      let d = v -. c.c_prev in
+      c.c_prev <- v;
+      c.c_emitted <- c.c_emitted +. d;
+      pr b (c.c_name ^ "_total") "" (v -. c.c_start);
+      pr b (c.c_name ^ "_window") "" d)
+    t.counters;
+  pr b "trace_sink_high_water" "" (float_of_int (t.sink_high_water ()));
+  (* Latency sketches: cumulative and windowed quantiles. *)
+  List.iter
+    (fun s ->
+      pr b (s.s_name ^ "_count") "" (float_of_int (Sketch.count s.s_sketch));
+      pr b
+        (s.s_name ^ "_window_count")
+        ""
+        (float_of_int (Sketch.window_count s.s_sketch s.s_window));
+      List.iter
+        (fun (p, q) ->
+          pr b s.s_name (labels [ ("q", q) ]) (Sketch.percentile s.s_sketch p))
+        quantiles;
+      if Sketch.window_count s.s_sketch s.s_window > 0 then
+        List.iter
+          (fun (p, q) ->
+            pr b (s.s_name ^ "_window")
+              (labels [ ("q", q) ])
+              (Sketch.window_percentile s.s_sketch s.s_window p))
+          quantiles;
+      Sketch.window_roll s.s_sketch s.s_window)
+    t.sketches;
+  (* Per-phase windowed latency: merge each core's window delta into
+     the per-phase scratch sketch, then roll all the windows. *)
+  let span = t.env.System.span_commit in
+  if Span.enabled span then begin
+    let phases = Span.phases span in
+    Array.iteri
+      (fun phase name ->
+        let scratch = t.span_scratch.(phase) in
+        Sketch.reset scratch;
+        for core = 0 to Span.n_cores span - 1 do
+          Sketch.window_merge
+            (Span.sketch span ~core ~phase)
+            t.span_windows.(core).(phase) ~into:scratch
+        done;
+        if Sketch.count scratch > 0 then begin
+          pr b "phase_ns_window_count"
+            (labels [ ("phase", name) ])
+            (float_of_int (Sketch.count scratch));
+          List.iter
+            (fun (p, q) ->
+              pr b "phase_ns_window"
+                (labels [ ("phase", name); ("q", q) ])
+                (Sketch.percentile scratch p))
+            quantiles
+        end)
+      phases;
+    for core = 0 to Span.n_cores span - 1 do
+      for phase = 0 to Span.n_phases span - 1 do
+        Sketch.window_roll (Span.sketch span ~core ~phase)
+          t.span_windows.(core).(phase)
+      done
+    done
+  end;
+  (* Per-DS-partition service gauges and windowed counters. *)
+  let net = t.env.System.net in
+  List.iter
+    (fun s ->
+      let core = Dtm.core s in
+      let lbl = labels [ ("core", string_of_int core) ] in
+      let prev = server_prev_for t core in
+      let served = Dtm.served s in
+      let busy = Dtm.busy_ns s in
+      let reclaims = Dtm.lease_reclaims s in
+      pr b "dtm_served_window" lbl (float_of_int (served - prev.p_served));
+      pr b "dtm_busy_ns_window" lbl (busy -. prev.p_busy);
+      if reclaims - prev.p_reclaims > 0 then
+        pr b "dtm_lease_reclaims_window" lbl
+          (float_of_int (reclaims - prev.p_reclaims));
+      pr b "dtm_queue_depth" lbl (float_of_int (Network.pending net ~self:core));
+      pr b "dtm_resp_cache" lbl (float_of_int (Dtm.resp_cache_size s));
+      prev.p_served <- served;
+      prev.p_busy <- busy;
+      prev.p_reclaims <- reclaims)
+    (t.servers ());
+  (* Partition epochs, only once failover is live (they are all 0 and
+     meaningless otherwise). *)
+  let fo = t.env.System.failover in
+  if fo.System.fo_enabled then
+    Array.iteri
+      (fun part e ->
+        pr b "partition_epoch" (labels [ ("part", string_of_int part) ])
+          (float_of_int e))
+      fo.System.fo_epoch;
+  (* Top-K busiest NoC links this window. *)
+  let links = (Network.metrics net).Network.per_link in
+  let deltas = ref [] in
+  Array.iteri
+    (fun src row ->
+      Array.iteri
+        (fun dst c ->
+          let d = c - t.prev_links.(src).(dst) in
+          t.prev_links.(src).(dst) <- c;
+          if d > 0 then deltas := (src, dst, d) :: !deltas)
+        row)
+    links;
+  List.iter
+    (fun (src, dst, d) ->
+      pr b "link_msgs_window"
+        (labels [ ("src", string_of_int src); ("dst", string_of_int dst) ])
+        (float_of_int d))
+    (top_by t.top_k (fun (_, _, d) -> d) !deltas);
+  (* Top-K abort-blame pairs this window (windowed deltas of the
+     always-on Obs causality table). *)
+  let blame = ref [] in
+  List.iter
+    (fun ((key : Obs.key), count, _addr) ->
+      let prev = match Hashtbl.find_opt t.prev_blame key with Some p -> p | None -> 0 in
+      Hashtbl.replace t.prev_blame key count;
+      if count - prev > 0 then blame := (key, count - prev) :: !blame)
+    (Obs.dump t.env.System.obs);
+  List.iter
+    (fun ((key : Obs.key), d) ->
+      pr b "abort_blame_window"
+        (labels
+           [
+             ("winner", string_of_int key.Obs.winner);
+             ("victim", string_of_int key.Obs.victim);
+             ("conflict", Types.conflict_to_string key.Obs.conflict);
+           ])
+        (float_of_int d))
+    (top_by t.top_k (fun (_, d) -> d) !blame);
+  (* Windowed trace-event counts (0 while tracing is off: the tap only
+     sees recorded events). *)
+  Array.iteri
+    (fun i name ->
+      let d = t.ev_counts.(i) - t.ev_prev.(i) in
+      t.ev_prev.(i) <- t.ev_counts.(i);
+      if d > 0 then
+        pr b "trace_events_window" (labels [ ("type", name) ]) (float_of_int d))
+    event_names;
+  (match t.out with
+  | Some out -> out (Buffer.contents b)
+  | None -> ());
+  Buffer.clear b;
+  t.n_windows <- t.n_windows + 1
+
+let start t =
+  if t.started then invalid_arg "Recorder.start: already started";
+  t.started <- true;
+  (* Baseline every counter at the start instant, so totals are "since
+     the recorder started" (== run totals when started before run). *)
+  List.iter
+    (fun c ->
+      let v = c.c_read () in
+      c.c_start <- v;
+      c.c_prev <- v)
+    t.counters;
+  let sim = t.env.System.sim in
+  (* Timeseries' recurring-event pattern: the tick reschedules itself
+     only while other events are pending, so the recorder never keeps
+     an otherwise-finished simulation alive. *)
+  let rec tick at () =
+    if not t.finished then begin
+      emit_window t ~t_ns:at;
+      if Sim.pending sim > 0 then
+        Sim.schedule sim ~at:(at +. t.window_ns) (tick (at +. t.window_ns))
+    end
+  in
+  let first = Sim.now sim +. t.window_ns in
+  Sim.schedule sim ~at:first (tick first)
+
+let finish t =
+  if t.started && not t.finished then begin
+    emit_window t ~t_ns:(Sim.now t.env.System.sim);
+    t.finished <- true;
+    match t.out with Some out -> out "# eof\n" | None -> ()
+  end
+
+let counter_totals t =
+  List.map (fun c -> (c.c_name, c.c_read () -. c.c_start, c.c_emitted)) t.counters
+
+let sketch_totals t = List.map (fun s -> (s.s_name, s.s_sketch)) t.sketches
+
+let phase_sketches t =
+  let span = t.env.System.span_commit in
+  Array.to_list
+    (Array.mapi
+       (fun phase name -> (name, Span.merged_sketch span ~phase))
+       (Span.phases span))
+
+let event_totals t =
+  Array.to_list (Array.mapi (fun i name -> (name, t.ev_counts.(i))) event_names)

@@ -43,6 +43,8 @@ type t = {
   mutable next_spare_reg : int;
   max_reg : int;
   mutable timeseries : Timeseries.t option;
+  mutable recorder : Recorder.t option;
+  mutable sink_high_water : (unit -> int) option;
   mutable replicas : int;
   mutable wedged : bool;
 }
@@ -140,13 +142,14 @@ let create cfg =
       trace = Trace.create ();
       obs = Obs.create ();
       span_commit =
-        Span.create ~n_cores:(Platform.n_cores cfg.platform) ~phases:Phase.names;
+        Span.create ~n_cores:(Platform.n_cores cfg.platform) ~phases:Phase.names ();
       span_abort =
-        Span.create ~n_cores:(Platform.n_cores cfg.platform) ~phases:Phase.names;
+        Span.create ~n_cores:(Platform.n_cores cfg.platform) ~phases:Phase.names ();
       faults;
       req_timeout_ns = 0.0;
       lease_ns = 0.0;
       failover;
+      commit_lat = Sketch.create ();
     }
   in
   (* Drops and duplications happen inside the network layer, which
@@ -172,6 +175,8 @@ let create cfg =
     next_spare_reg = Platform.n_cores cfg.platform;
     max_reg = n_regs;
     timeseries = None;
+    recorder = None;
+    sink_high_water = None;
     replicas = 0;
     wedged = false;
   }
@@ -339,6 +344,50 @@ let enable_timeseries t ~window_ns =
       float_of_int !worst);
   Timeseries.start ts t.sim;
   t.timeseries <- Some ts
+
+(* Checker-sink high-water mark: the harness installs a reader over
+   whatever collector it attaches (the runtime cannot name the checker
+   library without a dependency cycle). *)
+let set_sink_high_water t reader = t.sink_high_water <- Some reader
+
+let sink_high_water t =
+  match t.sink_high_water with Some f -> f () | None -> 0
+
+let recorder t = t.recorder
+
+(* Install and start the flight recorder (see Recorder): periodic
+   bounded-memory metrics snapshots on a simulated-time cadence,
+   optionally streamed as OpenMetrics-style text through [out]. Trace
+   events are counted through the trace's second tap, so the checker
+   stack keeps exclusive ownership of the primary sink. Call before
+   [run]; at most once. *)
+let enable_recorder t ~window_ns ?out ?top_k () =
+  if t.recorder <> None then
+    invalid_arg "Runtime.enable_recorder: already enabled";
+  let r =
+    Recorder.create ~env:t.env ~window_ns ?out ?top_k
+      ~servers:(fun () ->
+        Array.to_list t.dtm_cores
+        |> List.filter_map (fun core -> Hashtbl.find_opt t.servers core))
+      ()
+  in
+  Recorder.set_sink_high_water r (fun () -> sink_high_water t);
+  Trace.set_tap t.env.System.trace (Some (fun _now ev -> Recorder.record_event r ev));
+  Recorder.start r;
+  t.recorder <- Some r
+
+(* Emit the recorder's final partial window. Idempotent, and a no-op
+   when no recorder is installed: every workload-collection path calls
+   it unconditionally. *)
+let finish_recorder t =
+  match t.recorder with Some r -> Recorder.finish r | None -> ()
+
+(* Host-side self-profiler: inject a monotonic wall clock (seconds)
+   into the scheduler — see Sim.set_host_clock. The engine never reads
+   wall time itself; bin/ passes the Unix wall clock. *)
+let enable_self_profile t ~clock = Sim.set_host_clock t.sim (Some clock)
+
+let self_profile t = Sim.host_profile t.sim
 
 (* DTM servers instantiated so far (all of them once services have
    started), in core order — the per-server queue/occupancy stats. *)

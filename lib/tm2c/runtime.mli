@@ -125,6 +125,44 @@ val timeseries : t -> Tm2c_engine.Timeseries.t option
     at most once. *)
 val enable_timeseries : t -> window_ns:float -> unit
 
+(** The flight recorder, once {!enable_recorder} has run. *)
+val recorder : t -> Recorder.t option
+
+(** Install and start the flight recorder (see {!Recorder}): periodic
+    bounded-memory metrics snapshots every [window_ns] of virtual
+    time, optionally streamed as OpenMetrics-style text blocks through
+    [out]; [top_k] bounds the per-window link and abort-blame
+    listings. Trace events are counted through the trace's second tap
+    ([Trace.set_tap]), leaving the primary sink to the checker stack.
+    Call before {!run}; at most once. *)
+val enable_recorder :
+  t -> window_ns:float -> ?out:(string -> unit) -> ?top_k:int -> unit -> unit
+
+(** Emit the recorder's final partial window ("# eof"-terminated).
+    Idempotent; a no-op when no recorder is installed. The workload
+    collection paths call it, so drivers rarely need to. *)
+val finish_recorder : t -> unit
+
+(** Install the reader for the checker sink's high-water mark (e.g.
+    [Collector.length]); surfaced in reports, JSON and recorder
+    snapshots. The runtime cannot name the checker library itself
+    (dependency cycle), hence the generic reader. *)
+val set_sink_high_water : t -> (unit -> int) -> unit
+
+(** Current checker-sink high-water mark (0 when no reader installed). *)
+val sink_high_water : t -> int
+
+(** Host-side self-profiler: inject a monotonic wall clock (seconds;
+    bin/ passes the Unix wall clock) into the scheduler. Host time is
+    attributed to wheel / delay-resume / mailbox-delivery / callback /
+    dtm / network categories (see {!Tm2c_engine.Sim.set_host_clock});
+    virtual results are identical either way. *)
+val enable_self_profile : t -> clock:(unit -> float) -> unit
+
+(** (category, host seconds, dispatches) per profiler category; zeros
+    unless {!enable_self_profile} ran before {!run}. *)
+val self_profile : t -> (string * float * int) array
+
 (** DTM servers instantiated so far (all of them once
     [start_services] has run), in core order. *)
 val servers : t -> Dtm.server list

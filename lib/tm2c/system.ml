@@ -80,6 +80,10 @@ type env = {
   mutable req_timeout_ns : float;
   mutable lease_ns : float;
   failover : failover;
+  (* Always-on commit-latency sketch (attempt start -> publish done),
+     same elapsed value Tx_committed events carry: one O(1) Sketch.add
+     per commit, so it never needs tracing enabled. *)
+  commit_lat : Tm2c_engine.Sketch.t;
 }
 
 let local_now env ~core = Tm2c_engine.Sim.now env.sim +. env.skew.(core)

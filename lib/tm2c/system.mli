@@ -135,6 +135,10 @@ type env = {
       (** replicated-lock-service state; inert (and unread past
           [fo_owner]) until [Runtime.enable_replication] flips
           [fo_enabled] *)
+  commit_lat : Tm2c_engine.Sketch.t;
+      (** always-on commit-latency sketch (attempt start -> publish
+          done, ns) — the same elapsed value [Tx_committed] events
+          carry, but recorded unconditionally at O(1) per commit *)
 }
 
 (** A core's local clock reading ([Sim.now] plus its skew). *)

@@ -526,6 +526,9 @@ let commit ctx =
       ~total:(sim_now ctx -. ctx.ph_attempt_start)
   end;
   let elapsed = local_now ctx -. ctx.tx_start in
+  (* Always-on commit-latency sketch: the same elapsed value the
+     Tx_committed event carries, recorded unconditionally (O(1)). *)
+  Sketch.add ctx.env.System.commit_lat elapsed;
   if trace_on ctx then
     emit ctx
       (Event.Tx_committed
@@ -591,6 +594,7 @@ let irrevocable ctx f =
     (fun dst -> send_release ctx ~dst System.Exclusive_release)
     ctx.env.System.dtm_cores;
   let elapsed = local_now ctx -. ctx.tx_start in
+  Sketch.add ctx.env.System.commit_lat elapsed;
   ctx.effective_ns <- ctx.effective_ns +. elapsed;
   ctx.stats.Stats.effective_ns <- ctx.stats.Stats.effective_ns +. elapsed;
   ctx.stats.Stats.lifespan_ns <- ctx.stats.Stats.lifespan_ns +. elapsed;

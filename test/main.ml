@@ -15,4 +15,6 @@ let () =
       ("check", Test_check.suite);
       ("fault", Test_fault.suite);
       ("failover", Test_failover.suite);
+      ("sketch", Test_sketch.suite);
+      ("recorder", Test_recorder.suite);
     ]

@@ -39,13 +39,13 @@ let test_span_invariant () =
       if Float.abs (phases -. total) > 1e-6 *. Float.max total 1.0 then
         Alcotest.failf "core %d: phase sums %.6f ns <> attempt total %.6f ns" core
           phases total;
-      (* The histograms see the same samples as the sums (zero-duration
+      (* The sketches see the same samples as the sums (zero-duration
          phases excluded), so their sums reconcile too. *)
       let hist_sum = ref 0.0 in
       for phase = 0 to Span.n_phases span - 1 do
-        hist_sum := !hist_sum +. Histogram.sum (Span.hist span ~core ~phase)
+        hist_sum := !hist_sum +. Sketch.sum (Span.sketch span ~core ~phase)
       done;
-      check "histogram sums match phase sums" true
+      check "sketch sums match phase sums" true
         (Float.abs (!hist_sum -. phases) <= 1e-6 *. Float.max phases 1.0)
     end
   done;
