@@ -86,13 +86,24 @@ let bench_once ?(replicas = 0) ?(recorder = false) ~observe () =
   if recorder then begin
     (* The stream really was produced and properly terminated. *)
     let s = Buffer.contents sink in
-    if Buffer.length sink = 0 then failwith "recorder leg produced no snapshots";
+    if Buffer.length sink = 0 then
+      failwith
+        (Printf.sprintf
+           "recorder leg produced no snapshots (replicas=%d, duration=%.0f ns)"
+           replicas duration_ns);
     let eof = "# eof\n" in
     if
       String.length s < String.length eof
       || String.sub s (String.length s - String.length eof) (String.length eof)
          <> eof
-    then failwith "recorder stream not eof-terminated"
+    then
+      failwith
+        (Printf.sprintf
+           "recorder stream not eof-terminated: %d bytes ending %S"
+           (String.length s)
+           (String.sub s
+              (max 0 (String.length s - 16))
+              (min 16 (String.length s))))
   end;
   (r, host, t)
 
@@ -103,7 +114,11 @@ let best ?(replicas = 0) ?(recorder = false) ~observe () =
     (match !result with
     | Some (prev : Workload.result) when prev.Workload.commits <> r.Workload.commits
       ->
-        failwith "non-deterministic benchmark run"
+        failwith
+          (Printf.sprintf
+             "non-deterministic benchmark run: %d commits, then %d on a repeat \
+              of the same configuration"
+             prev.Workload.commits r.Workload.commits)
     | _ -> ());
     result := Some r;
     last := Some t;

@@ -14,9 +14,88 @@ open Tm2c_harness
 
 let tolerance = 1e-6
 
+(* tm2c-lint --json reports ("tool":"tm2c-lint"): the summary must
+   reconcile with the findings list, every finding carries its anchor
+   and rule, waived findings carry their justification, and inventory
+   entries carry a known status. *)
+let validate_lint path v =
+  let fail fmt = Printf.ksprintf (fun m -> failwith (path ^ ": " ^ m)) fmt in
+  (match Json.member "version" v with
+  | Some (Json.Int 1) -> ()
+  | _ -> fail "lint report: version 1 expected");
+  let int_at p =
+    match Option.bind (Json.path p v) Json.to_int_opt with
+    | Some n -> n
+    | None -> fail "lint report: missing %s" (String.concat "." p)
+  in
+  let total = int_at [ "summary"; "total" ]
+  and active = int_at [ "summary"; "active" ]
+  and waived = int_at [ "summary"; "waived" ] in
+  if total <> active + waived then
+    fail "lint report: summary total %d <> %d active + %d waived" total active
+      waived;
+  let list_at k =
+    match Json.member k v with
+    | Some (Json.List l) -> l
+    | _ -> fail "lint report: %s list missing" k
+  in
+  let findings = list_at "findings" in
+  if List.length findings <> total then
+    fail "lint report: %d findings in the list, summary says %d"
+      (List.length findings) total;
+  let n_waived = ref 0 in
+  List.iteri
+    (fun i f ->
+      let str k =
+        match Json.member k f with
+        | Some (Json.String s) when s <> "" -> s
+        | _ -> fail "lint report: finding %d missing %s" i k
+      in
+      ignore (str "file");
+      ignore (str "rule");
+      ignore (str "message");
+      (match Option.bind (Json.member "line" f) Json.to_int_opt with
+      | Some n when n >= 0 -> ()
+      | _ -> fail "lint report: finding %d missing line" i);
+      match Json.member "waived" f with
+      | Some (Json.Bool true) ->
+          incr n_waived;
+          ignore (str "justification")
+      | Some (Json.Bool false) -> ()
+      | _ -> fail "lint report: finding %d missing waived flag" i)
+    findings;
+  if !n_waived <> waived then
+    fail "lint report: %d waived findings in the list, summary says %d"
+      !n_waived waived;
+  let inventory = list_at "inventory" in
+  List.iteri
+    (fun i e ->
+      let str k =
+        match Json.member k e with
+        | Some (Json.String s) when s <> "" -> s
+        | _ -> fail "lint report: inventory entry %d missing %s" i k
+      in
+      ignore (str "file");
+      ignore (str "name");
+      ignore (str "kind");
+      match str "status" with
+      | "violation" | "const-table" -> ()
+      | "allowlisted" -> ignore (str "justification")
+      | s -> fail "lint report: inventory entry %d has unknown status %s" i s)
+    inventory;
+  Printf.printf
+    "%s: valid tm2c-lint report (%d findings, %d active, %d inventory \
+     entries)\n"
+    path total active (List.length inventory)
+
 let () =
   let path = Sys.argv.(1) in
   let v = Json.of_file path in
+  (match Json.member "tool" v with
+  | Some (Json.String "tm2c-lint") ->
+      validate_lint path v;
+      exit 0
+  | _ -> ());
   let fail fmt = Printf.ksprintf (fun m -> failwith (path ^ ": " ^ m)) fmt in
   let require doc p =
     if Json.path p doc = None then fail "missing %s" (String.concat "." p)

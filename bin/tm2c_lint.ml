@@ -1,0 +1,65 @@
+(* tm2c-lint: AST-based static analyzer over the project's own
+   sources (see lib/analysis/). Walks the given roots (default:
+   lib bench bin), prints one "file:line: rule: message" per active
+   finding, and exits 1 if any survive the waiver table.
+
+   --json FILE       full machine-readable report (findings, summary,
+                     domain-safety inventory)
+   --inventory FILE  domain-safety inventory only (the CI artifact)
+   --verbose         also print waived findings with justifications *)
+
+let usage = "tm2c-lint [--json FILE] [--inventory FILE] [--verbose] [ROOT...]"
+
+let () =
+  let json_out = ref None and inv_out = ref None and verbose = ref false in
+  let roots = ref [] in
+  Arg.parse
+    [
+      ("--json", Arg.String (fun f -> json_out := Some f), "FILE write the full JSON report");
+      ( "--inventory",
+        Arg.String (fun f -> inv_out := Some f),
+        "FILE write the domain-safety inventory" );
+      ("--verbose", Arg.Set verbose, " print waived findings too");
+    ]
+    (fun r -> roots := r :: !roots)
+    usage;
+  let cfg =
+    match List.rev !roots with
+    | [] -> Tm2c_analysis.Lint.default_config
+    | roots -> { Tm2c_analysis.Lint.default_config with roots }
+  in
+  let report =
+    try Tm2c_analysis.Lint.run cfg
+    with Failure msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  (match !json_out with
+  | Some f ->
+      Tm2c_analysis.Lint.write_file f (Tm2c_analysis.Lint.findings_json report)
+  | None -> ());
+  (match !inv_out with
+  | Some f ->
+      Tm2c_analysis.Lint.write_file f (Tm2c_analysis.Lint.inventory_json report)
+  | None -> ());
+  if !verbose then
+    List.iter
+      (fun (fd : Tm2c_analysis.Finding.t) ->
+        if fd.Tm2c_analysis.Finding.waived then
+          Printf.printf "waived: %s [%s]\n"
+            (Tm2c_analysis.Finding.to_string fd)
+            (Option.value ~default:"" fd.Tm2c_analysis.Finding.justification))
+      report.Tm2c_analysis.Lint.findings;
+  match Tm2c_analysis.Lint.active report with
+  | [] ->
+      let n = List.length report.Tm2c_analysis.Lint.findings in
+      Printf.printf "tm2c-lint: clean (%d waived finding(s), %d inventory entr%s)\n"
+        n
+        (List.length report.Tm2c_analysis.Lint.inventory)
+        (if List.length report.Tm2c_analysis.Lint.inventory = 1 then "y" else "ies")
+  | fs ->
+      List.iter
+        (fun fd -> prerr_endline (Tm2c_analysis.Finding.to_string fd))
+        fs;
+      Printf.eprintf "tm2c-lint: %d active finding(s)\n" (List.length fs);
+      exit 1

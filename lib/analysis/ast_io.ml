@@ -1,0 +1,38 @@
+type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
+
+exception Syntax_error of { file : string; line : int; message : string }
+
+let read_all file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_string ~filename src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf filename;
+  try
+    if Filename.check_suffix filename ".mli" then Intf (Parse.interface lexbuf)
+    else Impl (Parse.implementation lexbuf)
+  with
+  | Syntaxerr.Error err ->
+      let loc = Syntaxerr.location_of_error err in
+      raise
+        (Syntax_error
+           {
+             file = filename;
+             line = loc.Location.loc_start.Lexing.pos_lnum;
+             message = "syntax error";
+           })
+  | Lexer.Error (_, loc) ->
+      raise
+        (Syntax_error
+           {
+             file = filename;
+             line = loc.Location.loc_start.Lexing.pos_lnum;
+             message = "lexical error";
+           })
+
+let parse_file file = parse_string ~filename:file (read_all file)
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum

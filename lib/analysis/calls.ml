@@ -1,0 +1,191 @@
+open Parsetree
+
+type scope = { det : bool; recv : bool }
+
+type ban = {
+  b_path : string list;
+  b_exact : bool;
+  b_rule : string;
+  b_msg : string;
+  b_on : scope -> bool;
+}
+
+let det s = s.det
+let recv s = s.recv
+let always _ = true
+
+let bans =
+  [
+    (* Wall-clock reads: virtual time comes from the engine; host time
+       is injected where measurement is the point. *)
+    { b_path = [ "Unix"; "gettimeofday" ]; b_exact = true; b_rule = "wall-clock";
+      b_msg = "wall-clock read — virtual time comes from the engine"; b_on = det };
+    { b_path = [ "Unix"; "time" ]; b_exact = true; b_rule = "wall-clock";
+      b_msg = "wall-clock read — virtual time comes from the engine"; b_on = det };
+    { b_path = [ "Sys"; "time" ]; b_exact = true; b_rule = "wall-clock";
+      b_msg = "wall-clock read — virtual time comes from the engine"; b_on = det };
+    { b_path = [ "Sys"; "getenv" ]; b_exact = true; b_rule = "env-read";
+      b_msg = "environment read — configuration must flow through Settings"; b_on = det };
+    { b_path = [ "Sys"; "getenv_opt" ]; b_exact = true; b_rule = "env-read";
+      b_msg = "environment read — configuration must flow through Settings"; b_on = det };
+    { b_path = [ "Hashtbl"; "iter" ]; b_exact = true; b_rule = "hashtbl-order";
+      b_msg = "iterates in hash order — use Det.iter (sorted) or waive a \
+               commutative traversal"; b_on = det };
+    { b_path = [ "Hashtbl"; "fold" ]; b_exact = true; b_rule = "hashtbl-order";
+      b_msg = "folds in hash order — use Det.bindings (sorted) or waive a \
+               commutative fold"; b_on = det };
+    { b_path = [ "List"; "hd" ]; b_exact = true; b_rule = "partial-call";
+      b_msg = "partial List.hd — match on the list explicitly"; b_on = det };
+    { b_path = [ "Option"; "get" ]; b_exact = true; b_rule = "partial-call";
+      b_msg = "partial Option.get — match on the option explicitly"; b_on = det };
+    { b_path = [ "Obj"; "magic" ]; b_exact = true; b_rule = "obj-magic";
+      b_msg = "Obj.magic defeats the type system"; b_on = always };
+    { b_path = [ "Mailbox"; "recv" ]; b_exact = true; b_rule = "untimed-recv";
+      b_msg = "untimed blocking receive — a lost message wedges this loop; use \
+               recv_timeout or waive with the progress argument"; b_on = recv };
+    { b_path = [ "Network"; "recv" ]; b_exact = true; b_rule = "untimed-recv";
+      b_msg = "untimed blocking receive — a lost message wedges this loop; use \
+               recv_timeout or waive with the progress argument"; b_on = recv };
+    (* Whole-module bans: any member use taints determinism. *)
+    { b_path = [ "Unix" ]; b_exact = false; b_rule = "unix-dep";
+      b_msg = "Unix dependency in the deterministic core"; b_on = det };
+    { b_path = [ "Random" ]; b_exact = false; b_rule = "stdlib-random";
+      b_msg = "stdlib Random is seeded global state — use the engine Prng"; b_on = det };
+    { b_path = [ "Domain" ]; b_exact = false; b_rule = "domain-use";
+      b_msg = "Domain primitive — cross-domain state needs an explicit waiver"; b_on = det };
+  ]
+
+let nondet_open_modules = [ "Unix"; "Random"; "Domain" ]
+
+let path_matches ban path =
+  if ban.b_exact then path = ban.b_path
+  else
+    match (ban.b_path, path) with
+    | [ m ], head :: _ :: _ -> m = head
+    | _ -> false
+
+type state = {
+  mutable env : Resolve.env;
+  scope : scope;
+  file : string;
+  mutable acc : Finding.t list;
+}
+
+let report st ~line ~rule ?symbol msg =
+  st.acc <- Finding.v ?symbol ~file:st.file ~line ~rule msg :: st.acc
+
+let check_ident st loc lid =
+  let cands = Resolve.candidates st.env lid in
+  let hit exact =
+    List.find_map
+      (fun ban ->
+        if ban.b_exact = exact && ban.b_on st.scope then
+          List.find_map
+            (fun path -> if path_matches ban path then Some (ban, path) else None)
+            cands
+        else None)
+      bans
+  in
+  match (match hit true with Some h -> Some h | None -> hit false) with
+  | Some (ban, path) ->
+      let symbol = String.concat "." path in
+      report st ~line:(Ast_io.line_of loc) ~rule:ban.b_rule ~symbol
+        (Printf.sprintf "%s: %s" symbol ban.b_msg)
+  | None -> ()
+
+let check_open st loc path =
+  if st.scope.det then
+    match Resolve.resolve_path st.env path with
+    | m :: _ when List.mem m nondet_open_modules ->
+        report st ~line:(Ast_io.line_of loc) ~rule:"open-nondet" ~symbol:m
+          (Printf.sprintf
+             "open %s brings nondeterministic primitives into scope unqualified"
+             m)
+    | _ -> ()
+
+let is_string_constant e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string _) -> true
+  | Pexp_constraint ({ pexp_desc = Pexp_constant (Pconst_string _); _ }, _) ->
+      true
+  | _ -> false
+
+let check_failwith st e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = lid; _ }; _ }, (_, arg) :: _)
+    when List.mem [ "failwith" ] (Resolve.candidates st.env lid)
+         && is_string_constant arg ->
+      report st ~line:(Ast_io.line_of e.pexp_loc) ~rule:"naked-failwith"
+        ~symbol:"failwith"
+        "failwith on a bare string literal — format a contextual message"
+  | _ -> ()
+
+let iterator st =
+  let open Ast_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt = lid; loc } -> check_ident st loc lid
+    | _ -> ());
+    check_failwith st e;
+    match e.pexp_desc with
+    | Pexp_open (od, body) ->
+        let saved = st.env in
+        (match od.popen_expr.pmod_desc with
+        | Pmod_ident { txt = lid; loc } ->
+            let path = Resolve.flatten lid in
+            check_open st loc path;
+            st.env <- Resolve.add_open st.env path
+        | _ -> ());
+        default_iterator.module_expr it od.popen_expr;
+        it.expr it body;
+        st.env <- saved
+    | Pexp_letmodule (name, { pmod_desc = Pmod_ident { txt = lid; _ }; _ }, body)
+      ->
+        let saved = st.env in
+        (match name.txt with
+        | Some n -> st.env <- Resolve.add_alias st.env n (Resolve.flatten lid)
+        | None -> ());
+        it.expr it body;
+        st.env <- saved
+    | _ -> default_iterator.expr it e
+  in
+  (* Structures delimit open/alias scopes; items inside one extend the
+     environment sequentially for the items after them. *)
+  let structure it str =
+    let saved = st.env in
+    List.iter
+      (fun item ->
+        it.structure_item it item;
+        match item.pstr_desc with
+        | Pstr_open od -> (
+            match od.popen_expr.pmod_desc with
+            | Pmod_ident { txt = lid; loc } ->
+                let path = Resolve.flatten lid in
+                check_open st loc path;
+                st.env <- Resolve.add_open st.env path
+            | _ -> ())
+        | Pstr_module
+            { pmb_name; pmb_expr = { pmod_desc = Pmod_ident { txt = lid; _ }; _ }; _ }
+          -> (
+            match pmb_name.txt with
+            | Some n -> st.env <- Resolve.add_alias st.env n (Resolve.flatten lid)
+            | None -> ())
+        | _ -> ())
+      str;
+    st.env <- saved
+  in
+  { default_iterator with expr; structure }
+
+(* Call/identifier rules over one implementation file. Interfaces
+   contain no expressions, so the pass has nothing to say about them —
+   which is precisely why doc-comment mentions of banned names in
+   [.mli] files (the regex scanner's false-positive class) are
+   structurally impossible here. *)
+let run ~file ~scope ast =
+  match ast with
+  | Ast_io.Intf _ -> []
+  | Ast_io.Impl str ->
+      let st = { env = Resolve.empty; scope; file; acc = [] } in
+      let it = iterator st in
+      it.Ast_iterator.structure it str;
+      List.rev st.acc

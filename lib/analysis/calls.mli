@@ -1,0 +1,16 @@
+(** Call- and identifier-level rules, resolved through opens and
+    module aliases.
+
+    Rules and their scopes:
+    - [wall-clock], [env-read], [unix-dep], [stdlib-random],
+      [domain-use], [hashtbl-order], [partial-call], [open-nondet]:
+      only when [scope.det] (the deterministic core, [lib/]);
+    - [untimed-recv] ([Mailbox.recv]/[Network.recv] without a
+      timeout): only when [scope.recv] (the protocol layer,
+      [lib/tm2c]);
+    - [obj-magic] and [naked-failwith]: everywhere the analyzer
+      walks, including [bench/] and [bin/]. *)
+
+type scope = { det : bool; recv : bool }
+
+val run : file:string -> scope:scope -> Ast_io.ast -> Finding.t list

@@ -1,0 +1,111 @@
+open Parsetree
+
+(* Constructor names of [Event.t], from the parsed interface: the
+   first type declaration named [t] with a variant kind. *)
+let event_constructors ast =
+  match ast with
+  | Ast_io.Impl _ -> Error "event interface expected, got an implementation"
+  | Ast_io.Intf sg ->
+      let found = ref None in
+      List.iter
+        (fun item ->
+          match item.psig_desc with
+          | Psig_type (_, tds) ->
+              List.iter
+                (fun td ->
+                  if td.ptype_name.txt = "t" && !found = None then
+                    match td.ptype_kind with
+                    | Ptype_variant cds ->
+                        found :=
+                          Some (List.map (fun cd -> cd.pcd_name.txt) cds)
+                    | _ -> ())
+                tds
+          | _ -> ())
+        sg;
+      (match !found with
+      | Some ctors when List.length ctors >= 10 -> Ok ctors
+      | Some ctors ->
+          Error
+            (Printf.sprintf
+               "only %d constructors parsed for Event.t — the exhaustiveness \
+                rule lost its anchor"
+               (List.length ctors))
+      | None -> Error "no variant type t found in event interface")
+
+(* Head constructors of one case pattern: unwrap or/alias/constraint/
+   open wrappers but do NOT descend into constructor payloads — a
+   nested [Some (_, Event.Service _)] in an option match must not make
+   that match an Event dispatch. *)
+let rec heads p =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt = lid; _ }, _) -> [ Resolve.last lid ]
+  | Ppat_or (a, b) -> heads a @ heads b
+  | Ppat_alias (inner, _) | Ppat_constraint (inner, _) -> heads inner
+  | Ppat_open (_, inner) -> heads inner
+  | _ -> []
+
+let rec is_catch_all p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (inner, _) | Ppat_constraint (inner, _) -> is_catch_all inner
+  | Ppat_or (a, b) -> is_catch_all a || is_catch_all b
+  | _ -> false
+
+module S = Set.Make (String)
+
+(* An exporter file must dispatch on the full event vocabulary: every
+   match that mentions any Event constructor at case-head position
+   must mention them all, and must not hide behind a catch-all. *)
+let check_file ~file ~ctors ast =
+  match ast with
+  | Ast_io.Intf _ -> []
+  | Ast_io.Impl str ->
+      let ctor_set = S.of_list ctors in
+      let findings = ref [] in
+      let check_cases loc cases =
+        let mentioned = ref S.empty in
+        let wild = ref false in
+        List.iter
+          (fun case ->
+            List.iter
+              (fun h ->
+                if S.mem h ctor_set then mentioned := S.add h !mentioned)
+              (heads case.pc_lhs);
+            if is_catch_all case.pc_lhs then wild := true)
+          cases;
+        if not (S.is_empty !mentioned) then begin
+          let line = Ast_io.line_of loc in
+          if !wild then
+            findings :=
+              Finding.v ~file ~line ~rule:"exporter-wildcard"
+                "event dispatch hides behind a catch-all case — a new Event \
+                 constructor would silently vanish from this output format"
+              :: !findings;
+          let missing = S.diff ctor_set !mentioned in
+          if not (S.is_empty missing) then
+            S.iter
+              (fun c ->
+                findings :=
+                  Finding.v ~file ~line ~rule:"exporter-exhaustive" ~symbol:c
+                    (Printf.sprintf
+                       "event dispatch does not handle Event.%s — every \
+                        constructor must reach every output format"
+                       c)
+                  :: !findings)
+              missing
+        end
+      in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              (match e.pexp_desc with
+              | Pexp_match (_, cases) -> check_cases e.pexp_loc cases
+              | Pexp_function cases -> check_cases e.pexp_loc cases
+              | _ -> ());
+              Ast_iterator.default_iterator.expr it e);
+        }
+      in
+      it.Ast_iterator.structure it str;
+      List.rev !findings

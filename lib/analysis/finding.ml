@@ -1,0 +1,54 @@
+type t = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+  symbol : string option;
+  mutable waived : bool;
+  mutable justification : string option;
+}
+
+let v ?symbol ~file ~line ~rule message =
+  { file; line; rule; message; symbol; waived = false; justification = None }
+
+let order a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.rule b.rule in
+      if c <> 0 then c else compare a.message b.message
+
+let to_string f = Printf.sprintf "%s:%d: %s: %s" f.file f.line f.rule f.message
+
+let active fs = List.filter (fun f -> not f.waived) fs
+
+(* Minimal JSON string escaping (the repo's exports are hand-written
+   JSON throughout; findings carry no exotic characters but file paths
+   and messages must still round-trip). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"message\":\"%s\",\"waived\":%b%s}"
+    (json_escape f.file) f.line (json_escape f.rule) (json_escape f.message)
+    f.waived
+    (match f.justification with
+    | Some j -> Printf.sprintf ",\"justification\":\"%s\"" (json_escape j)
+    | None -> "")

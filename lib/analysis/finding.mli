@@ -1,0 +1,33 @@
+(** A single lint finding: one rule violation anchored to a source
+    location. Waiver application mutates [waived]/[justification] in
+    place so a report can show suppressed findings alongside active
+    ones (the JSON export carries both). *)
+
+type t = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+  symbol : string option;
+      (** binding or value name the finding is about, when the rule is
+          symbol-addressable (used by symbol-scoped waivers) *)
+  mutable waived : bool;
+  mutable justification : string option;
+}
+
+val v : ?symbol:string -> file:string -> line:int -> rule:string -> string -> t
+
+(** Total order: file, then line, then rule, then message — the report
+    order, independent of discovery order. *)
+val order : t -> t -> int
+
+(** [file:line: rule: message] — the form the alcotest suite asserts
+    against and CI greps. *)
+val to_string : t -> string
+
+(** Findings not suppressed by a waiver. *)
+val active : t list -> t list
+
+val json_escape : string -> string
+
+val to_json : t -> string

@@ -1,0 +1,216 @@
+open Parsetree
+
+type entry = {
+  e_file : string;
+  e_line : int;
+  e_name : string;
+  e_kind : string;
+  mutable e_status : string; (* "violation" | "allowlisted" | "const-table" *)
+  mutable e_note : string option;
+}
+
+(* Creator heads whose application at module-initialization time
+   yields shared mutable storage. *)
+let creators =
+  [
+    ([ "ref" ], "ref");
+    ([ "Array"; "make" ], "array");
+    ([ "Array"; "create_float" ], "array");
+    ([ "Array"; "init" ], "array");
+    ([ "Array"; "of_list" ], "array");
+    ([ "Hashtbl"; "create" ], "hashtbl");
+    ([ "Queue"; "create" ], "queue");
+    ([ "Stack"; "create" ], "stack");
+    ([ "Buffer"; "create" ], "buffer");
+    ([ "Bytes"; "create" ], "bytes");
+    ([ "Bytes"; "make" ], "bytes");
+    ([ "Bytes"; "of_string" ], "bytes");
+    ([ "Atomic"; "make" ], "atomic");
+    ([ "Domain"; "DLS"; "new_key" ], "dls-key");
+  ]
+
+let creator_kind path =
+  List.assoc_opt (Resolve.strip_stdlib path) creators
+
+(* Record types declared in the file: (field-name set, has a mutable
+   field). A toplevel record literal is matched against whole
+   declarations — not a pooled mutable-field-name set — so two types
+   sharing a field name (an immutable [plan.crashes] next to a mutable
+   [counters.crashes]) cannot cross-contaminate. *)
+let record_decls str =
+  let decls = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration =
+        (fun it td ->
+          (match td.ptype_kind with
+          | Ptype_record lds ->
+              let names = List.map (fun ld -> ld.pld_name.txt) lds in
+              let mut =
+                List.exists (fun ld -> ld.pld_mutable = Asttypes.Mutable) lds
+              in
+              decls := (names, mut) :: !decls
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration it td);
+    }
+  in
+  it.Ast_iterator.structure it str;
+  !decls
+
+let rec constant_expr e =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct (_, None) -> true
+  | Pexp_construct (_, Some arg) -> constant_expr arg
+  | Pexp_tuple es -> List.for_all constant_expr es
+  | _ -> false
+
+(* The strongest mutable-state kind reachable in [e] without crossing
+   into a function body (state created inside a [fun] is per-call, not
+   global — but a closure over a table created *outside* the [fun] is
+   global state and is found here). *)
+let find_creator ~decls e =
+  let found = ref None in
+  let note k = match !found with None -> found := Some k | Some _ -> () in
+  let rec walk e =
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ -> ()
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt = lid; _ }; _ }, args) ->
+        (match creator_kind (Resolve.flatten lid) with
+        | Some k -> note k
+        | None -> ());
+        List.iter (fun (_, a) -> walk a) args
+    | Pexp_array [] -> ()
+    | Pexp_array es ->
+        if List.for_all constant_expr es then note "const-table"
+        else note "array-literal";
+        List.iter walk es
+    | Pexp_record (fields, base) ->
+        let names =
+          List.map (fun ({ Location.txt = lid; _ }, _) -> Resolve.last lid) fields
+        in
+        (* Declarations this literal could instantiate: every written
+           field must exist in the declaration (a [{ x with ... }]
+           literal lists only the overridden fields, so subset, not
+           equality). With no candidate declaration in this file (the
+           type lives elsewhere), fall back to any-mutable-field-name
+           overlap. *)
+        let candidates =
+          List.filter
+            (fun (decl_fields, _) ->
+              List.for_all (fun n -> List.mem n decl_fields) names)
+            decls
+        in
+        (match candidates with
+        | [] ->
+            if
+              List.exists
+                (fun n ->
+                  List.exists (fun (fs, mut) -> mut && List.mem n fs) decls)
+                names
+            then note "mutable-record"
+        | cs -> if List.for_all snd cs then note "mutable-record");
+        List.iter (fun (_, v) -> walk v) fields;
+        Option.iter walk base
+    | _ ->
+        (* Generic one-level descent: the default iterator calls our
+           collector on each direct sub-expression, which recurses via
+           [walk] (so function bodies stay excluded). *)
+        let sub = ref [] in
+        let collect =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ child -> sub := child :: !sub);
+          }
+        in
+        Ast_iterator.default_iterator.expr collect e;
+        List.iter walk (List.rev !sub)
+  in
+  walk e;
+  !found
+
+let binding_name p =
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> Some txt
+    | Ppat_constraint (inner, _) -> go inner
+    | Ppat_alias (_, { txt; _ }) -> Some txt
+    | _ -> None
+  in
+  go p
+
+(* Module-toplevel mutable bindings of one implementation file,
+   including bindings inside nested (non-functor) modules — those are
+   still program-lifetime shared state. *)
+let run ~file ast =
+  match ast with
+  | Ast_io.Intf _ -> []
+  | Ast_io.Impl str ->
+      let decls = record_decls str in
+      let entries = ref [] in
+      let rec scan_structure items = List.iter scan_item items
+      and scan_item item =
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match find_creator ~decls vb.pvb_expr with
+                | Some kind ->
+                    let name =
+                      match binding_name vb.pvb_pat with
+                      | Some n -> n
+                      | None -> "_"
+                    in
+                    entries :=
+                      {
+                        e_file = file;
+                        e_line = Ast_io.line_of vb.pvb_loc;
+                        e_name = name;
+                        e_kind = kind;
+                        e_status =
+                          (if kind = "const-table" then "const-table"
+                           else "violation");
+                        e_note = None;
+                      }
+                      :: !entries
+                | None -> ())
+              vbs
+        | Pstr_module { pmb_expr; _ } -> scan_module_expr pmb_expr
+        | Pstr_recmodule mbs ->
+            List.iter (fun mb -> scan_module_expr mb.pmb_expr) mbs
+        | _ -> ()
+      and scan_module_expr me =
+        match me.pmod_desc with
+        | Pmod_structure str -> scan_structure str
+        | Pmod_constraint (me, _) -> scan_module_expr me
+        | _ -> ()
+      in
+      scan_structure str;
+      List.rev !entries
+
+let to_findings entries =
+  List.filter_map
+    (fun e ->
+      if e.e_status = "const-table" then None
+      else
+        Some
+          (Finding.v ~symbol:e.e_name ~file:e.e_file ~line:e.e_line
+             ~rule:"global-mutable"
+             (Printf.sprintf
+                "module-toplevel mutable binding `%s` (%s) — shared across \
+                 domains; refactor into per-run state or allowlist with a \
+                 justification"
+                e.e_name e.e_kind)))
+    entries
+
+let entry_to_json e =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"name\":\"%s\",\"kind\":\"%s\",\"status\":\"%s\"%s}"
+    (Finding.json_escape e.e_file) e.e_line
+    (Finding.json_escape e.e_name)
+    (Finding.json_escape e.e_kind)
+    (Finding.json_escape e.e_status)
+    (match e.e_note with
+    | Some n -> Printf.sprintf ",\"justification\":\"%s\"" (Finding.json_escape n)
+    | None -> "")

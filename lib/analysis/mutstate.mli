@@ -1,0 +1,34 @@
+(** Domain-safety inventory: module-toplevel mutable state.
+
+    Detects bindings whose initializer allocates shared mutable
+    storage ([ref], arrays, [Hashtbl]/[Queue]/[Stack]/[Buffer]/
+    [Bytes]/[Atomic] at init, [Domain.DLS] keys, records with fields
+    declared [mutable] in the same file) — including state captured by
+    a toplevel closure ([let f = let t = Hashtbl.create 4 in fun ...]).
+    Creators inside a function body are per-call state and are not
+    reported. This inventory is the precondition for running (seed,
+    config) sweep cells on parallel OCaml 5 domains: every entry is
+    state those domains would share.
+
+    Arrays whose elements are all literal constants are classed
+    ["const-table"] (lookup tables, read-only by convention): they
+    appear in the inventory but raise no finding. Everything else is a
+    ["violation"] until a [global-mutable] waiver allowlists it, which
+    flips the status to ["allowlisted"]. *)
+
+type entry = {
+  e_file : string;
+  e_line : int;
+  e_name : string;
+  e_kind : string;
+  mutable e_status : string;
+  mutable e_note : string option;
+}
+
+val run : file:string -> Ast_io.ast -> entry list
+
+(** One [global-mutable] finding per non-const entry (symbol = binding
+    name, so waivers can target individual bindings). *)
+val to_findings : entry list -> Finding.t list
+
+val entry_to_json : entry -> string

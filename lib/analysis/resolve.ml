@@ -1,0 +1,46 @@
+type env = {
+  aliases : (string * string list) list;
+  opens : string list list;
+}
+
+let empty = { aliases = []; opens = [] }
+
+(* [Lapply] (functor application paths) cannot name any of the banned
+   primitives; collapse to the empty path, which matches nothing. *)
+let flatten lid =
+  let rec go acc = function
+    | Longident.Lident s -> s :: acc
+    | Longident.Ldot (p, s) -> go (s :: acc) p
+    | Longident.Lapply _ -> raise Exit
+  in
+  try go [] lid with Exit -> []
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | p -> p
+
+(* Substitute the head module through the alias table (aliases are
+   stored fully resolved, so one step suffices), then normalize away
+   an explicit [Stdlib.] prefix. *)
+let resolve_path env path =
+  let path = strip_stdlib path in
+  match path with
+  | [] -> []
+  | m :: rest -> (
+      match List.assoc_opt m env.aliases with
+      | Some target -> strip_stdlib (target @ rest)
+      | None -> path)
+
+(* Every path the identifier might denote. A qualified ident has one
+   reading; a bare ident might be local (the bare path, matching
+   nothing banned) or come from any [open] in scope. *)
+let candidates env lid =
+  match flatten lid with
+  | [] -> []
+  | [ x ] -> [ x ] :: List.map (fun o -> o @ [ x ]) env.opens
+  | path -> [ resolve_path env path ]
+
+let add_open env path = { env with opens = resolve_path env path :: env.opens }
+
+let add_alias env name path =
+  { env with aliases = (name, resolve_path env path) :: env.aliases }
+
+let last lid = match flatten lid with [] -> "" | p -> List.nth p (List.length p - 1)

@@ -1,0 +1,35 @@
+(** Scope-aware identifier resolution.
+
+    Tracks [open]ed modules and [module X = Path] aliases so a rule
+    asking "does this identifier denote [Unix.gettimeofday]?" sees
+    through [let open Unix in gettimeofday ()] and
+    [module U = Unix ... U.gettimeofday ()] — the false-negative
+    classes of the regex scanner. Resolution is purely syntactic
+    (no typing): shadowing a banned module with a local one
+    ([module Random = Prng]) correctly un-bans the name, while a
+    locally defined value that happens to collide with an [open]ed
+    banned member may over-report — waivers cover that case. *)
+
+type env
+
+val empty : env
+
+(** Longident to path segments; functor applications flatten to []. *)
+val flatten : Longident.t -> string list
+
+(** All paths the identifier might denote under [env]: one reading for
+    a qualified ident (alias-substituted, [Stdlib.]-normalized), and
+    the bare reading plus one per open in scope for a bare ident. *)
+val candidates : env -> Longident.t -> string list list
+
+val resolve_path : env -> string list -> string list
+
+(** Drop a leading [Stdlib] segment. *)
+val strip_stdlib : string list -> string list
+
+val add_open : env -> string list -> env
+
+val add_alias : env -> string -> string list -> env
+
+(** Final segment of a longident (the constructor/value name). *)
+val last : Longident.t -> string

@@ -1,0 +1,52 @@
+type t = {
+  w_file : string;
+  w_rule : string;
+  w_symbol : string option;
+  w_note : string;
+}
+
+let v ?symbol ~file ~rule note =
+  { w_file = file; w_rule = rule; w_symbol = symbol; w_note = note }
+
+let suffix_match ~suffix s =
+  let ls = String.length suffix and n = String.length s in
+  ls <= n && String.sub s (n - ls) ls = suffix
+
+let matches w (f : Finding.t) =
+  f.Finding.rule = w.w_rule
+  && suffix_match ~suffix:w.w_file f.Finding.file
+  && (match (w.w_symbol, f.Finding.symbol) with
+     | Some s, Some s' -> s = s'
+     | Some _, None -> false
+     | None, _ -> true)
+
+let apply ws findings =
+  List.iter
+    (fun f ->
+      match List.find_opt (fun w -> matches w f) ws with
+      | Some w ->
+          f.Finding.waived <- true;
+          f.Finding.justification <- Some w.w_note
+      | None -> ())
+    findings
+
+(* A waiver that suppresses nothing is rot: the code it excused has
+   been fixed or moved, and keeping it around would silently excuse a
+   future regression. Stale waivers are findings themselves. *)
+let stale ws findings =
+  List.filter_map
+    (fun w ->
+      if List.exists (fun f -> matches w f) findings then None
+      else
+        Some
+          (Finding.v ~file:w.w_file ~line:0 ~rule:"stale-waiver"
+             ?symbol:w.w_symbol
+             (Printf.sprintf
+                "waiver for rule %s%s no longer matches any finding — delete \
+                 it (justification was: %s)"
+                w.w_rule
+                (match w.w_symbol with
+                | Some s -> Printf.sprintf " on `%s`" s
+                | None -> "")
+                w.w_note)))
+    ws

@@ -1,0 +1,27 @@
+(** File-scoped, justification-carrying waivers.
+
+    A waiver names a rule, a file (suffix match, so the same table
+    works from the repo root and from dune's sandbox), optionally a
+    symbol (binding name, resolved path, or constructor), and a
+    mandatory human justification — the justification travels into
+    reports and the JSON export, so suppression is never silent. *)
+
+type t = {
+  w_file : string;
+  w_rule : string;
+  w_symbol : string option;
+  w_note : string;
+}
+
+val v : ?symbol:string -> file:string -> rule:string -> string -> t
+
+(** Mark matching findings waived (in place), attaching the
+    justification. First matching waiver wins. *)
+val apply : t list -> Finding.t list -> unit
+
+(** One [stale-waiver] finding per waiver that matched nothing — the
+    waiver list cannot rot. Call after {!apply}, passing every raw
+    finding (waived or not). *)
+val stale : t list -> Finding.t list -> Finding.t list
+
+val matches : t -> Finding.t -> bool

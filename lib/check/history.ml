@@ -204,7 +204,7 @@ let build events =
           ())
     events;
   (* Attempts still open: close in place as Unfinished. *)
-  Hashtbl.iter
+  Tm2c_engine.Det.iter
     (fun _ a ->
       a.a_outcome <- Unfinished;
       a.a_reads <- List.rev a.a_reads;

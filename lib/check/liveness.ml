@@ -83,7 +83,7 @@ let analyze ~budget ?(stuck_after_ns = infinity) ?(crashed = [])
       if ch.ch_len >= budget then violations := ch :: !violations
     end
   in
-  Hashtbl.iter
+  Tm2c_engine.Det.iter
     (fun core attempts_rev ->
       let attempts = List.rev !attempts_rev in
       let run = ref None in

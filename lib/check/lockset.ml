@@ -116,12 +116,15 @@ let analyze events =
   in
   let drop_core_locks core =
     let held_r =
-      Hashtbl.fold (fun a cs acc -> if List.mem core cs then a :: acc else acc)
+      Tm2c_engine.Det.fold
+        (fun a cs acc -> if List.mem core cs then a :: acc else acc)
         rlocks []
     in
     List.iter (fun a -> drop_reader a core) held_r;
     let held_w =
-      Hashtbl.fold (fun a c acc -> if c = core then a :: acc else acc) wlocks []
+      Tm2c_engine.Det.fold
+        (fun a c acc -> if c = core then a :: acc else acc)
+        wlocks []
     in
     List.iter (fun a -> Hashtbl.remove wlocks a) held_w
   in

@@ -63,34 +63,40 @@ let pub_key (a : History.attempt) =
 exception Found_cycle of int list
 
 (* Iterative three-color DFS; a gray successor closes a cycle, which
-   we read back off the parent chain. *)
+   we read back off the parent chain. The explicit stack is threaded
+   through a tail-recursive driver so every pop is a total match. *)
 let find_cycle n succ =
   let state = Array.make n 0 and parent = Array.make n (-1) in
   try
     for s = 0 to n - 1 do
       if state.(s) = 0 then begin
         state.(s) <- 1;
-        let stack = ref [ (s, ref (succ s)) ] in
-        while !stack <> [] do
-          let u, rest = List.hd !stack in
-          match !rest with
-          | [] ->
-              state.(u) <- 2;
-              stack := List.tl !stack
-          | v :: tl ->
-              rest := tl;
-              if state.(v) = 0 then begin
-                state.(v) <- 1;
-                parent.(v) <- u;
-                stack := (v, ref (succ v)) :: !stack
-              end
-              else if state.(v) = 1 then begin
-                let rec walk acc x =
-                  if x = v then v :: acc else walk (x :: acc) parent.(x)
-                in
-                raise (Found_cycle (walk [] u))
-              end
-        done
+        let rec drive stack =
+          match stack with
+          | [] -> ()
+          | (u, rest) :: below -> (
+              match !rest with
+              | [] ->
+                  state.(u) <- 2;
+                  drive below
+              | v :: tl ->
+                  rest := tl;
+                  if state.(v) = 0 then begin
+                    state.(v) <- 1;
+                    parent.(v) <- u;
+                    drive ((v, ref (succ v)) :: stack)
+                  end
+                  else begin
+                    if state.(v) = 1 then begin
+                      let rec walk acc x =
+                        if x = v then v :: acc else walk (x :: acc) parent.(x)
+                      in
+                      raise (Found_cycle (walk [] u))
+                    end;
+                    drive stack
+                  end)
+        in
+        drive [ (s, ref (succ s)) ]
       end
     done;
     None
@@ -126,7 +132,7 @@ let analyze (h : History.t) =
     (fun (seq, addr, value) ->
       push addr { v_writer = None; v_value = Some value; v_pub_seq = seq })
     h.History.host_writes;
-  Hashtbl.iter
+  Tm2c_engine.Det.iter
     (fun addr vs ->
       let sorted =
         List.sort (fun a b -> compare a.v_pub_seq b.v_pub_seq) (bottom () :: vs)
@@ -158,8 +164,9 @@ let analyze (h : History.t) =
     go j
   in
   (* WW edges: the installed version order per address, linking each
-     transactional writer to the next one. *)
-  Hashtbl.iter
+     transactional writer to the next one. Sorted traversal keeps the
+     first-witness edge details stable across runs. *)
+  Tm2c_engine.Det.iter
     (fun addr vs ->
       for j = 0 to Array.length vs - 2 do
         match vs.(j).v_writer with
@@ -246,7 +253,7 @@ let analyze (h : History.t) =
           a.History.a_reads)
     txns;
   let succs = Array.make (max n 1) [] in
-  Hashtbl.iter (fun (f, t) _ -> succs.(f) <- t :: succs.(f)) edges;
+  Tm2c_engine.Det.iter (fun (f, t) _ -> succs.(f) <- t :: succs.(f)) edges;
   (* Deterministic traversal order for a stable witness. *)
   Array.iteri (fun i l -> succs.(i) <- List.sort_uniq compare l) succs;
   let cycle =

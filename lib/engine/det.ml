@@ -1,0 +1,9 @@
+let bindings t =
+  let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+
+let keys t = List.map fst (bindings t)
+let iter f t = List.iter (fun (k, v) -> f k v) (bindings t)
+
+let fold f t init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (bindings t)

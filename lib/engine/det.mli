@@ -1,0 +1,25 @@
+(** Deterministic views over [Hashtbl] contents.
+
+    [Hashtbl.iter]/[Hashtbl.fold] enumerate buckets in hash order,
+    which depends on insertion history and the hash function — any
+    observable output derived from such a traversal is a determinism
+    hazard. These wrappers snapshot the table and sort by key
+    (polymorphic compare) before exposing any order, making them safe
+    to use in exporters, checkers and logs. tm2c-lint's
+    [hashtbl-order] rule points here.
+
+    Cost is O(n log n) per call: fine for reporting and invariant
+    checks, not for per-event hot paths (which should not be
+    enumerating tables anyway). *)
+
+val bindings : ('a, 'b) Hashtbl.t -> ('a * 'b) list
+(** All bindings, sorted by key ascending. *)
+
+val keys : ('a, 'b) Hashtbl.t -> 'a list
+(** All keys, sorted ascending. *)
+
+val iter : ('a -> 'b -> unit) -> ('a, 'b) Hashtbl.t -> unit
+(** [iter f t] applies [f] to every binding in ascending key order. *)
+
+val fold : ('a -> 'b -> 'acc -> 'acc) -> ('a, 'b) Hashtbl.t -> 'acc -> 'acc
+(** [fold f t init] folds over bindings in ascending key order. *)

@@ -27,7 +27,7 @@ type t = {
   mutable pool_top : int;
   mutable ports : (int -> unit) array;
   mutable n_ports : int;
-  mutable self_opt : t option; (* preallocated [Some t] for [current] *)
+  mutable self_opt : t option; (* preallocated [Some t] for [current_key] *)
   mutable pending_delay : float; (* absolute wake-up of the delay in flight *)
   mutable delay_eff : unit Effect.t; (* preallocated [Delay t] *)
   mutable delay_handler : ((unit, unit) continuation -> unit) option;
@@ -163,11 +163,14 @@ let create () =
   t
 
 (* Ambient simulation for the currently executing process, so that
-   [delay]/[suspend] need no explicit handle at every call site. *)
-let current : t option ref = ref None
+   [delay]/[suspend] need no explicit handle at every call site.
+   Domain-local (not a plain ref): each domain gets its own slot, so
+   parallel sweep cells running one simulation per domain cannot
+   observe each other's ambient sim. *)
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let delay d =
-  match !current with
+  match Domain.DLS.get current_key with
   | Some t ->
       let d = if d < 0.0 then 0.0 else d in
       let target = t.now +. d in
@@ -191,14 +194,14 @@ let delay d =
   | None -> invalid_arg "Sim.delay: not inside a simulation process"
 
 let suspend register =
-  match !current with
+  match Domain.DLS.get current_key with
   | Some t -> perform (Suspend (t, register))
   | None -> invalid_arg "Sim.suspend: not inside a simulation process"
 
 let exec t body =
   match_with
     (fun () ->
-      current := t.self_opt;
+      Domain.DLS.set current_key t.self_opt;
       body ())
     ()
     {
@@ -232,7 +235,7 @@ let exec t body =
                         invalid_arg "Sim.suspend: resume called twice";
                       resumed := true;
                       schedule t ~at:t.now (fun () ->
-                          current := t.self_opt;
+                          Domain.DLS.set current_key t.self_opt;
                           continue k v)))
           | _ -> None);
     }
@@ -256,7 +259,7 @@ let run_plain t until processed =
           match c.k with
           | Some k ->
               release_cell t c;
-              current := t.self_opt;
+              Domain.DLS.set current_key t.self_opt;
               continue k ()
           | None -> assert false
         end
@@ -311,7 +314,7 @@ let run_profiled t clk until processed =
            match c.k with
            | Some k ->
                release_cell t c;
-               current := t.self_opt;
+               Domain.DLS.set current_key t.self_opt;
                continue k ()
            | None -> assert false
          end
@@ -348,7 +351,7 @@ let run t ?until () =
   | Some clk -> run_profiled t clk until processed);
   t.horizon <- infinity;
   t.running <- false;
-  current := None;
+  Domain.DLS.set current_key None;
   !processed
 
 (* [Some clock] switches {!run} to the instrumented loop; [None]

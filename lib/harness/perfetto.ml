@@ -69,7 +69,18 @@ let export ?(app = [||]) ?(dtm = [||]) trace =
           Hashtbl.replace sent (flow_id ~requester:core ~req_id) ()
       | Event.Service { requester; req_id; _ } when req_id > 0 ->
           Hashtbl.replace picked (flow_id ~requester ~req_id) ()
-      | _ -> ());
+      (* Every remaining constructor carries no flow-arrow pairing
+         information. Enumerated rather than wildcarded so a new Event
+         constructor forces an explicit decision in this pass too. *)
+      | Event.Req_sent _ | Event.Service _ | Event.Tx_start _ | Event.Tx_read _
+      | Event.Tx_write _ | Event.Tx_commit_begin _ | Event.Host_write _
+      | Event.Rlock_released _ | Event.Wlock_granted _ | Event.Tx_publish _
+      | Event.Tx_committed _ | Event.Tx_aborted _ | Event.Lock_conflict _
+      | Event.Enemy_aborted _ | Event.Service_done _ | Event.Barrier _
+      | Event.Msg_dropped _ | Event.Msg_duplicated _ | Event.Req_resent _
+      | Event.Core_crashed _ | Event.Lease_reclaimed _ | Event.Server_crashed _
+      | Event.Epoch_bumped _ | Event.Replica_applied _ | Event.Failover_done _
+      | Event.Stale_epoch_rejected _ -> ());
   let paired id = Hashtbl.mem sent id && Hashtbl.mem picked id in
   (* Pass 2: build (ts, event) pairs; attempt and service slices close
      at their end event and carry the begin timestamp. *)
@@ -345,8 +356,7 @@ let export ?(app = [||]) ?(dtm = [||]) trace =
         ("name", str "process_name");
         ("args", Json.Obj [ ("name", str "tm2c-sim") ]);
       ]
-    :: (Hashtbl.fold (fun tid () acc -> tid :: acc) tracks []
-       |> List.sort compare
+    :: (Tm2c_engine.Det.keys tracks
        |> List.map (fun tid -> thread_meta ~tid ~name:(role tid)))
   in
   Json.Obj
@@ -420,14 +430,14 @@ let validate v =
   in
   let* () = all 0 events in
   let* () =
-    Hashtbl.fold
+    Tm2c_engine.Det.fold
       (fun id n acc ->
         let* () = acc in
         if Hashtbl.find_opt flow_f id = Some n then Ok ()
         else Error (Printf.sprintf "flow %d: %d start(s) without matching finish" id n))
       flow_s (Ok ())
   in
-  Hashtbl.fold
+  Tm2c_engine.Det.fold
     (fun id n acc ->
       let* () = acc in
       if Hashtbl.mem flow_s id then Ok ()

@@ -60,12 +60,12 @@ let revoke_writer t addr =
 
 let readers_excluding e ~core = List.filter (fun r -> r.h_core <> core) e.readers
 
-let iter t f = Hashtbl.iter f t
+let iter t f = Tm2c_engine.Det.iter f t
 
 let n_locked t = Hashtbl.length t
 
 let check_invariants t =
-  Hashtbl.iter
+  Tm2c_engine.Det.iter
     (fun addr e ->
       if e.writer = None && e.readers = [] then
         invalid_arg (Printf.sprintf "Locktable: empty entry retained at %d" addr);

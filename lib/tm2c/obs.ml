@@ -30,17 +30,20 @@ let reset t = Hashtbl.reset t.causality
 
 (* (key, count, last sample address), most frequent first. *)
 let dump t =
-  Hashtbl.fold (fun k c acc -> (k, c.count, c.last_addr) :: acc) t.causality []
+  Tm2c_engine.Det.fold
+    (fun k c acc -> (k, c.count, c.last_addr) :: acc)
+    t.causality []
   |> List.sort (fun (ka, a, _) (kb, b, _) ->
          if a <> b then compare b a else compare ka kb)
 
 let by_conflict t =
   let totals = [ (Raw, ref 0); (Waw, ref 0); (War, ref 0) ] in
-  Hashtbl.iter
+  Tm2c_engine.Det.iter
     (fun k c ->
       let r = List.assoc k.conflict totals in
       r := !r + c.count)
     t.causality;
   List.map (fun (conflict, r) -> (conflict, !r)) totals
 
-let total t = Hashtbl.fold (fun _ c acc -> acc + c.count) t.causality 0
+let total t =
+  Tm2c_engine.Det.fold (fun _ c acc -> acc + c.count) t.causality 0

@@ -1,0 +1,11 @@
+(* Seeded: wall-clock reads laundered through a module alias and a
+   local open. A substring scan for the qualified name sees neither;
+   scope-aware resolution catches both. *)
+
+module U = Unix
+
+let stamp () = U.gettimeofday ()
+
+let stamp_opened () =
+  let open Unix in
+  gettimeofday ()

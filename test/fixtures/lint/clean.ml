@@ -1,0 +1,5 @@
+(* Control: no seeded violations — the analyzer must stay silent. *)
+
+let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+
+let label n = Printf.sprintf "fib(%d)" n

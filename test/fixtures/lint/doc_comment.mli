@@ -1,0 +1,10 @@
+(** Regression fixture: these doc comments name [Sys.time],
+    [Obj.magic] and [Unix.gettimeofday], all of which a line-oriented
+    scanner flags. The AST rules see no expressions in an interface
+    and must report nothing. *)
+
+val elapsed : unit -> float
+(** Not implemented with [Sys.time] or [Unix.gettimeofday]. *)
+
+val cast : 'a -> 'a
+(** No [Obj.magic] involved, promise. *)

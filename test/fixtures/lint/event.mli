@@ -1,0 +1,15 @@
+(* Fixture event vocabulary for the exporter-exhaustiveness rule:
+   eleven constructors, mirroring the shape of the real Event.t. *)
+
+type t =
+  | Tx_start of { core : int }
+  | Tx_read of { core : int; addr : int }
+  | Tx_write of { core : int; addr : int; value : int }
+  | Tx_commit of { core : int }
+  | Tx_abort of { core : int }
+  | Lock_req of { core : int; addr : int }
+  | Lock_grant of { core : int; addr : int }
+  | Lock_release of { core : int; addr : int }
+  | Barrier of { core : int }
+  | Core_crash of { core : int }
+  | Heartbeat of { core : int }

@@ -1,0 +1,9 @@
+(* Seeded: an exporter copy whose dispatch hides behind a catch-all —
+   eight of the eleven fixture constructors never reach the output. *)
+
+let label ev =
+  match ev with
+  | Event.Tx_start _ -> "start"
+  | Event.Tx_commit _ -> "commit"
+  | Event.Tx_abort _ -> "abort"
+  | _ -> "other"

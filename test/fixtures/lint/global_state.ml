@@ -1,0 +1,16 @@
+(* Seeded: module-toplevel mutable state of several detected kinds,
+   plus a constant table that must be inventoried without a finding. *)
+
+let counter = ref 0
+
+let table : (int, string) Hashtbl.t = Hashtbl.create 64
+
+let names = [| "alpha"; "beta"; "gamma" |]
+
+type cell = { mutable hits : int; label : string }
+
+let seed_cell = { hits = 0; label = "seed" }
+
+let bump () = incr counter
+
+let describe () = ignore seed_cell; Array.length names

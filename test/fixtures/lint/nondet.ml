@@ -1,0 +1,14 @@
+(* Seeded: nondeterminism — environment, stdlib Random, hash-order
+   traversal, Domain primitives, and an open that unqualifies them. *)
+
+let mode () = Sys.getenv "TM2C_MODE"
+
+let roll () = Random.int 6
+
+let visit t = Hashtbl.iter (fun _ _ -> ()) t
+
+let whoami () = Domain.self ()
+
+open Random
+
+let roll_unqualified () = int 6

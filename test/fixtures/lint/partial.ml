@@ -1,0 +1,7 @@
+(* Seeded: partiality — crashes that carry no context. *)
+
+let first xs = List.hd xs
+
+let force o = Option.get o
+
+let explode () = failwith "bad"

@@ -1,0 +1,7 @@
+(* Seeded: an untimed blocking receive in a server loop — a lost
+   message wedges it forever. *)
+
+let rec serve box handle =
+  let msg = Mailbox.recv box in
+  handle msg;
+  serve box handle

@@ -17,4 +17,5 @@ let () =
       ("failover", Test_failover.suite);
       ("sketch", Test_sketch.suite);
       ("recorder", Test_recorder.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -1,0 +1,267 @@
+(* tm2c-lint analyzer over the seeded-violation corpus in
+   fixtures/lint/: every rule family is exercised against files whose
+   expected findings are asserted exactly (file:line: rule), the .mli
+   doc-comment regression stays silent, and the retired line-scanner's
+   substring predicate is reproduced inline to prove both of its
+   failure modes — the alias-laundered wall-clock read it misses and
+   the doc-comment mention it falsely flags. *)
+
+open Tm2c_analysis
+
+(* dune runtest runs with cwd test/; dune exec test/main.exe runs from
+   the workspace root. *)
+let fixtures_root =
+  if Sys.file_exists "fixtures/lint" then "fixtures/lint"
+  else Filename.concat "test" "fixtures/lint"
+
+let fx name = Filename.concat fixtures_root name
+
+let sigs fs =
+  List.map
+    (fun (f : Finding.t) ->
+      Printf.sprintf "%s:%d: %s" f.Finding.file f.Finding.line f.Finding.rule)
+    fs
+
+let run_calls ?(det = true) ?(recv = false) file =
+  Calls.run ~file ~scope:{ Calls.det; recv } (Ast_io.parse_file file)
+
+let check_sigs msg expected actual =
+  Alcotest.(check (list string)) msg expected (sigs actual)
+
+(* The predicate the retired bench/lint.ml regex scanner applied:
+   a line mentioning the banned name verbatim, wherever it appears. *)
+let substring_scanner_hits path needle =
+  let ic = open_in path in
+  let contains line =
+    let n = String.length needle and l = String.length line in
+    let rec go i = i + n <= l && (String.sub line i n = needle || go (i + 1)) in
+    go 0
+  in
+  let rec count acc =
+    match input_line ic with
+    | line -> count (if contains line then acc + 1 else acc)
+    | exception End_of_file ->
+        close_in ic;
+        acc
+  in
+  count 0
+
+let test_alias_launder () =
+  let file = fx "alias_launder.ml" in
+  check_sigs "alias-laundered wall-clock reads resolved through scope"
+    [
+      file ^ ":7: wall-clock";
+      file ^ ":10: open-nondet";
+      file ^ ":11: wall-clock";
+    ]
+    (run_calls file);
+  Alcotest.(check int)
+    "the substring scanner sees no verbatim Unix.gettimeofday here" 0
+    (substring_scanner_hits file "Unix.gettimeofday")
+
+let test_doc_comment_regression () =
+  let file = fx "doc_comment.mli" in
+  check_sigs "interface doc comments produce no findings" []
+    (run_calls file);
+  Alcotest.(check bool)
+    "while the substring scanner would falsely flag the doc comment" true
+    (substring_scanner_hits file "Sys.time" > 0
+    && substring_scanner_hits file "Obj.magic" > 0)
+
+let test_partiality () =
+  let file = fx "partial.ml" in
+  check_sigs "List.hd, Option.get and naked failwith all fire"
+    [
+      file ^ ":3: partial-call";
+      file ^ ":5: partial-call";
+      file ^ ":7: naked-failwith";
+    ]
+    (run_calls file)
+
+let test_nondet () =
+  let file = fx "nondet.ml" in
+  check_sigs "env read, Random, hash-order, Domain, and the open"
+    [
+      file ^ ":4: env-read";
+      file ^ ":6: stdlib-random";
+      file ^ ":8: hashtbl-order";
+      file ^ ":10: domain-use";
+      file ^ ":12: open-nondet";
+      file ^ ":14: stdlib-random";
+    ]
+    (run_calls file)
+
+let test_det_scope_off () =
+  (* The same file outside the determinism discipline (bench/bin
+     scope): only the everywhere-rules remain, and nondet.ml has
+     none of those. *)
+  check_sigs "determinism rules stay quiet outside lib scope" []
+    (run_calls ~det:false (fx "nondet.ml"))
+
+let test_untimed_recv () =
+  let file = fx "recv_loop.ml" in
+  check_sigs "untimed blocking receive in recv scope"
+    [ file ^ ":5: untimed-recv" ]
+    (run_calls ~recv:true file);
+  check_sigs "silent outside recv scope" [] (run_calls file)
+
+let test_clean () =
+  check_sigs "control file stays clean" [] (run_calls (fx "clean.ml"))
+
+let test_global_state () =
+  let file = fx "global_state.ml" in
+  let entries = Mutstate.run ~file (Ast_io.parse_file file) in
+  Alcotest.(check (list string))
+    "inventory names, kinds and statuses"
+    [
+      "counter/ref/violation";
+      "table/hashtbl/violation";
+      "names/const-table/const-table";
+      "seed_cell/mutable-record/violation";
+    ]
+    (List.map
+       (fun (e : Mutstate.entry) ->
+         Printf.sprintf "%s/%s/%s" e.Mutstate.e_name e.Mutstate.e_kind
+           e.Mutstate.e_status)
+       entries);
+  check_sigs "const tables raise no finding"
+    [
+      file ^ ":4: global-mutable";
+      file ^ ":6: global-mutable";
+      file ^ ":12: global-mutable";
+    ]
+    (Mutstate.to_findings entries)
+
+let test_exporter_exhaustiveness () =
+  let ctors =
+    match Exhaustive.event_constructors (Ast_io.parse_file (fx "event.mli")) with
+    | Ok cs -> cs
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check int) "fixture vocabulary parsed" 11 (List.length ctors);
+  let file = fx "exporter_copy.ml" in
+  let fs =
+    List.sort Finding.order
+      (Exhaustive.check_file ~file ~ctors (Ast_io.parse_file file))
+  in
+  let missing =
+    List.filter_map
+      (fun (f : Finding.t) ->
+        if f.Finding.rule = "exporter-exhaustive" then f.Finding.symbol else None)
+      fs
+  in
+  Alcotest.(check (list string))
+    "every unhandled constructor is named"
+    [
+      "Barrier";
+      "Core_crash";
+      "Heartbeat";
+      "Lock_grant";
+      "Lock_release";
+      "Lock_req";
+      "Tx_read";
+      "Tx_write";
+    ]
+    (List.sort compare missing);
+  Alcotest.(check bool)
+    "and the catch-all is flagged as a wildcard" true
+    (List.exists
+       (fun (f : Finding.t) ->
+         f.Finding.rule = "exporter-wildcard" && f.Finding.line = 5)
+       fs)
+
+let test_waivers_and_stale () =
+  let cfg =
+    {
+      Lint.roots = [ fixtures_root ];
+      det_prefixes = [ fixtures_root ];
+      recv_prefixes = [ fixtures_root ];
+      mli_required = [];
+      exporters = [ fx "exporter_copy.ml" ];
+      event_mli = Some (fx "event.mli");
+      waivers =
+        [
+          Waiver.v ~file:"partial.ml" ~rule:"partial-call"
+            "test waiver: suppresses both partial calls, not the failwith";
+          Waiver.v ~file:"clean.ml" ~rule:"obj-magic"
+            "test waiver: matches nothing and must be reported stale";
+        ];
+    }
+  in
+  let report = Lint.run cfg in
+  let active = Lint.active report in
+  Alcotest.(check int) "active findings over the whole corpus" 24
+    (List.length active);
+  let waived =
+    List.filter (fun (f : Finding.t) -> f.Finding.waived) report.Lint.findings
+  in
+  Alcotest.(check (list string))
+    "exactly the two partial calls are waived"
+    [
+      fx "partial.ml" ^ ":3: partial-call"; fx "partial.ml" ^ ":5: partial-call";
+    ]
+    (sigs waived);
+  Alcotest.(check bool)
+    "the unmatched waiver surfaces as stale" true
+    (List.exists
+       (fun (f : Finding.t) ->
+         f.Finding.rule = "stale-waiver" && f.Finding.file = "clean.ml")
+       active);
+  Alcotest.(check bool)
+    "the failwith in the waived file stays active" true
+    (List.exists
+       (fun (f : Finding.t) ->
+         f.Finding.rule = "naked-failwith"
+         && f.Finding.file = fx "partial.ml")
+       active)
+
+let test_json_report_shape () =
+  let cfg =
+    {
+      Lint.roots = [ fixtures_root ];
+      det_prefixes = [ fixtures_root ];
+      recv_prefixes = [ fixtures_root ];
+      mli_required = [];
+      exporters = [ fx "exporter_copy.ml" ];
+      event_mli = Some (fx "event.mli");
+      waivers = [];
+    }
+  in
+  let report = Lint.run cfg in
+  let json = Lint.findings_json report in
+  (* Parse with the project's own JSON reader: the export must be
+     well-formed and carry the promised envelope. *)
+  match Tm2c_harness.Json.of_string json with
+  | Tm2c_harness.Json.Obj kvs ->
+      Alcotest.(check bool)
+        "tool tag present" true
+        (List.assoc_opt "tool" kvs = Some (Tm2c_harness.Json.String "tm2c-lint"));
+      let summary =
+        match List.assoc_opt "summary" kvs with
+        | Some (Tm2c_harness.Json.Obj s) -> s
+        | _ -> Alcotest.fail "summary object missing"
+      in
+      Alcotest.(check bool)
+        "summary totals reconcile with the findings list" true
+        (List.assoc_opt "total" summary
+        = Some (Tm2c_harness.Json.Int (List.length report.Lint.findings)))
+  | _ -> Alcotest.fail "findings_json did not produce a JSON object"
+
+let suite =
+  [
+    Alcotest.test_case "alias-laundered wall-clock caught" `Quick
+      test_alias_launder;
+    Alcotest.test_case "mli doc comments stay silent" `Quick
+      test_doc_comment_regression;
+    Alcotest.test_case "partiality rules" `Quick test_partiality;
+    Alcotest.test_case "nondeterminism rules" `Quick test_nondet;
+    Alcotest.test_case "det scope gating" `Quick test_det_scope_off;
+    Alcotest.test_case "untimed recv" `Quick test_untimed_recv;
+    Alcotest.test_case "clean control file" `Quick test_clean;
+    Alcotest.test_case "global-state inventory" `Quick test_global_state;
+    Alcotest.test_case "exporter exhaustiveness" `Quick
+      test_exporter_exhaustiveness;
+    Alcotest.test_case "waivers and stale detection" `Quick
+      test_waivers_and_stale;
+    Alcotest.test_case "json report shape" `Quick test_json_report_shape;
+  ]
