@@ -238,7 +238,8 @@ let failure_of_run ?(replicas = 0) sh ~seed ~plan =
     run_shape ~replicas sh ~seed ~plan:(Some plan) ~hardened:true ~collect:true
   in
   let r =
-    if replicas > 0 then Check.run ~stuck_after_ns events else Check.run events
+    if replicas > 0 then Check.run_list ~stuck_after_ns events
+    else Check.run_list events
   in
   if Check.passed r then None else Some r
 
@@ -395,7 +396,7 @@ let wedge ~out_dir =
     let res, events =
       run_shape sh ~seed ~plan:(Some plan) ~hardened:false ~collect:true
     in
-    let r = Check.run ~liveness_budget:wedge_budget events in
+    let r = Check.run_list ~liveness_budget:wedge_budget events in
     (plan, res, r)
   in
   let wedged =
@@ -444,7 +445,7 @@ let wedge ~out_dir =
       let reclaimed =
         (Fault.counters (Runtime.faults t)).Fault.leases_reclaimed
       in
-      let r' = Check.run (Collector.to_list col) in
+      let r' = Check.run (Collector.iter col) in
       if Check.passed r' && res.Tm2c_apps.Workload.commits > 0 && reclaimed > 0
       then begin
         Printf.printf
@@ -499,7 +500,7 @@ let failover ~out_dir =
     Collector.attach col (Runtime.trace t);
     let res = sh.sh_body t ~duration_ns:(sh.sh_duration_ms *. 1e6) in
     Collector.detach (Runtime.trace t);
-    (t, res, Check.run ~stuck_after_ns (Collector.to_list col))
+    (t, res, Check.run ~stuck_after_ns (Collector.iter col))
   in
   let counters t = Fault.counters (Runtime.faults t) in
   let fail fmt = Printf.ksprintf (fun m -> Printf.printf "FAILOVER DEMO FAILED: %s\n" m; 1) fmt in
@@ -560,6 +561,76 @@ let failover ~out_dir =
     end
   end
 
+(* --streaming: the differential gate between the online
+   bounded-memory checker and the batch oracle. Per shape x seed,
+   replay a heavily faulted run's history through both and require
+   structurally identical verdicts; also require the streaming
+   checker's serialization-graph window to stay strictly under the
+   attempt count (boundedness sanity — the asymptotic flat-memory
+   test lives in the test suite). *)
+let streaming_smoke ~seeds ~out_dir =
+  let plan =
+    match
+      Fault.of_spec
+        "drop=0.005,dup=0.01,delay=0.02@1500,stall=0@3e5+2e5,crash=3@5e5,part=1-4@1e5+2e5"
+    with
+    | Ok p -> p
+    | Error m -> failwith (Printf.sprintf "bad built-in streaming plan: %s" m)
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun sh ->
+      List.iter
+        (fun seed ->
+          let _, events =
+            run_shape sh ~seed ~plan:(Some plan) ~hardened:true ~collect:true
+          in
+          let s = Stream.create () in
+          List.iter (fun (now, ev) -> Stream.feed s now ev) events;
+          let online = Stream.finish s in
+          let batch = Check.run_list events in
+          let window = Stream.peak_nodes s in
+          if not (Stream.equal online (Stream.verdict_of_result batch)) then begin
+            incr failures;
+            Printf.printf "\nSTREAMING MISMATCH %s seed=%d plan=%s\n%!"
+              sh.sh_name seed (Fault.to_spec plan);
+            write_file
+              (Filename.concat out_dir "fuzz_streaming.txt")
+              (Printf.sprintf
+                 "shape: %s\nseed: %d\nplan: %s\n\n-- online --\n%s\n-- batch \
+                  --\n%s"
+                 sh.sh_name seed (Fault.to_spec plan) (Stream.report_string s)
+                 (Check.report_string batch))
+          end
+          else if online.Stream.d_attempts > 64 && window >= online.Stream.d_attempts
+          then begin
+            incr failures;
+            Printf.printf
+              "\nSTREAMING WINDOW UNBOUNDED %s seed=%d: %d live-node peak over \
+               %d attempts\n%!"
+              sh.sh_name seed window online.Stream.d_attempts
+          end
+          else
+            Printf.printf
+              "ok   %-24s seed=%d streaming==batch (%d events, %d attempts, \
+               window %d)\n%!"
+              sh.sh_name seed online.Stream.d_events online.Stream.d_attempts
+              window)
+        seeds)
+    shapes;
+  if !failures > 0 then begin
+    Printf.printf "\n%d streaming failure(s); artifacts in %s\n" !failures
+      out_dir;
+    1
+  end
+  else begin
+    Printf.printf
+      "\nstreaming differential clean: %d shapes x %d seeds, verdicts \
+       identical\n"
+      (List.length shapes) (List.length seeds);
+    0
+  end
+
 (* CI sweep: a mid-run DS-server crash with one replica over every
    shape; any checker failure (wedged cores included) shrinks and
    writes artifacts exactly like the ordinary matrix. Core 2 hosts a
@@ -597,6 +668,7 @@ let failover_smoke ~seeds ~out_dir =
 let () =
   let seeds = ref 2 and smoke = ref false and do_wedge = ref false in
   let do_failover = ref false and do_failover_smoke = ref false in
+  let do_streaming = ref false in
   let out_dir = ref "." in
   Arg.parse
     [
@@ -609,16 +681,23 @@ let () =
       ( "--failover-smoke",
         Arg.Set do_failover_smoke,
         " CI sweep: mid-run server crash with one replica, all shapes" );
+      ( "--streaming",
+        Arg.Set do_streaming,
+        " differential gate: streaming checker verdict == batch oracle" );
       ("--out-dir", Arg.Set_string out_dir, "DIR  where failure artifacts go");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "fuzz [--seeds N] [--smoke] [--wedge] [--failover] [--failover-smoke] \
-     [--out-dir DIR]";
+     [--streaming] [--out-dir DIR]";
   if !do_wedge then exit (wedge ~out_dir:!out_dir)
   else if !do_failover then exit (failover ~out_dir:!out_dir)
   else if !do_failover_smoke then
     exit
       (failover_smoke ~seeds:(List.init !seeds (fun i -> 41 + i))
+         ~out_dir:!out_dir)
+  else if !do_streaming then
+    exit
+      (streaming_smoke ~seeds:(List.init !seeds (fun i -> 41 + i))
          ~out_dir:!out_dir)
   else begin
     let plans = plan_matrix ~smoke:!smoke in

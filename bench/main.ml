@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let run_bench ids full smoke json check list_only =
+let run_bench ids full smoke json check streaming list_only =
   if list_only then begin
     print_endline "Available experiments:";
     List.iter
@@ -26,7 +26,9 @@ let run_bench ids full smoke json check list_only =
     let micro = List.mem "micro" ids in
     let ids = List.filter (fun id -> id <> "micro") ids in
     let failures =
-      if ids <> [] then Tm2c_harness.Harness.run_ids ?json ~check ids scale else 0
+      if ids <> [] then
+        Tm2c_harness.Harness.run_ids ?json ~check ~streaming ids scale
+      else 0
     in
     if micro then Micro.run ();
     if failures > 0 then begin
@@ -59,10 +61,18 @@ let json_arg =
 
 let check_arg =
   let doc =
-    "Replay every run's event history through the serializability, lock \
-     protocol, and liveness checkers; exit nonzero on any violation."
+    "Run every run's event history through the serializability + opacity, \
+     lock protocol, and liveness checkers; exit nonzero on any violation."
   in
   Arg.(value & flag & info [ "check" ] ~doc)
+
+let streaming_arg =
+  let doc =
+    "With --check: check online through the bounded-memory streaming \
+     pipeline (default). --streaming=false captures each run whole and \
+     batch-checks it."
+  in
+  Arg.(value & opt bool true & info [ "streaming" ] ~docv:"BOOL" ~doc)
 
 let list_arg =
   let doc = "List available experiments and exit." in
@@ -74,6 +84,6 @@ let cmd =
     (Cmd.info "tm2c-bench" ~doc)
     Term.(
       const run_bench $ ids_arg $ full_arg $ smoke_arg $ json_arg $ check_arg
-      $ list_arg)
+      $ streaming_arg $ list_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -2,22 +2,61 @@
 
    The input is the machine-readable history log written by
    tm2c-sim --history FILE (the complete event stream, not the 64K
-   ring tail). Three checkers run over it:
+   ring tail). The full oracle stack runs over it:
 
-   - the serializability oracle, which reconstructs per-attempt
-     read/write sets, replays committed transactions against
-     versioned memory, and reports any conflict-graph cycle with a
-     minimal witness;
+   - the serializability + opacity oracle, which reconstructs
+     per-attempt read/write sets, replays serialized transactions
+     against versioned memory, reports any conflict-graph cycle with
+     a minimal witness, and snapshot-checks every aborted attempt's
+     read prefix;
    - the DS-Lock protocol checker, which validates the two-phase
      locking discipline against a shadow lock table;
    - the liveness monitor, which bounds per-core abort chains.
+
+   By default the streaming checker consumes the log line by line, so
+   memory stays bounded by the run's concurrency window no matter how
+   large the file is; --streaming=false loads the log and runs the
+   batch oracle (whose report carries more replay detail).
 
    Exit status: 0 when every checker passes, 1 on violations,
    2 on an unreadable or malformed history log. *)
 
 open Cmdliner
 
-let run path budget witness =
+let write_witness witness report =
+  match witness with
+  | Some wpath ->
+      let oc = open_out wpath in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc report);
+      Printf.printf "wrote witness to %s\n" wpath
+  | None -> ()
+
+let run_streaming path budget opacity witness =
+  let s =
+    Tm2c_check.Stream.create ~liveness_budget:budget ~opacity ()
+  in
+  match Tm2c_check.Histlog.iter_file path (Tm2c_check.Stream.feed s) with
+  | exception Sys_error msg ->
+      Printf.eprintf "tm2c-check: %s\n" msg;
+      exit 2
+  | exception Failure msg ->
+      Printf.eprintf "tm2c-check: %s: %s\n" path msg;
+      exit 2
+  | _n_events ->
+      let v = Tm2c_check.Stream.finish s in
+      Format.printf "%a" Tm2c_check.Stream.pp_verdict v;
+      if Tm2c_check.Stream.passed v then
+        Format.printf "PASS: %d events, all checkers clean@."
+          v.Tm2c_check.Stream.d_events
+      else begin
+        Format.printf "%a" Tm2c_check.Stream.pp_witness s;
+        write_witness witness (Tm2c_check.Stream.report_string s);
+        exit 1
+      end
+
+let run_batch path budget opacity witness =
   match Tm2c_check.Histlog.load path with
   | exception Sys_error msg ->
       Printf.eprintf "tm2c-check: %s\n" msg;
@@ -26,23 +65,22 @@ let run path budget witness =
       Printf.eprintf "tm2c-check: %s: %s\n" path msg;
       exit 2
   | events ->
-      let result = Tm2c_check.Check.run ~liveness_budget:budget events in
+      let result =
+        Tm2c_check.Check.run_list ~liveness_budget:budget ~opacity events
+      in
       Format.printf "%a" Tm2c_check.Check.pp_summary result;
       if Tm2c_check.Check.passed result then
         Format.printf "PASS: %d events, all checkers clean@."
           result.Tm2c_check.Check.history.Tm2c_check.History.n_events
       else begin
         Format.printf "%a" Tm2c_check.Check.pp_witness result;
-        (match witness with
-        | Some wpath ->
-            let oc = open_out wpath in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () -> output_string oc (Tm2c_check.Check.report_string result));
-            Printf.printf "wrote witness to %s\n" wpath
-        | None -> ());
+        write_witness witness (Tm2c_check.Check.report_string result);
         exit 1
       end
+
+let run path budget opacity streaming witness =
+  if streaming then run_streaming path budget opacity witness
+  else run_batch path budget opacity witness
 
 let cmd =
   let path =
@@ -56,13 +94,28 @@ let cmd =
              ~doc:"Liveness budget: a core aborting $(docv) consecutive \
                    attempts without a commit is a violation.")
   in
+  let opacity =
+    Arg.(value & opt bool true
+         & info [ "opacity" ] ~docv:"BOOL"
+             ~doc:"Snapshot-check aborted attempts' read prefixes \
+                   (default). $(b,--opacity=false) restricts the oracle to \
+                   serializability of committed transactions.")
+  in
+  let streaming =
+    Arg.(value & opt bool true
+         & info [ "streaming" ] ~docv:"BOOL"
+             ~doc:"Consume the log line by line through the bounded-memory \
+                   streaming checker (default). $(b,--streaming=false) loads \
+                   the whole log and runs the batch oracle.")
+  in
   let witness =
     Arg.(value & opt (some string) None
          & info [ "witness" ] ~docv:"FILE"
              ~doc:"On failure, also write the verdict and violation witness \
                    to $(docv).")
   in
-  let doc = "Check a recorded TM2C run for serializability, protocol, and liveness violations" in
-  Cmd.v (Cmd.info "tm2c-check" ~doc) Term.(const run $ path $ budget $ witness)
+  let doc = "Check a recorded TM2C run for serializability, opacity, protocol, and liveness violations" in
+  Cmd.v (Cmd.info "tm2c-check" ~doc)
+    Term.(const run $ path $ budget $ opacity $ streaming $ witness)
 
 let () = exit (Cmd.eval cmd)

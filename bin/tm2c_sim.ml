@@ -179,7 +179,7 @@ let fault_plan_conv =
 
 let run bench platform cm cores service multitask eager fault_plan timeout_ns
     lease_ns replicas watchdog_ms trace trace_out json perfetto timeseries_ms
-    metrics_out metrics_window_ms self_profile check history witness
+    metrics_out metrics_window_ms self_profile check streaming history witness
     duration_ms seed balance accounts buckets updates elastic size input_kb
     chunk_kb =
   let deployment = if multitask then Runtime.Multitask else Runtime.Dedicated in
@@ -211,15 +211,44 @@ let run bench platform cm cores service multitask eager fault_plan timeout_ns
   let tracing = trace || trace_out <> None || perfetto <> None in
   if tracing then Runtime.enable_tracing t;
   (* The checkers need the complete history, not the 64K ring tail:
-     tap the trace's sink before any process runs. *)
-  let collector =
-    if check || history <> None then begin
+     tap the trace's sink before any process runs. By default the
+     streaming checker and the history-log writer consume events
+     online (sharing the sink through a fanout), so neither the run's
+     events nor the log are ever resident in memory; --streaming=false
+     captures everything in a collector and batch-checks at the end. *)
+  let stream_check, hist_writer, collector =
+    if streaming then begin
+      let s = if check then Some (Tm2c_check.Stream.create ()) else None in
+      let w = Option.map Tm2c_check.Histlog.create_writer history in
+      (match (s, w) with
+      | Some s, Some w ->
+          Tm2c_engine.Trace.set_sink (Runtime.trace t)
+            (Some
+               (Tm2c_engine.Trace.fanout (Tm2c_check.Stream.feed s)
+                  (Tm2c_check.Histlog.put w)));
+          Tm2c_engine.Trace.enable (Runtime.trace t)
+      | Some s, None -> Tm2c_check.Stream.attach s (Runtime.trace t)
+      | None, Some w ->
+          Tm2c_engine.Trace.set_sink (Runtime.trace t)
+            (Some (Tm2c_check.Histlog.put w));
+          Tm2c_engine.Trace.enable (Runtime.trace t)
+      | None, None -> ());
+      (match s with
+      | Some s ->
+          (* The streaming checker retains a window, not the run:
+             report its node high-water as the sink footprint. *)
+          Runtime.set_sink_high_water t (fun () ->
+              Tm2c_check.Stream.peak_nodes s)
+      | None -> ());
+      (s, w, None)
+    end
+    else if check || history <> None then begin
       let c = Tm2c_check.Collector.create () in
       Tm2c_check.Collector.attach c (Runtime.trace t);
       Runtime.set_sink_high_water t (fun () -> Tm2c_check.Collector.length c);
-      Some c
+      (None, None, Some c)
     end
-    else None
+    else (None, None, None)
   in
   if json <> None then begin
     (* The JSON export carries phase attribution and a time-series, so
@@ -374,38 +403,60 @@ let run bench platform cm cores service multitask eager fault_plan timeout_ns
       Printf.printf "wrote Perfetto timeline to %s (open in ui.perfetto.dev)\n"
         path
   | None -> ());
+  let write_witness report =
+    match witness with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc report);
+        Printf.printf "wrote witness to %s\n" path
+    | None -> ()
+  in
+  (match hist_writer with
+  | Some w ->
+      let n = Tm2c_check.Histlog.written w in
+      Tm2c_check.Histlog.close_writer w;
+      Printf.printf "wrote history log to %s (%d events)\n"
+        (Option.get history) n
+  | None -> ());
+  (match stream_check with
+  | Some s ->
+      (* With a replicated service a wedge is a broken promise, and a
+         watchdog-armed run wants the wedged cores named: arm the
+         liveness monitor's stuck detection before closing out. *)
+      if replicas > 0 || Runtime.wedged t then
+        Tm2c_check.Stream.set_stuck_after_ns s 1e6;
+      let v = Tm2c_check.Stream.finish s in
+      print_newline ();
+      Format.printf "%a" Tm2c_check.Stream.pp_verdict v;
+      if not (Tm2c_check.Stream.passed v) then begin
+        Format.printf "%a" Tm2c_check.Stream.pp_witness s;
+        write_witness (Tm2c_check.Stream.report_string s);
+        exit 1
+      end
+  | None -> ());
   (match collector with
   | None -> ()
   | Some c ->
-      let events = Tm2c_check.Collector.to_list c in
       (match history with
       | Some path ->
-          Tm2c_check.Histlog.save path events;
+          Tm2c_check.Histlog.save path (Tm2c_check.Collector.iter c);
           Printf.printf "wrote history log to %s (%d events)\n" path
-            (List.length events)
+            (Tm2c_check.Collector.length c)
       | None -> ());
       if check then begin
-        (* With a replicated service a wedge is a broken promise, and
-           a watchdog-armed run wants the wedged cores named: arm the
-           liveness monitor's stuck detection. *)
         let result =
           if replicas > 0 || Runtime.wedged t then
-            Tm2c_check.Check.run ~stuck_after_ns:1e6 events
-          else Tm2c_check.Check.run events
+            Tm2c_check.Check.run ~stuck_after_ns:1e6
+              (Tm2c_check.Collector.iter c)
+          else Tm2c_check.Check.run (Tm2c_check.Collector.iter c)
         in
         print_newline ();
         Format.printf "%a" Tm2c_check.Check.pp_summary result;
         if not (Tm2c_check.Check.passed result) then begin
           Format.printf "%a" Tm2c_check.Check.pp_witness result;
-          (match witness with
-          | Some path ->
-              let oc = open_out path in
-              Fun.protect
-                ~finally:(fun () -> close_out oc)
-                (fun () ->
-                  output_string oc (Tm2c_check.Check.report_string result));
-              Printf.printf "wrote witness to %s\n" path
-          | None -> ());
+          write_witness (Tm2c_check.Check.report_string result);
           exit 1
         end
       end);
@@ -541,10 +592,18 @@ let cmd =
   let check =
     Arg.(value & flag
          & info [ "check" ]
-             ~doc:"Replay the run's complete event history through the \
-                   serializability oracle, the DS-Lock protocol checker, and \
-                   the liveness monitor; print a verdict and exit nonzero \
-                   (with a witness) on any violation.")
+             ~doc:"Run the complete event history through the \
+                   serializability + opacity oracle, the DS-Lock protocol \
+                   checker, and the liveness monitor; print a verdict and \
+                   exit nonzero (with a witness) on any violation.")
+  in
+  let streaming =
+    Arg.(value & opt bool true
+         & info [ "streaming" ] ~docv:"BOOL"
+             ~doc:"Check (and write --history) online through the \
+                   bounded-memory streaming pipeline riding the trace sink \
+                   (default). $(b,--streaming=false) captures the whole \
+                   event stream and runs the batch oracle at the end.")
   in
   let history =
     Arg.(value & opt (some string) None
@@ -594,7 +653,7 @@ let cmd =
       const run $ bench $ platform $ cm $ cores $ service $ multitask $ eager
       $ fault_plan $ timeout_ns $ lease_ns $ replicas $ watchdog_ms $ trace
       $ trace_out $ json $ perfetto $ timeseries_ms $ metrics_out
-      $ metrics_window_ms $ self_profile $ check $ history $ witness
+      $ metrics_window_ms $ self_profile $ check $ streaming $ history $ witness
       $ duration $ seed $ balance $ accounts $ buckets $ updates $ elastic
       $ size $ input_kb $ chunk_kb)
 

@@ -1,5 +1,11 @@
 (* Checker orchestration: reconstruct the history, run every checker,
-   and render a human-readable verdict plus (on failure) a witness. *)
+   and render a human-readable verdict plus (on failure) a witness.
+
+   [run] consumes the event stream through an iterator in a single
+   pass — the history builder, the lockset shadow, the crash set and
+   the horizon are all fed per event — then runs the serializability/
+   opacity oracle and the liveness monitor over the assembled
+   history. For the online (bounded-memory) form see {!Stream}. *)
 
 type result = {
   history : History.t;
@@ -10,33 +16,42 @@ type result = {
 
 let default_liveness_budget = 1000
 
-let run ?(liveness_budget = default_liveness_budget) ?stuck_after_ns events =
-  let history = History.build events in
+let run ?(liveness_budget = default_liveness_budget) ?stuck_after_ns
+    ?(opacity = true) iter =
+  let hb = History.builder () in
+  let ls = Lockset.create () in
   (* Crash-stopped cores are exempt from wedge detection (their open
      attempt is the crash); the horizon is the last traced instant,
      which bounds how long any attempt can have hung. *)
-  let crashed =
-    List.filter_map
-      (function
-        | _, Tm2c_core.Event.Core_crashed { core; _ } -> Some core | _ -> None)
-      events
-  in
-  let horizon_ns =
-    List.fold_left (fun acc (t, _) -> Float.max acc t) 0.0 events
-  in
+  let crashed = ref [] in
+  let horizon = ref 0.0 in
+  iter (fun time ev ->
+      History.feed hb time ev;
+      Lockset.feed ls time ev;
+      if time > !horizon then horizon := time;
+      match ev with
+      | Tm2c_core.Event.Core_crashed { core; _ } -> crashed := core :: !crashed
+      | _ -> ());
+  let history = History.finish hb in
   {
     history;
-    serial = Serial.analyze history;
-    lockset = Lockset.analyze events;
+    serial = Serial.analyze ~opacity history;
+    lockset = Lockset.finish ls;
     liveness =
-      Liveness.analyze ~budget:liveness_budget ?stuck_after_ns ~crashed
-        ~horizon_ns history;
+      Liveness.analyze ~budget:liveness_budget ?stuck_after_ns
+        ~crashed:(List.rev !crashed) ~horizon_ns:!horizon history;
   }
+
+let iter_of_list events f = List.iter (fun (t, e) -> f t e) events
+
+let run_list ?liveness_budget ?stuck_after_ns ?opacity events =
+  run ?liveness_budget ?stuck_after_ns ?opacity (iter_of_list events)
 
 let n_failures r =
   List.length r.history.History.anomalies
   + List.length r.serial.Serial.corruption
   + (match r.serial.Serial.cycle with Some _ -> 1 | None -> 0)
+  + List.length r.serial.Serial.opacity
   + List.length r.lockset.Lockset.violations
   + List.length r.liveness.Liveness.violations
   + List.length r.liveness.Liveness.stuck
@@ -70,7 +85,7 @@ let pp_summary fmt r =
     (List.length r.history.History.anomalies);
   Format.fprintf fmt
     "serial   %s  %d txns, %d reads checked (%d elastic skipped), %d initial \
-     bindings, %d corrupt, %s@."
+     bindings, %d corrupt, %s, %d/%d attempts opaque@."
     (status (Serial.ok r.serial))
     (Array.length r.serial.Serial.txns)
     r.serial.Serial.n_reads_checked r.serial.Serial.n_reads_skipped
@@ -78,7 +93,9 @@ let pp_summary fmt r =
     (List.length r.serial.Serial.corruption)
     (match r.serial.Serial.cycle with
     | None -> "acyclic"
-    | Some c -> Printf.sprintf "CYCLE of %d txns" (List.length c.Serial.c_txns));
+    | Some c -> Printf.sprintf "CYCLE of %d txns" (List.length c.Serial.c_txns))
+    (r.serial.Serial.n_opacity_checked - List.length r.serial.Serial.opacity)
+    r.serial.Serial.n_opacity_checked;
   Format.fprintf fmt "lockset  %s  %d grants replayed, %d violations@."
     (status (Lockset.ok r.lockset))
     r.lockset.Lockset.n_grants
@@ -90,6 +107,20 @@ let pp_summary fmt r =
     | Some ch -> Printf.sprintf "%d (core %d)" ch.Liveness.ch_len ch.Liveness.ch_core)
     r.liveness.Liveness.budget
     (List.length r.liveness.Liveness.stuck)
+
+let pp_inconsistent_read fmt (ir : Serial.inconsistent_read) =
+  let pp_pub fmt p =
+    if p < 0 then Format.fprintf fmt "the initial state"
+    else Format.fprintf fmt "the version published @seq %d" p
+  in
+  Format.fprintf fmt
+    "  core %d attempt %d (seqs %d..%d) mixed two snapshots:@.    read addr=%d \
+     value=%d @seq %d — %a@.    read addr=%d value=%d @seq %d — %a@.  no \
+     single memory snapshot explains both reads@."
+    ir.Serial.ir_core ir.Serial.ir_attempt ir.Serial.ir_start_seq
+    ir.Serial.ir_end_seq ir.Serial.ir_addr1 ir.Serial.ir_value1
+    ir.Serial.ir_seq1 pp_pub ir.Serial.ir_pub1 ir.Serial.ir_addr2
+    ir.Serial.ir_value2 ir.Serial.ir_seq2 pp_pub ir.Serial.ir_pub2
 
 let pp_witness fmt r =
   if r.history.History.anomalies <> [] then begin
@@ -118,6 +149,10 @@ let pp_witness fmt r =
         c.Serial.c_edges;
       Format.fprintf fmt
         "  no serial order of these transactions explains the observed reads@.");
+  if r.serial.Serial.opacity <> [] then begin
+    Format.fprintf fmt "@.== opacity violations: inconsistent reads ==@.";
+    List.iter (pp_inconsistent_read fmt) r.serial.Serial.opacity
+  end;
   if r.lockset.Lockset.violations <> [] then begin
     Format.fprintf fmt "@.== lock protocol violations ==@.";
     List.iter

@@ -1,10 +1,13 @@
 (** Checker orchestration.
 
-    [run events] reconstructs the per-attempt history and runs the
-    three checkers: the serializability oracle ({!Serial}), the
-    DS-Lock protocol checker ({!Lockset}), and the liveness monitor
-    ({!Liveness}). The event stream comes from a live {!Collector}
-    tap or a {!Histlog} file. *)
+    [run iter] makes a single pass over the event stream (feeding the
+    history builder, the lockset shadow, the crash set and the
+    horizon), then runs the serializability + opacity oracle
+    ({!Serial}) and the liveness monitor ({!Liveness}) over the
+    assembled history. The stream comes from a live {!Collector}
+    ([run (Collector.iter c)]), a {!Histlog} file, or a list
+    ({!run_list}). For the online bounded-memory checker see
+    {!Stream}. *)
 
 type result = {
   history : History.t;
@@ -17,10 +20,26 @@ val default_liveness_budget : int
 
 (** [stuck_after_ns] arms the liveness monitor's wedge detection
     (see {!Liveness.analyze}); crashed cores and the horizon are
-    derived from the event stream itself. *)
+    derived from the event stream itself. [opacity] (default [true])
+    snapshot-checks aborted and pre-publish-truncated attempts. The
+    iterator is invoked exactly once. *)
 val run :
   ?liveness_budget:int ->
   ?stuck_after_ns:float ->
+  ?opacity:bool ->
+  ((float -> Tm2c_core.Event.t -> unit) -> unit) ->
+  result
+
+(** Adapt an in-memory [(time, event)] list to the iterator shape the
+    single-pass checkers consume. *)
+val iter_of_list :
+  (float * Tm2c_core.Event.t) list -> (float -> Tm2c_core.Event.t -> unit) -> unit
+
+(** {!run} over an in-memory [(time, event)] list. *)
+val run_list :
+  ?liveness_budget:int ->
+  ?stuck_after_ns:float ->
+  ?opacity:bool ->
   (float * Tm2c_core.Event.t) list ->
   result
 
@@ -36,6 +55,10 @@ val pp_summary : Format.formatter -> result -> unit
     witness — offending transactions and, per hop, the edge kind,
     address, and inducing sequence point. Empty when {!passed}. *)
 val pp_witness : Format.formatter -> result -> unit
+
+(** Render one opacity witness (shared with the streaming checker's
+    report). *)
+val pp_inconsistent_read : Format.formatter -> Serial.inconsistent_read -> unit
 
 (** Summary followed by witness, as a string. *)
 val report_string : result -> string

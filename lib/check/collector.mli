@@ -20,7 +20,12 @@ val detach : Event.t Tm2c_engine.Trace.t -> unit
 
 val length : t -> int
 
-(** In-order iteration over (timestamp, event). *)
+(** In-order iteration over (timestamp, event) — the form the
+    checkers and the history-log writer consume; it allocates
+    nothing. *)
 val iter : t -> (float -> Event.t -> unit) -> unit
 
+(** Materialize the whole capture as a list. Test-only convenience:
+    production paths ([tm2c-sim], the harness) feed {!iter} so a long
+    run is never copied into a second full-size structure. *)
 val to_list : t -> (float * Event.t) list

@@ -6,19 +6,32 @@
    notation ("%h") so virtual times round-trip exactly — the checkers
    compare replayed instants for equality and a decimal detour would
    corrupt ties. The format is append-only and versioned by the
-   header line; tm2c-check refuses logs with an unknown header. *)
+   header line; tm2c-check refuses logs with an unknown header.
+
+   Writing and reading are both streaming: the writer appends one
+   line per event as it arrives (fed straight from the trace sink)
+   and stamps an "# events N" footer on close, which readers verify
+   when present, so a truncated log is detected instead of silently
+   checked short. Reading iterates line by line — tm2c-check never
+   needs the whole log in memory. *)
 
 open Tm2c_core
 open Types
 
-(* v3 added the failover records (SCR EPB RPA FOD SER); v2 added the
-   fault/hardening records (DRP DUP RSN CRS LSR). Both older versions
+(* v4 added the streaming event-count footer (a reader-side
+   truncation check; the record grammar is unchanged); v3 added the
+   failover records (SCR EPB RPA FOD SER); v2 added the
+   fault/hardening records (DRP DUP RSN CRS LSR). All older versions
    are still accepted on read. *)
-let header = "# tm2c-history v3"
+let header = "# tm2c-history v4"
+
+let header_v3 = "# tm2c-history v3"
 
 let header_v2 = "# tm2c-history v2"
 
 let header_v1 = "# tm2c-history v1"
+
+let footer_prefix = "# events "
 
 let bool01 b = if b then "1" else "0"
 
@@ -84,13 +97,37 @@ let write_event oc time ev =
       p "SER %d %d %d %d" server core req_epoch cur_epoch);
   p "\n"
 
-let write oc events =
-  Printf.fprintf oc "%s\n" header;
-  List.iter (fun (time, ev) -> write_event oc time ev) events
+(* Streaming writer: header up front, one line per event, count
+   footer on close. *)
+type writer = { w_oc : out_channel; mutable w_count : int; w_owns : bool }
 
-let save path events =
+let writer_of_channel oc =
+  Printf.fprintf oc "%s\n" header;
+  { w_oc = oc; w_count = 0; w_owns = false }
+
+let create_writer path =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc events)
+  Printf.fprintf oc "%s\n" header;
+  { w_oc = oc; w_count = 0; w_owns = true }
+
+let put w time ev =
+  write_event w.w_oc time ev;
+  w.w_count <- w.w_count + 1
+
+let written w = w.w_count
+
+let close_writer w =
+  Printf.fprintf w.w_oc "%s%d\n" footer_prefix w.w_count;
+  if w.w_owns then close_out w.w_oc else flush w.w_oc
+
+let write oc iter =
+  let w = writer_of_channel oc in
+  iter (fun time ev -> put w time ev);
+  close_writer w
+
+let save path iter =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc iter)
 
 let parse_error lineno msg =
   failwith (Printf.sprintf "history log line %d: %s" lineno msg)
@@ -253,22 +290,57 @@ let parse_line lineno line =
       (time, ev))
   | _ -> parse_error lineno "short line"
 
-let read ic =
+let is_prefix pre s =
+  String.length s >= String.length pre
+  && String.sub s 0 (String.length pre) = pre
+
+let iter_channel ic f =
   (match input_line ic with
-  | h when h = header || h = header_v2 || h = header_v1 -> ()
+  | h when h = header || h = header_v3 || h = header_v2 || h = header_v1 -> ()
   | h -> failwith (Printf.sprintf "unknown history log header %S" h)
   | exception End_of_file ->
       failwith (Printf.sprintf "empty history log: expected %S header" header));
-  let events = ref [] in
+  let count = ref 0 in
   let lineno = ref 1 in
   (try
      while true do
        let line = input_line ic in
        incr lineno;
-       if line <> "" && line.[0] <> '#' then
-         events := parse_line !lineno line :: !events
+       if line = "" then ()
+       else if line.[0] = '#' then begin
+         (* The count footer, when present, must match the events
+            seen so far: a mismatch means the log was truncated (or
+            grew) after the writer closed it. *)
+         if is_prefix footer_prefix line then
+           let declared =
+             String.sub line (String.length footer_prefix)
+               (String.length line - String.length footer_prefix)
+           in
+           match int_of_string_opt (String.trim declared) with
+           | Some n when n = !count -> ()
+           | Some n ->
+               parse_error !lineno
+                 (Printf.sprintf
+                    "event-count footer says %d but %d events precede it \
+                     (truncated log?)" n !count)
+           | None -> parse_error !lineno "malformed event-count footer"
+       end
+       else begin
+         let time, ev = parse_line !lineno line in
+         incr count;
+         f time ev
+       end
      done
    with End_of_file -> ());
+  !count
+
+let iter_file path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> iter_channel ic f)
+
+let read ic =
+  let events = ref [] in
+  let _ = iter_channel ic (fun time ev -> events := (time, ev) :: !events) in
   List.rev !events
 
 let load path =

@@ -4,7 +4,14 @@
     separated, with timestamps and durations in hex-float notation so
     virtual times round-trip exactly. Written by [tm2c-sim --history]
     and replayed by [tm2c-check]. The first line is a version header;
-    readers refuse unknown versions. *)
+    readers refuse unknown versions (v1–v3 logs are still accepted).
+
+    v4 logs end with an ["# events N"] footer: the streaming writer
+    stamps it on close, and readers verify it when present, so a
+    truncated log fails loudly instead of being checked short. Both
+    directions are streaming — the writer takes events one at a time
+    (e.g. straight off the trace sink) and {!iter_file} parses line
+    by line without holding the log in memory. *)
 
 open Tm2c_core
 
@@ -12,14 +19,37 @@ val header : string
 
 val write_event : out_channel -> float -> Event.t -> unit
 
-(** Header plus one line per event. *)
-val write : out_channel -> (float * Event.t) list -> unit
+(** Incremental writer: {!create_writer}/{!writer_of_channel} emit
+    the header, {!put} appends one event line, {!close_writer} stamps
+    the count footer (and closes the channel iff the writer opened
+    it). *)
+type writer
 
-val save : string -> (float * Event.t) list -> unit
+val writer_of_channel : out_channel -> writer
 
-(** Parse a log back into the event stream; raises [Failure] with the
-    offending line number on malformed input. Blank lines and [#]
-    comments after the header are skipped. *)
+val create_writer : string -> writer
+
+val put : writer -> float -> Event.t -> unit
+
+(** Events appended so far. *)
+val written : writer -> int
+
+val close_writer : writer -> unit
+
+(** Header, one line per driven event, footer. *)
+val write : out_channel -> ((float -> Event.t -> unit) -> unit) -> unit
+
+val save : string -> ((float -> Event.t -> unit) -> unit) -> unit
+
+(** Parse a log, calling [f] per event in order; returns the event
+    count. Raises [Failure] with the offending line number on
+    malformed input or a footer/count mismatch. Blank lines and other
+    [#] comments are skipped. *)
+val iter_channel : in_channel -> (float -> Event.t -> unit) -> int
+
+val iter_file : string -> (float -> Event.t -> unit) -> int
+
+(** Batch forms of {!iter_channel}/{!iter_file}. *)
 val read : in_channel -> (float * Event.t) list
 
 val load : string -> (float * Event.t) list

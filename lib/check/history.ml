@@ -5,7 +5,14 @@
    sequence number assigned here is a total order consistent with the
    simulated machine's actual interleaving — including ties in virtual
    time, which the timestamps alone cannot break. All checkers compare
-   sequence numbers, never raw timestamps. *)
+   sequence numbers, never raw timestamps.
+
+   The incremental [builder] is the single reconstruction core: the
+   batch [build] retains every attempt and returns the full history,
+   while the streaming checker runs the same builder with
+   [retain:false] and consumes attempts through the [on_close] /
+   [on_publish] callbacks, so its memory is bounded by the number of
+   concurrently open attempts rather than the run length. *)
 
 open Tm2c_core
 
@@ -27,7 +34,7 @@ type attempt = {
   a_elastic : bool;
   a_start_time : float;
   a_start_seq : int;
-  mutable a_reads : read list;  (* program order *)
+  mutable a_reads : read list;  (* program order after close *)
   mutable a_refused : bool;  (* some read lock was refused *)
   mutable a_writes : (Types.addr * int) list;  (* final value per address *)
   mutable a_wlocks : (int * Types.addr list) list;  (* (seq, batch), trace order *)
@@ -64,157 +71,211 @@ let update_write writes addr value =
   in
   go writes
 
-let build events =
-  let open_attempts : (Types.core_id, attempt) Hashtbl.t = Hashtbl.create 64 in
-  let started : (Types.core_id, unit) Hashtbl.t = Hashtbl.create 64 in
-  let attempts = ref [] and anomalies = ref [] in
-  let host_writes = ref [] in
-  let n_events = ref 0 and n_orphans = ref 0 in
-  let anomaly seq time fmt =
-    Printf.ksprintf
-      (fun m -> anomalies := { an_seq = seq; an_time = time; an_message = m } :: !anomalies)
-      fmt
-  in
-  let close seq time a outcome =
-    a.a_end_time <- time;
-    a.a_end_seq <- seq;
-    a.a_outcome <- outcome;
-    a.a_reads <- List.rev a.a_reads;
-    a.a_wlocks <- List.rev a.a_wlocks;
-    a.a_rlock_released <- List.rev a.a_rlock_released;
-    Hashtbl.remove open_attempts a.a_core
-  in
-  (* An event attributable to a core's current attempt; events arriving
-     before the core's first Tx_start (a truncated stream) are counted
-     as orphans, later unattributable events are anomalies. *)
-  let with_open seq time core what f =
-    match Hashtbl.find_opt open_attempts core with
-    | Some a -> f a
-    | None ->
-        if Hashtbl.mem started core then
-          anomaly seq time "core %d: %s outside any attempt" core what
-        else incr n_orphans
-  in
-  List.iteri
-    (fun seq (time, ev) ->
-      incr n_events;
-      match ev with
-      | Event.Tx_start { core; attempt; elastic } ->
-          (match Hashtbl.find_opt open_attempts core with
-          | Some prev ->
-              anomaly seq time
-                "core %d: attempt %d started while attempt %d still open" core
-                attempt prev.a_number;
-              close seq time prev Unfinished
+type builder = {
+  retain : bool;
+  on_close : attempt -> unit;
+  on_publish : attempt -> unit;
+  on_host_write : int -> Types.addr -> int -> unit;
+  open_attempts : (Types.core_id, attempt) Hashtbl.t;
+  started : (Types.core_id, unit) Hashtbl.t;
+  mutable b_attempts : attempt list;  (* reversed; empty unless retain *)
+  mutable b_host_writes : (int * Types.addr * int) list;  (* reversed *)
+  mutable b_anomalies : anomaly list;  (* reversed *)
+  mutable b_n_events : int;
+  mutable b_n_orphans : int;
+}
+
+let builder ?(retain = true) ?(on_close = fun _ -> ())
+    ?(on_publish = fun _ -> ()) ?(on_host_write = fun _ _ _ -> ()) () =
+  {
+    retain;
+    on_close;
+    on_publish;
+    on_host_write;
+    open_attempts = Hashtbl.create 64;
+    started = Hashtbl.create 64;
+    b_attempts = [];
+    b_host_writes = [];
+    b_anomalies = [];
+    b_n_events = 0;
+    b_n_orphans = 0;
+  }
+
+let n_events b = b.b_n_events
+
+(* Garbage-collection frontier for the streaming checker: no attempt
+   that is still open (or will ever open) can have observed anything
+   before the oldest open attempt began. With nothing open the
+   frontier is the stream position itself. *)
+let watermark b =
+  let w = ref b.b_n_events in
+  Tm2c_engine.Det.iter
+    (fun _ a -> if a.a_start_seq < !w then w := a.a_start_seq)
+    b.open_attempts;
+  !w
+
+let anomaly b seq time fmt =
+  Printf.ksprintf
+    (fun m ->
+      b.b_anomalies <-
+        { an_seq = seq; an_time = time; an_message = m } :: b.b_anomalies)
+    fmt
+
+let close b seq time a outcome =
+  a.a_end_time <- time;
+  a.a_end_seq <- seq;
+  a.a_outcome <- outcome;
+  a.a_reads <- List.rev a.a_reads;
+  a.a_wlocks <- List.rev a.a_wlocks;
+  a.a_rlock_released <- List.rev a.a_rlock_released;
+  Hashtbl.remove b.open_attempts a.a_core;
+  b.on_close a
+
+(* An event attributable to a core's current attempt; events arriving
+   before the core's first Tx_start (a truncated stream) are counted
+   as orphans, later unattributable events are anomalies. *)
+let with_open b seq time core what f =
+  match Hashtbl.find_opt b.open_attempts core with
+  | Some a -> f a
+  | None ->
+      if Hashtbl.mem b.started core then
+        anomaly b seq time "core %d: %s outside any attempt" core what
+      else b.b_n_orphans <- b.b_n_orphans + 1
+
+let feed b time ev =
+  let seq = b.b_n_events in
+  b.b_n_events <- seq + 1;
+  match ev with
+  | Event.Tx_start { core; attempt; elastic } ->
+      (match Hashtbl.find_opt b.open_attempts core with
+      | Some prev ->
+          anomaly b seq time
+            "core %d: attempt %d started while attempt %d still open" core
+            attempt prev.a_number;
+          close b seq time prev Unfinished
+      | None -> ());
+      Hashtbl.replace b.started core ();
+      let a =
+        {
+          a_core = core;
+          a_number = attempt;
+          a_elastic = elastic;
+          a_start_time = time;
+          a_start_seq = seq;
+          a_reads = [];
+          a_refused = false;
+          a_writes = [];
+          a_wlocks = [];
+          a_rlock_released = [];
+          a_commit_begin_seq = None;
+          a_publish_seq = None;
+          a_publish_time = 0.0;
+          a_doomed_seq = None;
+          a_end_time = time;
+          a_end_seq = seq;
+          a_outcome = Unfinished;
+        }
+      in
+      Hashtbl.replace b.open_attempts core a;
+      if b.retain then b.b_attempts <- a :: b.b_attempts
+  | Event.Tx_read { core; addr; granted; value } ->
+      with_open b seq time core "tx-read" (fun a ->
+          if granted then
+            a.a_reads <-
+              { r_addr = addr; r_value = value; r_time = time; r_seq = seq }
+              :: a.a_reads
+          else a.a_refused <- true)
+  | Event.Tx_write { core; addr; value } ->
+      with_open b seq time core "tx-write" (fun a ->
+          a.a_writes <- update_write a.a_writes addr value)
+  | Event.Rlock_released { core; addr } ->
+      with_open b seq time core "rlock-release" (fun a ->
+          a.a_rlock_released <- (seq, addr) :: a.a_rlock_released)
+  | Event.Wlock_granted { core; addrs } ->
+      with_open b seq time core "wlock" (fun a ->
+          a.a_wlocks <- (seq, addrs) :: a.a_wlocks)
+  | Event.Tx_commit_begin { core; attempt; _ } ->
+      with_open b seq time core "commit-begin" (fun a ->
+          if a.a_number <> attempt then
+            anomaly b seq time "core %d: commit-begin for attempt %d inside %d"
+              core attempt a.a_number;
+          a.a_commit_begin_seq <- Some seq)
+  | Event.Tx_publish { core; attempt; _ } ->
+      with_open b seq time core "publish" (fun a ->
+          if a.a_number <> attempt then
+            anomaly b seq time "core %d: publish for attempt %d inside %d" core
+              attempt a.a_number;
+          (match a.a_publish_seq with
+          | Some _ ->
+              anomaly b seq time "core %d: attempt %d published twice" core
+                attempt
           | None -> ());
-          Hashtbl.replace started core ();
-          let a =
-            {
-              a_core = core;
-              a_number = attempt;
-              a_elastic = elastic;
-              a_start_time = time;
-              a_start_seq = seq;
-              a_reads = [];
-              a_refused = false;
-              a_writes = [];
-              a_wlocks = [];
-              a_rlock_released = [];
-              a_commit_begin_seq = None;
-              a_publish_seq = None;
-              a_publish_time = 0.0;
-              a_doomed_seq = None;
-              a_end_time = time;
-              a_end_seq = seq;
-              a_outcome = Unfinished;
-            }
-          in
-          Hashtbl.replace open_attempts core a;
-          attempts := a :: !attempts
-      | Event.Tx_read { core; addr; granted; value } ->
-          with_open seq time core "tx-read" (fun a ->
-              if granted then
-                a.a_reads <-
-                  { r_addr = addr; r_value = value; r_time = time; r_seq = seq }
-                  :: a.a_reads
-              else a.a_refused <- true)
-      | Event.Tx_write { core; addr; value } ->
-          with_open seq time core "tx-write" (fun a ->
-              a.a_writes <- update_write a.a_writes addr value)
-      | Event.Rlock_released { core; addr } ->
-          with_open seq time core "rlock-release" (fun a ->
-              a.a_rlock_released <- (seq, addr) :: a.a_rlock_released)
-      | Event.Wlock_granted { core; addrs } ->
-          with_open seq time core "wlock" (fun a ->
-              a.a_wlocks <- (seq, addrs) :: a.a_wlocks)
-      | Event.Tx_commit_begin { core; attempt; _ } ->
-          with_open seq time core "commit-begin" (fun a ->
-              if a.a_number <> attempt then
-                anomaly seq time "core %d: commit-begin for attempt %d inside %d"
-                  core attempt a.a_number;
-              a.a_commit_begin_seq <- Some seq)
-      | Event.Tx_publish { core; attempt; _ } ->
-          with_open seq time core "publish" (fun a ->
-              if a.a_number <> attempt then
-                anomaly seq time "core %d: publish for attempt %d inside %d" core
-                  attempt a.a_number;
-              (match a.a_publish_seq with
-              | Some _ -> anomaly seq time "core %d: attempt %d published twice" core attempt
-              | None -> ());
-              a.a_publish_seq <- Some seq;
-              a.a_publish_time <- time)
-      | Event.Tx_committed { core; attempt; duration_ns } ->
-          with_open seq time core "committed" (fun a ->
-              if a.a_number <> attempt then
-                anomaly seq time "core %d: commit of attempt %d inside %d" core
-                  attempt a.a_number;
-              close seq time a (Committed { duration_ns }))
-      | Event.Tx_aborted { core; attempt; conflict } ->
-          with_open seq time core "aborted" (fun a ->
-              if a.a_number <> attempt then
-                anomaly seq time "core %d: abort of attempt %d inside %d" core
-                  attempt a.a_number;
-              close seq time a (Aborted { conflict }))
-      | Event.Enemy_aborted { victim; _ } ->
-          (* The CAS can only land on a live pending attempt; anything
-             else is a protocol violation reported by the lockset
-             checker, which replays these events itself. Here we only
-             mark the doom point for liveness/serializability use. *)
-          (match Hashtbl.find_opt open_attempts victim with
-          | Some a when a.a_doomed_seq = None -> a.a_doomed_seq <- Some seq
-          | Some _ | None -> ())
-      | Event.Host_write { addr; value } ->
-          (* Attributed to no attempt: setup and private-node init. *)
-          host_writes := (seq, addr, value) :: !host_writes
-      | Event.Core_crashed { core; _ } ->
-          (* Crash-stop: the core's open attempt ends here, Unfinished —
-             exactly like run-horizon truncation, so no checker treats
-             its open locks or missing end event as a violation. *)
-          (match Hashtbl.find_opt open_attempts core with
-          | Some a -> close seq time a Unfinished
-          | None -> ())
-      | Event.Lock_conflict _ | Event.Req_sent _ | Event.Service _
-      | Event.Service_done _ | Event.Barrier _ | Event.Msg_dropped _
-      | Event.Msg_duplicated _ | Event.Req_resent _ | Event.Lease_reclaimed _
-      | Event.Server_crashed _ | Event.Epoch_bumped _ | Event.Replica_applied _
-      | Event.Failover_done _ | Event.Stale_epoch_rejected _ ->
-          (* Failover events carry no per-attempt information: a
-             server crash ends no application attempt (clients ride it
-             out through resend + failover). *)
-          ())
-    events;
-  (* Attempts still open: close in place as Unfinished. *)
+          a.a_publish_seq <- Some seq;
+          a.a_publish_time <- time;
+          b.on_publish a)
+  | Event.Tx_committed { core; attempt; duration_ns } ->
+      with_open b seq time core "committed" (fun a ->
+          if a.a_number <> attempt then
+            anomaly b seq time "core %d: commit of attempt %d inside %d" core
+              attempt a.a_number;
+          close b seq time a (Committed { duration_ns }))
+  | Event.Tx_aborted { core; attempt; conflict } ->
+      with_open b seq time core "aborted" (fun a ->
+          if a.a_number <> attempt then
+            anomaly b seq time "core %d: abort of attempt %d inside %d" core
+              attempt a.a_number;
+          close b seq time a (Aborted { conflict }))
+  | Event.Enemy_aborted { victim; _ } ->
+      (* The CAS can only land on a live pending attempt; anything
+         else is a protocol violation reported by the lockset
+         checker, which replays these events itself. Here we only
+         mark the doom point for liveness/serializability use. *)
+      (match Hashtbl.find_opt b.open_attempts victim with
+      | Some a when a.a_doomed_seq = None -> a.a_doomed_seq <- Some seq
+      | Some _ | None -> ())
+  | Event.Host_write { addr; value } ->
+      (* Attributed to no attempt: setup and private-node init. *)
+      if b.retain then b.b_host_writes <- (seq, addr, value) :: b.b_host_writes;
+      b.on_host_write seq addr value
+  | Event.Core_crashed { core; _ } ->
+      (* Crash-stop: the core's open attempt ends here, Unfinished —
+         exactly like run-horizon truncation, so no checker treats
+         its open locks or missing end event as a violation. *)
+      (match Hashtbl.find_opt b.open_attempts core with
+      | Some a -> close b seq time a Unfinished
+      | None -> ())
+  | Event.Lock_conflict _ | Event.Req_sent _ | Event.Service _
+  | Event.Service_done _ | Event.Barrier _ | Event.Msg_dropped _
+  | Event.Msg_duplicated _ | Event.Req_resent _ | Event.Lease_reclaimed _
+  | Event.Server_crashed _ | Event.Epoch_bumped _ | Event.Replica_applied _
+  | Event.Failover_done _ | Event.Stale_epoch_rejected _ ->
+      (* Failover events carry no per-attempt information: a
+         server crash ends no application attempt (clients ride it
+         out through resend + failover). *)
+      ()
+
+(* Attempts still open when the stream ends stay [Unfinished]; their
+   accumulators are put into program order and [on_close] fires so a
+   streaming consumer sees horizon-truncated attempts too. *)
+let finish b =
   Tm2c_engine.Det.iter
     (fun _ a ->
       a.a_outcome <- Unfinished;
       a.a_reads <- List.rev a.a_reads;
       a.a_wlocks <- List.rev a.a_wlocks;
-      a.a_rlock_released <- List.rev a.a_rlock_released)
-    open_attempts;
+      a.a_rlock_released <- List.rev a.a_rlock_released;
+      b.on_close a)
+    b.open_attempts;
+  Hashtbl.reset b.open_attempts;
   {
-    attempts = List.rev !attempts;
-    host_writes = List.rev !host_writes;
-    anomalies = List.rev !anomalies;
-    n_events = !n_events;
-    n_orphans = !n_orphans;
+    attempts = List.rev b.b_attempts;
+    host_writes = List.rev b.b_host_writes;
+    anomalies = List.rev b.b_anomalies;
+    n_events = b.b_n_events;
+    n_orphans = b.b_n_orphans;
   }
+
+let build iter =
+  let b = builder () in
+  iter (fun time ev -> feed b time ev);
+  finish b

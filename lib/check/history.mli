@@ -5,7 +5,13 @@
     sequence number — the position of each event in the stream, which
     is the simulator's actual execution order (virtual timestamps can
     tie; sequence numbers cannot). All downstream checkers reason in
-    sequence order. *)
+    sequence order.
+
+    One incremental {!builder} is the single reconstruction core: the
+    batch {!build} retains everything, while the streaming checker
+    feeds the same builder with [retain:false] and consumes attempts
+    through callbacks, keeping memory bounded by the concurrency
+    window instead of the run length. *)
 
 open Tm2c_core
 
@@ -67,7 +73,44 @@ type t = {
           only for truncated streams *)
 }
 
-val build : (float * Event.t) list -> t
+(** Incremental reconstruction state. *)
+type builder
+
+(** [builder ()] with all defaults behaves exactly like the batch
+    path. [retain:false] drops closed attempts and host writes from
+    the final {!t} (the callbacks are then the only way to observe
+    them), bounding memory by the number of open attempts.
+    [on_close] fires once per attempt, when it closes (commit, abort,
+    crash, nested-start anomaly, or end of stream) — its accumulator
+    lists are already in program order. [on_publish] fires at the
+    attempt's [Tx_publish], when its write set is final and visible.
+    [on_host_write] fires per [Event.Host_write] as (seq, addr, value). *)
+val builder :
+  ?retain:bool ->
+  ?on_close:(attempt -> unit) ->
+  ?on_publish:(attempt -> unit) ->
+  ?on_host_write:(int -> Types.addr -> int -> unit) ->
+  unit ->
+  builder
+
+val feed : builder -> float -> Event.t -> unit
+
+(** Events fed so far — the sequence number the next event gets. *)
+val n_events : builder -> int
+
+(** Min [a_start_seq] over the attempts currently open, or
+    {!n_events} when none are: nothing a live (or future) attempt can
+    still conflict with precedes this sequence point, so a streaming
+    checker may discard state older than it. *)
+val watermark : builder -> int
+
+(** Close every still-open attempt as [Unfinished] (firing [on_close])
+    and return the assembled history. *)
+val finish : builder -> t
+
+(** Batch reconstruction over an event iterator, e.g.
+    [build (Collector.iter c)]. *)
+val build : ((float -> Event.t -> unit) -> unit) -> t
 
 (** Attempts with [Committed] outcome, in start order. *)
 val committed_attempts : t -> attempt list

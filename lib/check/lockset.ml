@@ -16,6 +16,11 @@
    at a grant then means two attempts genuinely held incompatible
    locks at once.
 
+   The checker is single-pass and incremental by construction: all
+   state is the shadow table itself, whose size is bounded by the
+   locks concurrently held plus the address working set — never by
+   the run length — so the streaming checker feeds it directly.
+
    Rules enforced, in replay (sequence) order:
 
    - a granted read on an address write-locked by another live
@@ -71,254 +76,276 @@ type report = {
 
 let ok r = r.violations = []
 
-let analyze events =
-  let violations = ref [] and n_grants = ref 0 in
-  let violation seq time fmt =
-    Printf.ksprintf
-      (fun m -> violations := { v_seq = seq; v_time = time; v_message = m } :: !violations)
-      fmt
-  in
+type t = {
+  mutable violations : violation list;  (* reversed *)
+  mutable n_grants : int;
+  mutable seq : int;
   (* addr -> cores holding a read lock / the core holding the write
      lock. A core may hold both (read-to-write upgrade). *)
-  let rlocks : (Types.addr, Types.core_id list) Hashtbl.t = Hashtbl.create 512 in
-  let wlocks : (Types.addr, Types.core_id) Hashtbl.t = Hashtbl.create 512 in
+  rlocks : (Types.addr, Types.core_id list) Hashtbl.t;
+  wlocks : (Types.addr, Types.core_id) Hashtbl.t;
   (* Failover epoch the current write lock on an address was granted
      in; [cur_epoch] follows the [Epoch_bumped] events. (Epochs are
      per partition in the protocol, but a write lock never moves
      between partitions, so the global max is a sound stamp.) *)
-  let wepoch : (Types.addr, int) Hashtbl.t = Hashtbl.create 512 in
-  let cur_epoch = ref 0 in
-  let live : (Types.core_id, live) Hashtbl.t = Hashtbl.create 64 in
+  wepoch : (Types.addr, int) Hashtbl.t;
+  mutable cur_epoch : int;
+  live : (Types.core_id, live) Hashtbl.t;
   (* How each core's most recent attempt ended — after a commit the
      status word reads Committing until the next begin, so an abort
      CAS landing then is a protocol violation; after an abort the
      word still reads Pending, so a landing CAS is the benign
      in-flight revocation race. *)
-  let last_outcome : (Types.core_id, [ `Committed | `Aborted ]) Hashtbl.t =
-    Hashtbl.create 64
+  last_outcome : (Types.core_id, [ `Committed | `Aborted ]) Hashtbl.t;
+}
+
+let create () =
+  {
+    violations = [];
+    n_grants = 0;
+    seq = 0;
+    rlocks = Hashtbl.create 512;
+    wlocks = Hashtbl.create 512;
+    wepoch = Hashtbl.create 512;
+    cur_epoch = 0;
+    live = Hashtbl.create 64;
+    last_outcome = Hashtbl.create 64;
+  }
+
+let violation t seq time fmt =
+  Printf.ksprintf
+    (fun m ->
+      t.violations <- { v_seq = seq; v_time = time; v_message = m } :: t.violations)
+    fmt
+
+let readers t addr =
+  match Hashtbl.find_opt t.rlocks addr with Some l -> l | None -> []
+
+let doomed t core =
+  match Hashtbl.find_opt t.live core with
+  | Some l -> l.l_doomed
+  | None -> false
+
+let add_reader t addr core =
+  if not (List.mem core (readers t addr)) then
+    Hashtbl.replace t.rlocks addr (core :: readers t addr)
+
+let drop_reader t addr core =
+  match List.filter (fun c -> c <> core) (readers t addr) with
+  | [] -> Hashtbl.remove t.rlocks addr
+  | l -> Hashtbl.replace t.rlocks addr l
+
+let drop_core_locks t core =
+  let held_r =
+    Tm2c_engine.Det.fold
+      (fun a cs acc -> if List.mem core cs then a :: acc else acc)
+      t.rlocks []
   in
-  let readers addr =
-    match Hashtbl.find_opt rlocks addr with Some l -> l | None -> []
+  List.iter (fun a -> drop_reader t a core) held_r;
+  let held_w =
+    Tm2c_engine.Det.fold
+      (fun a c acc -> if c = core then a :: acc else acc)
+      t.wlocks []
   in
-  let doomed core =
-    match Hashtbl.find_opt live core with
-    | Some l -> l.l_doomed
-    | None -> false
-  in
-  let add_reader addr core =
-    if not (List.mem core (readers addr)) then
-      Hashtbl.replace rlocks addr (core :: readers addr)
-  in
-  let drop_reader addr core =
-    match List.filter (fun c -> c <> core) (readers addr) with
-    | [] -> Hashtbl.remove rlocks addr
-    | l -> Hashtbl.replace rlocks addr l
-  in
-  let drop_core_locks core =
-    let held_r =
-      Tm2c_engine.Det.fold
-        (fun a cs acc -> if List.mem core cs then a :: acc else acc)
-        rlocks []
-    in
-    List.iter (fun a -> drop_reader a core) held_r;
-    let held_w =
-      Tm2c_engine.Det.fold
-        (fun a c acc -> if c = core then a :: acc else acc)
-        wlocks []
-    in
-    List.iter (fun a -> Hashtbl.remove wlocks a) held_w
-  in
-  List.iteri
-    (fun seq (time, ev) ->
-      match ev with
-      | Event.Tx_start { core; attempt; elastic } ->
-          (* Nested-start anomalies are History's department; here we
-             just reset the core's shadow state. *)
-          drop_core_locks core;
-          Hashtbl.replace live core
-            {
-              l_attempt = attempt;
-              l_elastic = elastic;
-              l_published = false;
-              l_doomed = false;
-              l_writes = [];
-            }
-      | Event.Tx_read { core; addr; granted; _ } ->
-          if granted then begin
-            incr n_grants;
-            (match Hashtbl.find_opt wlocks addr with
-            | Some w when w <> core ->
-                if doomed w then
-                  (* Stale entry of a doomed writer: the server revoked
-                     it on sight (status already Aborted). *)
-                  Hashtbl.remove wlocks addr
+  List.iter (fun a -> Hashtbl.remove t.wlocks a) held_w
+
+let feed t time ev =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  match ev with
+  | Event.Tx_start { core; attempt; elastic } ->
+      (* Nested-start anomalies are History's department; here we
+         just reset the core's shadow state. *)
+      drop_core_locks t core;
+      Hashtbl.replace t.live core
+        {
+          l_attempt = attempt;
+          l_elastic = elastic;
+          l_published = false;
+          l_doomed = false;
+          l_writes = [];
+        }
+  | Event.Tx_read { core; addr; granted; _ } ->
+      if granted then begin
+        t.n_grants <- t.n_grants + 1;
+        (match Hashtbl.find_opt t.wlocks addr with
+        | Some w when w <> core ->
+            if doomed t w then
+              (* Stale entry of a doomed writer: the server revoked
+                 it on sight (status already Aborted). *)
+              Hashtbl.remove t.wlocks addr
+            else
+              violation t seq time
+                "read grant to core %d on addr %d while core %d holds the \
+                 write lock"
+                core addr w
+        | Some _ | None -> ());
+        add_reader t addr core
+      end
+  | Event.Tx_write { core; addr; _ } -> (
+      match Hashtbl.find_opt t.live core with
+      | Some l ->
+          if not (List.mem addr l.l_writes) then l.l_writes <- addr :: l.l_writes
+      | None -> ())
+  | Event.Wlock_granted { core; addrs } ->
+      List.iter
+        (fun addr ->
+          t.n_grants <- t.n_grants + 1;
+          (match Hashtbl.find_opt t.wlocks addr with
+          | Some w when w <> core && not (doomed t w) ->
+              let granted_epoch =
+                match Hashtbl.find_opt t.wepoch addr with
+                | Some e -> e
+                | None -> t.cur_epoch
+              in
+              if granted_epoch < t.cur_epoch then
+                violation t seq time
+                  "write-lock grant to core %d on addr %d crosses an epoch \
+                   boundary: core %d was granted it in epoch %d (current \
+                   epoch %d) and was never revoked or reclaimed — a \
+                   stale-epoch server granted over the failover"
+                  core addr w granted_epoch t.cur_epoch
+              else
+                violation t seq time
+                  "write-lock grant to core %d on addr %d while core %d holds \
+                   the write lock"
+                  core addr w
+          | Some _ | None -> ());
+          List.iter
+            (fun r ->
+              if r <> core then
+                if doomed t r then drop_reader t addr r
                 else
-                  violation seq time
-                    "read grant to core %d on addr %d while core %d holds the \
-                     write lock"
-                    core addr w
-            | Some _ | None -> ());
-            add_reader addr core
-          end
-      | Event.Tx_write { core; addr; _ } -> (
-          match Hashtbl.find_opt live core with
-          | Some l -> if not (List.mem addr l.l_writes) then l.l_writes <- addr :: l.l_writes
-          | None -> ())
-      | Event.Wlock_granted { core; addrs } ->
+                  violation t seq time
+                    "write-lock grant to core %d on addr %d while core %d \
+                     holds a read lock"
+                    core addr r)
+            (readers t addr);
+          Hashtbl.replace t.wlocks addr core;
+          Hashtbl.replace t.wepoch addr t.cur_epoch)
+        addrs
+  | Event.Rlock_released { core; addr } ->
+      (match Hashtbl.find_opt t.live core with
+      | Some l when not l.l_elastic ->
+          violation t seq time
+            "core %d released its read lock on addr %d mid-attempt in a \
+             non-elastic transaction (two-phase violation)"
+            core addr
+      | Some _ -> ()
+      | None ->
+          violation t seq time
+            "core %d released a read lock on addr %d outside any attempt" core
+            addr);
+      if not (List.mem core (readers t addr)) then
+        violation t seq time
+          "core %d released a read lock on addr %d it does not hold" core addr;
+      drop_reader t addr core
+  | Event.Tx_publish { core; _ } ->
+      (match Hashtbl.find_opt t.live core with
+      | Some l ->
+          l.l_published <- true;
           List.iter
             (fun addr ->
-              incr n_grants;
-              (match Hashtbl.find_opt wlocks addr with
-              | Some w when w <> core && not (doomed w) ->
-                  let granted_epoch =
-                    match Hashtbl.find_opt wepoch addr with
-                    | Some e -> e
-                    | None -> !cur_epoch
-                  in
-                  if granted_epoch < !cur_epoch then
-                    violation seq time
-                      "write-lock grant to core %d on addr %d crosses an epoch \
-                       boundary: core %d was granted it in epoch %d (current \
-                       epoch %d) and was never revoked or reclaimed — a \
-                       stale-epoch server granted over the failover"
-                      core addr w granted_epoch !cur_epoch
-                  else
-                    violation seq time
-                      "write-lock grant to core %d on addr %d while core %d holds \
-                       the write lock"
-                      core addr w
-              | Some _ | None -> ());
-              List.iter
-                (fun r ->
-                  if r <> core then
-                    if doomed r then drop_reader addr r
-                    else
-                      violation seq time
-                        "write-lock grant to core %d on addr %d while core %d \
-                         holds a read lock"
-                        core addr r)
-                (readers addr);
-              Hashtbl.replace wlocks addr core;
-              Hashtbl.replace wepoch addr !cur_epoch)
-            addrs
-      | Event.Rlock_released { core; addr } ->
-          (match Hashtbl.find_opt live core with
-          | Some l when not l.l_elastic ->
-              violation seq time
-                "core %d released its read lock on addr %d mid-attempt in a \
-                 non-elastic transaction (two-phase violation)"
-                core addr
-          | Some _ -> ()
-          | None ->
-              violation seq time
-                "core %d released a read lock on addr %d outside any attempt"
-                core addr);
-          if not (List.mem core (readers addr)) then
-            violation seq time
-              "core %d released a read lock on addr %d it does not hold" core addr;
-          drop_reader addr core
-      | Event.Tx_publish { core; _ } ->
-          (match Hashtbl.find_opt live core with
-          | Some l ->
-              l.l_published <- true;
-              List.iter
-                (fun addr ->
-                  match Hashtbl.find_opt wlocks addr with
-                  | Some w when w = core -> ()
-                  | Some w ->
-                      violation seq time
-                        "core %d writing back addr %d write-locked by core %d"
-                        core addr w
-                  | None ->
-                      violation seq time
-                        "core %d writing back addr %d without holding its write \
-                         lock"
-                        core addr)
-                l.l_writes
-          | None -> ());
-          (* Release messages go out at the publish point and can be
-             serviced before [Tx_committed] is emitted — free the
-             shadow locks now so re-grants of the released addresses
-             are not misread as conflicts. *)
-          drop_core_locks core
-      | Event.Tx_committed { core; _ } ->
-          drop_core_locks core;
-          Hashtbl.remove live core;
-          Hashtbl.replace last_outcome core `Committed
-      | Event.Tx_aborted { core; _ } ->
-          drop_core_locks core;
-          Hashtbl.remove live core;
-          Hashtbl.replace last_outcome core `Aborted
-      | Event.Enemy_aborted { victim; addr; winner; _ } ->
-          (match Hashtbl.find_opt live victim with
-          | Some l when l.l_published ->
-              violation seq time
-                "enemy-abort CAS by core %d landed on core %d (addr %d) after \
-                 its publish point — victim was already committed"
+              match Hashtbl.find_opt t.wlocks addr with
+              | Some w when w = core -> ()
+              | Some w ->
+                  violation t seq time
+                    "core %d writing back addr %d write-locked by core %d" core
+                    addr w
+              | None ->
+                  violation t seq time
+                    "core %d writing back addr %d without holding its write \
+                     lock"
+                    core addr)
+            l.l_writes
+      | None -> ());
+      (* Release messages go out at the publish point and can be
+         serviced before [Tx_committed] is emitted — free the
+         shadow locks now so re-grants of the released addresses
+         are not misread as conflicts. *)
+      drop_core_locks t core
+  | Event.Tx_committed { core; _ } ->
+      drop_core_locks t core;
+      Hashtbl.remove t.live core;
+      Hashtbl.replace t.last_outcome core `Committed
+  | Event.Tx_aborted { core; _ } ->
+      drop_core_locks t core;
+      Hashtbl.remove t.live core;
+      Hashtbl.replace t.last_outcome core `Aborted
+  | Event.Enemy_aborted { victim; addr; winner; _ } ->
+      (match Hashtbl.find_opt t.live victim with
+      | Some l when l.l_published ->
+          violation t seq time
+            "enemy-abort CAS by core %d landed on core %d (addr %d) after \
+             its publish point — victim was already committed"
+            winner victim addr
+      | Some l -> l.l_doomed <- true
+      | None -> (
+          match Hashtbl.find_opt t.last_outcome victim with
+          | Some `Committed ->
+              violation t seq time
+                "enemy-abort CAS by core %d landed on core %d (addr %d) \
+                 after its commit and before its next attempt — the \
+                 status word reads Committing there, the CAS must fail"
                 winner victim addr
-          | Some l -> l.l_doomed <- true
-          | None -> (
-              match Hashtbl.find_opt last_outcome victim with
-              | Some `Committed ->
-                  violation seq time
-                    "enemy-abort CAS by core %d landed on core %d (addr %d) \
-                     after its commit and before its next attempt — the \
-                     status word reads Committing there, the CAS must fail"
-                    winner victim addr
-              | Some `Aborted | None ->
-                  (* Benign in-flight revocation: the victim already
-                     aborted on its own, its status word still reads
-                     Pending until the next begin_attempt. *)
-                  ()));
-          (* The server revokes the victim's conflicting entry before
-             granting the winner. *)
-          drop_reader addr victim;
-          (match Hashtbl.find_opt wlocks addr with
-          | Some w when w = victim -> Hashtbl.remove wlocks addr
-          | Some _ | None -> ())
-      | Event.Lease_reclaimed { victim; addr; aborted; _ } ->
-          (* Lease expiry revoked the victim's entry on [addr]. When the
-             reclaim CAS landed ([aborted]) the victim's live attempt
-             was killed exactly like an [Enemy_aborted] — same publish
-             check, same dooming. A stale reclaim (the entry's attempt
-             had already ended: the holder crashed between attempts, or
-             its release was dropped) touches no live attempt and is
-             never a violation. *)
-          (if aborted then
-             match Hashtbl.find_opt live victim with
-             | Some l when l.l_published ->
-                 violation seq time
-                   "lease reclaim aborted core %d (addr %d) after its publish \
-                    point — victim was already committed"
-                   victim addr
-             | Some l -> l.l_doomed <- true
-             | None -> ());
-          drop_reader addr victim;
-          (match Hashtbl.find_opt wlocks addr with
-          | Some w when w = victim -> Hashtbl.remove wlocks addr
-          | Some _ | None -> ())
-      | Event.Core_crashed _ ->
-          (* Crash-stop releases nothing: the core's shadow locks stay
-             held (a grant over them without an [Enemy_aborted] or
-             [Lease_reclaimed] is still a violation) and its open
-             attempt simply never ends — which breaks no rule here, so
-             a crashed core's dangling attempt is not a 2PL violation.
-             The status word still reads Pending, so the entries are
-             not doomed-stale either: only a CAS event may revoke them. *)
-          ()
-      | Event.Epoch_bumped { epoch; _ } ->
-          if epoch > !cur_epoch then cur_epoch := epoch
-      | Event.Server_crashed _ | Event.Replica_applied _ | Event.Failover_done _
-      | Event.Stale_epoch_rejected _ ->
-          (* Failover bookkeeping: the replica apply and merge move
-             entries between tables without changing any holder, so
-             the shadow needs no action; honest stale rejections touch
-             nothing by construction. *)
-          ()
-      | Event.Tx_commit_begin _ | Event.Host_write _ | Event.Lock_conflict _
-      | Event.Req_sent _ | Event.Service _ | Event.Service_done _
-      | Event.Barrier _ | Event.Msg_dropped _ | Event.Msg_duplicated _
-      | Event.Req_resent _ ->
-          ())
-    events;
-  { violations = List.rev !violations; n_grants = !n_grants }
+          | Some `Aborted | None ->
+              (* Benign in-flight revocation: the victim already
+                 aborted on its own, its status word still reads
+                 Pending until the next begin_attempt. *)
+              ()));
+      (* The server revokes the victim's conflicting entry before
+         granting the winner. *)
+      drop_reader t addr victim;
+      (match Hashtbl.find_opt t.wlocks addr with
+      | Some w when w = victim -> Hashtbl.remove t.wlocks addr
+      | Some _ | None -> ())
+  | Event.Lease_reclaimed { victim; addr; aborted; _ } ->
+      (* Lease expiry revoked the victim's entry on [addr]. When the
+         reclaim CAS landed ([aborted]) the victim's live attempt
+         was killed exactly like an [Enemy_aborted] — same publish
+         check, same dooming. A stale reclaim (the entry's attempt
+         had already ended: the holder crashed between attempts, or
+         its release was dropped) touches no live attempt and is
+         never a violation. *)
+      (if aborted then
+         match Hashtbl.find_opt t.live victim with
+         | Some l when l.l_published ->
+             violation t seq time
+               "lease reclaim aborted core %d (addr %d) after its publish \
+                point — victim was already committed"
+               victim addr
+         | Some l -> l.l_doomed <- true
+         | None -> ());
+      drop_reader t addr victim;
+      (match Hashtbl.find_opt t.wlocks addr with
+      | Some w when w = victim -> Hashtbl.remove t.wlocks addr
+      | Some _ | None -> ())
+  | Event.Core_crashed _ ->
+      (* Crash-stop releases nothing: the core's shadow locks stay
+         held (a grant over them without an [Enemy_aborted] or
+         [Lease_reclaimed] is still a violation) and its open
+         attempt simply never ends — which breaks no rule here, so
+         a crashed core's dangling attempt is not a 2PL violation.
+         The status word still reads Pending, so the entries are
+         not doomed-stale either: only a CAS event may revoke them. *)
+      ()
+  | Event.Epoch_bumped { epoch; _ } ->
+      if epoch > t.cur_epoch then t.cur_epoch <- epoch
+  | Event.Server_crashed _ | Event.Replica_applied _ | Event.Failover_done _
+  | Event.Stale_epoch_rejected _ ->
+      (* Failover bookkeeping: the replica apply and merge move
+         entries between tables without changing any holder, so
+         the shadow needs no action; honest stale rejections touch
+         nothing by construction. *)
+      ()
+  | Event.Tx_commit_begin _ | Event.Host_write _ | Event.Lock_conflict _
+  | Event.Req_sent _ | Event.Service _ | Event.Service_done _ | Event.Barrier _
+  | Event.Msg_dropped _ | Event.Msg_duplicated _ | Event.Req_resent _ ->
+      ()
+
+let finish t = { violations = List.rev t.violations; n_grants = t.n_grants }
+
+let analyze iter =
+  let t = create () in
+  iter (fun time ev -> feed t time ev);
+  finish t

@@ -7,7 +7,12 @@
     under write locks, and enemy-abort CASes never land on victims
     past their publish point. See the implementation header for the
     exact rules and why the shadow is conservative in the right
-    direction. *)
+    direction.
+
+    The checker is single-pass: {!create} / {!feed} / {!finish} is the
+    incremental form the streaming checker drives event by event (its
+    state is bounded by held locks plus the address working set, not
+    run length); {!analyze} is the batch wrapper over an iterator. *)
 
 type violation = { v_seq : int; v_time : float; v_message : string }
 
@@ -16,6 +21,16 @@ type report = {
   n_grants : int;  (** read + write lock grants replayed *)
 }
 
-val analyze : (float * Tm2c_core.Event.t) list -> report
+(** Incremental shadow-table state. *)
+type t
+
+val create : unit -> t
+
+val feed : t -> float -> Tm2c_core.Event.t -> unit
+
+val finish : t -> report
+
+(** Batch form: [analyze (Collector.iter c)]. *)
+val analyze : ((float -> Tm2c_core.Event.t -> unit) -> unit) -> report
 
 val ok : report -> bool

@@ -1,13 +1,19 @@
-(* Serializability oracle: a multi-version serialization-graph test
-   over the committed transactions of a reconstructed history.
+(* Serializability + opacity oracle: a multi-version
+   serialization-graph test over the serialized transactions of a
+   reconstructed history, plus a snapshot-consistency check over the
+   attempts that never serialized.
 
-   Committed attempts are replayed in publish order against versioned
-   shared memory — every write installs a new version stamped with the
-   writer's publish sequence point. Each granted read is then resolved
-   to the version it actually observed by matching the traced (seq,
-   value) pair: normally the latest version published before the
-   sample instant, otherwise an older (stale) or later version with
-   the observed value. The resolution induces the usual MVSG edges
+   Serialized attempts — committed ones, plus attempts frozen by the
+   run horizon after their publish point (their write-back is already
+   visible and their status word can no longer be CASed, so they are
+   committed in all but the final event) — are replayed in publish
+   order against versioned shared memory: every write installs a new
+   version stamped with the writer's publish sequence point. Each
+   granted read is then resolved to the version it actually observed
+   by matching the traced (seq, value) pair: normally the latest
+   version published before the sample instant, otherwise an older
+   (stale) or later version with the observed value. The resolution
+   induces the usual MVSG edges
 
      WR  T' -> T    T read the version T' installed
      WW  T' -> T''  consecutive versions of one address
@@ -17,10 +23,25 @@
    is reported with a minimal witness: the transactions on it and, for
    each hop, the edge kind, address, and inducing sequence point.
 
+   Opacity goes further: attempts that aborted (or were cut off by the
+   horizon before publishing) must also have observed a consistent
+   snapshot — TM2C's visible-read protocol promises that even doomed
+   transactions never see a state no serial execution could reach.
+   Each such attempt's read prefix is checked against the installed
+   version timeline: a read of (addr, value) at sequence point s is
+   explainable by any snapshot instant inside a version interval
+   [pub, next_pub) whose value matches and whose publish precedes s.
+   The attempt is opaque iff the intersection of its reads'
+   explainable-instant sets is nonempty; when it first becomes empty
+   the two irreconcilable reads (and the versions they pin) form a
+   minimal witness.
+
    Initial memory state is untraced (the harness populates structures
    with host-side pokes before the measured region), so every address
    starts from a lazily-bound initial version: the first read that
-   can only be explained by the initial state binds its value. *)
+   can only be explained by the initial state binds its value. An
+   unbound initial version matches any observed value — the oracle
+   never invents a violation out of unobservable setup state. *)
 
 open Tm2c_core
 
@@ -38,6 +59,21 @@ type edge = {
 
 type cycle = { c_txns : int list; c_edges : edge list }
 
+type inconsistent_read = {
+  ir_core : Types.core_id;
+  ir_attempt : int;
+  ir_start_seq : int;
+  ir_end_seq : int;
+  ir_addr1 : Types.addr;
+  ir_value1 : int;
+  ir_seq1 : int;
+  ir_pub1 : int;
+  ir_addr2 : Types.addr;
+  ir_value2 : int;
+  ir_seq2 : int;
+  ir_pub2 : int;
+}
+
 type report = {
   txns : History.attempt array;
   n_reads_checked : int;
@@ -45,12 +81,15 @@ type report = {
   n_initial_bound : int;
   corruption : string list;
   cycle : cycle option;
+  opacity : inconsistent_read list;
+  n_opacity_checked : int;
 }
 
-let ok r = r.corruption = [] && r.cycle = None
+let ok r = r.corruption = [] && r.cycle = None && r.opacity = []
 
 (* A version of one address. [v_writer = None] is the lazily-bound
-   initial version; its [v_pub_seq] of -1 precedes every event. *)
+   initial version or an external host write; its [v_pub_seq] of -1
+   (initial) precedes every event. *)
 type version = {
   v_writer : int option;
   mutable v_value : int option;
@@ -59,6 +98,15 @@ type version = {
 
 let pub_key (a : History.attempt) =
   match a.History.a_publish_seq with Some s -> s | None -> a.History.a_end_seq
+
+(* An attempt whose writes are visible: committed, or cut off by the
+   horizon after its publish point (write-back done, status word
+   un-CASable — committed in all but the final event). *)
+let serialized (a : History.attempt) =
+  match a.History.a_outcome with
+  | History.Committed _ -> true
+  | History.Unfinished -> a.History.a_publish_seq <> None
+  | History.Aborted _ -> false
 
 exception Found_cycle of int list
 
@@ -102,12 +150,121 @@ let find_cycle n succ =
     None
   with Found_cycle c -> Some c
 
-let analyze (h : History.t) =
-  let txns = Array.of_list (History.committed_attempts h) in
+(* --- Opacity: snapshot-interval machinery, shared with Stream. ---
+
+   The snapshot line is the sequence-number axis. A read's
+   explainable set is a union of half-open intervals; the sets are
+   kept as sorted disjoint-or-adjacent lists and intersected by a
+   linear sweep. *)
+
+let intersect_intervals u1 u2 =
+  let rec go acc l1 l2 =
+    match (l1, l2) with
+    | [], _ | _, [] -> List.rev acc
+    | (lo1, hi1) :: t1, (lo2, hi2) :: t2 ->
+        let lo = max lo1 lo2 and hi = min hi1 hi2 in
+        let acc = if lo < hi then (lo, hi) :: acc else acc in
+        if hi1 <= hi2 then go acc t1 l2 else go acc l1 t2
+  in
+  go [] u1 u2
+
+(* Intervals on which [r] is explainable, given the address's version
+   timeline as a pub-sorted [(pub_seq, value option)] array (value
+   [None] = unbound initial state, which matches anything). Only
+   versions published before the sample instant qualify — a read
+   cannot observe the future — but an interval may extend past it. *)
+let read_intervals (view : (int * int option) array) (r : History.read) =
+  let n = Array.length view in
+  let out = ref [] in
+  for j = n - 1 downto 0 do
+    let pub, value = view.(j) in
+    if
+      pub <= r.History.r_seq
+      && (match value with None -> true | Some v -> v = r.History.r_value)
+    then
+      let hi = if j + 1 < n then fst view.(j + 1) else max_int in
+      if pub < hi then out := (pub, hi) :: !out
+  done;
+  !out
+
+(* The version the read most plausibly observed (latest matching
+   publish before the sample), for witness detail; -1 when nothing
+   matches. *)
+let timing_pub (view : (int * int option) array) (r : History.read) =
+  let best = ref (-1) in
+  Array.iter
+    (fun (pub, value) ->
+      if
+        pub <= r.History.r_seq && pub > !best
+        && (match value with None -> true | Some v -> v = r.History.r_value)
+      then best := pub)
+    view;
+  !best
+
+(* Check one non-serialized attempt's read prefix for snapshot
+   consistency. [versions_of addr] returns the pub-sorted version
+   timeline of [addr]. The snapshot instant is constrained to the
+   attempt's lifetime (>= its start sequence): a version published
+   earlier still explains a read as long as it is live at the start,
+   but the window before the attempt existed — in particular the
+   unbound initial state before the host-side setup stores — cannot.
+   Returns the minimal witness on failure: the first read whose
+   explainable set empties the running intersection, paired with the
+   earliest previous read it is pairwise irreconcilable with. *)
+let opacity_check ~versions_of (a : History.attempt) =
+  let witness (r1 : History.read) (r2 : History.read) =
+    Some
+      {
+        ir_core = a.History.a_core;
+        ir_attempt = a.History.a_number;
+        ir_start_seq = a.History.a_start_seq;
+        ir_end_seq = a.History.a_end_seq;
+        ir_addr1 = r1.History.r_addr;
+        ir_value1 = r1.History.r_value;
+        ir_seq1 = r1.History.r_seq;
+        ir_pub1 = timing_pub (versions_of r1.History.r_addr) r1;
+        ir_addr2 = r2.History.r_addr;
+        ir_value2 = r2.History.r_value;
+        ir_seq2 = r2.History.r_seq;
+        ir_pub2 = timing_pub (versions_of r2.History.r_addr) r2;
+      }
+  in
+  let life = [ (a.History.a_start_seq, max_int) ] in
+  let explainable (r : History.read) =
+    intersect_intervals life (read_intervals (versions_of r.History.r_addr) r)
+  in
+  let rec go feasible seen = function
+    | [] -> None
+    | (r : History.read) :: rest -> (
+        let u = explainable r in
+        match intersect_intervals feasible u with
+        | _ :: _ as f -> go f (r :: seen) rest
+        | [] -> (
+            if u = [] then witness r r
+            else
+              (* Minimal two-read witness: the earliest previous read
+                 pairwise irreconcilable with this one. When the
+                 emptiness only arises from three or more reads
+                 jointly (interval unions are not Helly), fall back to
+                 the prefix's first read. *)
+              let prev = List.rev seen in
+              match
+                List.find_opt
+                  (fun (p : History.read) -> intersect_intervals (explainable p) u = [])
+                  prev
+              with
+              | Some p -> witness p r
+              | None -> (
+                  match prev with [] -> witness r r | p :: _ -> witness p r)))
+  in
+  go life [] a.History.a_reads
+
+let analyze ?(opacity = true) (h : History.t) =
+  let txns = Array.of_list (List.filter serialized h.History.attempts) in
   Array.sort (fun a b -> compare (pub_key a) (pub_key b)) txns;
   let n = Array.length txns in
   (* Versioned memory: oldest-first version array per address, index 0
-     always the initial version. Committed write sets and host-side
+     always the initial version. Serialized write sets and host-side
      stores ([Event.Host_write]: setup, private-node initialization —
      external versions with no graph node) interleave by their
      sequence points. *)
@@ -252,6 +409,38 @@ let analyze (h : History.t) =
                 | None -> ()))
           a.History.a_reads)
     txns;
+  (* Opacity pass, after replay so lazily-bound initial versions carry
+     their concrete values: every attempt that never serialized (abort
+     or pre-publish horizon cut) must still have read one consistent
+     snapshot. Elastic attempts are exempt — early read-lock release
+     is precisely a license to span snapshots, validated by their own
+     windowed rule instead. *)
+  let opacity_violations = ref [] in
+  let n_opacity_checked = ref 0 in
+  if opacity then begin
+    let view_cache : (Types.addr, (int * int option) array) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    let versions_of addr =
+      match Hashtbl.find_opt view_cache addr with
+      | Some v -> v
+      | None ->
+          let v =
+            Array.map (fun v -> (v.v_pub_seq, v.v_value)) (get_versions addr)
+          in
+          Hashtbl.replace view_cache addr v;
+          v
+    in
+    List.iter
+      (fun (a : History.attempt) ->
+        if (not (serialized a)) && not a.History.a_elastic then begin
+          incr n_opacity_checked;
+          match opacity_check ~versions_of a with
+          | Some ir -> opacity_violations := ir :: !opacity_violations
+          | None -> ()
+        end)
+      h.History.attempts
+  end;
   let succs = Array.make (max n 1) [] in
   Tm2c_engine.Det.iter (fun (f, t) _ -> succs.(f) <- t :: succs.(f)) edges;
   (* Deterministic traversal order for a stable witness. *)
@@ -281,4 +470,6 @@ let analyze (h : History.t) =
     n_initial_bound = !n_initial_bound;
     corruption = List.rev !corruption;
     cycle;
+    opacity = List.rev !opacity_violations;
+    n_opacity_checked = !n_opacity_checked;
   }

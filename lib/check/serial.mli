@@ -1,20 +1,33 @@
-(** Serializability oracle: multi-version serialization-graph test.
+(** Serializability + opacity oracle: multi-version
+    serialization-graph test plus snapshot consistency for
+    never-serialized attempts.
 
-    Committed transactions are replayed in publish order against
-    versioned shared memory; each granted read is resolved (by its
-    traced sequence point and observed value) to the version it
-    actually saw, inducing WR / WW / RW dependency edges. The
-    committed history is serializable iff the graph is acyclic; a
-    cycle is returned with a minimal witness.
+    Serialized transactions — committed, or horizon-frozen after
+    their publish point (write-back already visible) — are replayed
+    in publish order against versioned shared memory; each granted
+    read is resolved (by its traced sequence point and observed
+    value) to the version it actually saw, inducing WR / WW / RW
+    dependency edges. The serialized history is serializable iff the
+    graph is acyclic; a cycle is returned with a minimal witness.
+
+    Opacity: attempts that aborted (or were cut off before
+    publishing) must also have observed a single consistent snapshot.
+    Each such attempt's reads are checked against the installed
+    version timeline; an attempt that mixed values from two
+    irreconcilable versions yields an {!inconsistent_read} witness
+    naming both reads and the versions that pin them apart.
 
     Initial memory state is untraced (host-side pokes populate the
     benchmark structures before the measured region), so each address
     carries a lazily-bound initial version: the first read only
-    explicable by the initial state binds its value.
+    explicable by the initial state binds its value; while unbound it
+    matches any observed value, so setup state never produces a
+    spurious violation.
 
-    Elastic attempts are excluded from read checking — their read
-    traces are intentionally partial and their consistency model is
-    weaker by design. Their writes still install versions. *)
+    Elastic attempts are excluded from both read checks — their read
+    traces are intentionally partial and early read-lock release is
+    by design a license to span snapshots (validated by their own
+    windowed read rule). Their writes still install versions. *)
 
 type edge_kind = Wr | Ww | Rw
 
@@ -33,19 +46,73 @@ type cycle = {
   c_edges : edge list;  (** one edge per hop, closing edge last *)
 }
 
+(** Opacity violation: one attempt whose read prefix fits no single
+    memory snapshot. Read 1 is the earliest read irreconcilable with
+    read 2, the read at which the attempt's feasible-snapshot set
+    became empty; [ir_pub1]/[ir_pub2] are the publish sequence points
+    of the versions each read most plausibly observed (-1 = unbound
+    initial state). *)
+type inconsistent_read = {
+  ir_core : Tm2c_core.Types.core_id;
+  ir_attempt : int;
+  ir_start_seq : int;
+  ir_end_seq : int;
+  ir_addr1 : Tm2c_core.Types.addr;
+  ir_value1 : int;
+  ir_seq1 : int;
+  ir_pub1 : int;
+  ir_addr2 : Tm2c_core.Types.addr;
+  ir_value2 : int;
+  ir_seq2 : int;
+  ir_pub2 : int;
+}
+
 type report = {
   txns : History.attempt array;
-      (** committed transactions in publish order; edge endpoints
+      (** serialized transactions in publish order; edge endpoints
           index into this array *)
   n_reads_checked : int;
-  n_reads_skipped : int;  (** reads of elastic attempts *)
+  n_reads_skipped : int;  (** reads of elastic serialized attempts *)
   n_initial_bound : int;  (** addresses whose initial version got bound *)
   corruption : string list;
       (** reads whose observed value matches no installed version *)
   cycle : cycle option;
+  opacity : inconsistent_read list;
+      (** never-serialized attempts that observed an inconsistent
+          snapshot; empty when [analyze ~opacity:false] *)
+  n_opacity_checked : int;
 }
 
-val analyze : History.t -> report
+(** [analyze ?opacity h] replays the serialized history and, unless
+    [opacity] is [false] (default [true]), snapshot-checks every
+    non-elastic attempt that never serialized. *)
+val analyze : ?opacity:bool -> History.t -> report
 
-(** No corruption and no cycle. *)
+(** No corruption, no cycle, no opacity violation. *)
 val ok : report -> bool
+
+(** Whether an attempt's writes are visible in the serialized
+    history: committed, or horizon-frozen after publish. *)
+val serialized : History.attempt -> bool
+
+(** Snapshot-consistency check for one attempt, shared with the
+    streaming checker. [versions_of addr] is the address's version
+    timeline as a pub-sorted [(pub_seq, value option)] array (value
+    [None] = unbound initial state, matching anything). Returns the
+    minimal witness, or [None] if some snapshot instant within the
+    attempt's lifetime (at or after its start sequence) explains
+    every read. *)
+val opacity_check :
+  versions_of:(Tm2c_core.Types.addr -> (int * int option) array) ->
+  History.attempt ->
+  inconsistent_read option
+
+(**/**)
+
+(** Exposed for the streaming checker: sorted-disjoint interval-list
+    intersection over the sequence axis, and the explainable-instant
+    intervals of one read. *)
+val intersect_intervals :
+  (int * int) list -> (int * int) list -> (int * int) list
+
+val read_intervals : (int * int option) array -> History.read -> (int * int) list

@@ -61,6 +61,12 @@ let clear t =
 
 let set_sink t sink = t.sink <- sink
 
+(* Compose two sink-shaped consumers into one, so e.g. a streaming
+   checker and a history-log writer can share the single sink slot. *)
+let fanout f g now ev =
+  f now ev;
+  g now ev
+
 let set_tap t tap = t.tap <- tap
 
 let record t ~now ev =

@@ -43,6 +43,12 @@ val record : 'a t -> now:float -> 'a -> unit
     uninstalls. Recording still requires {!enabled}. *)
 val set_sink : 'a t -> (float -> 'a -> unit) option -> unit
 
+(** [fanout f g] is a sink that feeds every event to [f] then [g]:
+    the single sink slot shared between e.g. a streaming checker and
+    a history-log writer. *)
+val fanout :
+  (float -> 'a -> unit) -> (float -> 'a -> unit) -> float -> 'a -> unit
+
 (** Second, independent tap with the same contract as {!set_sink},
     called after it. The checker stack owns the sink (and replaces it
     freely); the flight recorder counts events through the tap, so

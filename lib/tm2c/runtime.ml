@@ -148,6 +148,7 @@ let create cfg =
       faults;
       req_timeout_ns = 0.0;
       lease_ns = 0.0;
+      unsafe_skip_doom_check = false;
       failover;
       commit_lat = Sketch.create ();
     }
@@ -217,6 +218,13 @@ let set_hardening t ?timeout_ns ?lease_ns () =
   match lease_ns with
   | Some v -> t.env.System.lease_ns <- v
   | None -> ()
+
+(* Mutation hook for the opacity-oracle tests: disables every client
+   poll of its own status word (see [System.env]). With it on, a
+   doomed attempt can sample memory after its enemy published and
+   record an inconsistent read — exactly what the opacity checker
+   must reject. *)
+let set_skip_doom_check t v = t.env.System.unsafe_skip_doom_check <- v
 
 (* Replicated lock service. With [replicas = 1] every primary ships
    its lock-table mutations to the next primary over (reliable FIFO);

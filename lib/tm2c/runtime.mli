@@ -82,6 +82,14 @@ val set_fault_plan : t -> Tm2c_noc.Fault.plan -> unit
     reclaimed under a status-word CAS (orphan locks of crashed cores). *)
 val set_hardening : t -> ?timeout_ns:float -> ?lease_ns:float -> unit -> unit
 
+(** Test-only mutation hook: disable every client-side poll of its own
+    status word (both the attempt-boundary checks and the post-grant
+    re-check inside the visible read). This reintroduces the
+    stale-read window in which a doomed attempt samples memory after
+    its enemy published — the defect the opacity oracle exists to
+    catch. Never enable outside tests. *)
+val set_skip_doom_check : t -> bool -> unit
+
 (** Replicated DS-lock service. [replicas = 1]: every primary ships
     its lock-table mutations (grants, releases) to the neighboring
     primary over a reliable FIFO channel; clients that exhaust their

@@ -79,6 +79,11 @@ type env = {
      the exact pre-hardening code paths. *)
   mutable req_timeout_ns : float;
   mutable lease_ns : float;
+  (* Test-only mutation hook: when set, clients skip every poll of
+     their own status word, reintroducing the stale-read window the
+     opacity oracle exists to catch (a doomed attempt keeps sampling
+     memory after its enemy published). Never enable outside tests. *)
+  mutable unsafe_skip_doom_check : bool;
   failover : failover;
   (* Always-on commit-latency sketch (attempt start -> publish done),
      same elapsed value Tx_committed events carry: one O(1) Sketch.add

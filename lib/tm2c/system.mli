@@ -131,6 +131,10 @@ type env = {
       (** lock lease: a holder older than this is forcibly reclaimed
           (status-CAS guarded) when it blocks a new request; 0.0
           disables reclamation *)
+  mutable unsafe_skip_doom_check : bool;
+      (** test-only mutation hook: skip every client poll of its own
+          status word, reintroducing the stale-read window the opacity
+          oracle catches; never enable outside tests *)
   failover : failover;
       (** replicated-lock-service state; inert (and unread past
           [fo_owner]) until [Runtime.enable_replication] flips

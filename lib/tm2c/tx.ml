@@ -310,11 +310,16 @@ let check_crash ctx =
   end
 
 (* Poll our status word: a remote contention manager may have aborted
-   this attempt. *)
+   this attempt. Gated by the test-only mutation hook that
+   reintroduces the stale-read window for the opacity oracle tests. *)
+let check_doomed ctx =
+  if not ctx.env.System.unsafe_skip_doom_check then
+    let v = Atomic_reg.read ctx.env.System.regs ~core:ctx.core ~reg:ctx.core in
+    if v = status_encode ctx Status.Aborted then raise (Abort_exn None)
+
 let check_status ctx =
   check_crash ctx;
-  let v = Atomic_reg.read ctx.env.System.regs ~core:ctx.core ~reg:ctx.core in
-  if v = status_encode ctx Status.Aborted then raise (Abort_exn None)
+  check_doomed ctx
 
 let begin_attempt ctx =
   check_crash ctx;
@@ -359,6 +364,19 @@ let locked_read ctx addr =
   match send_request ctx ~dst (System.Read_lock addr) with
   | System.Granted ->
       if prof then ph_charge_read ctx ~dst t0;
+      (* A contention-manager CAS may have doomed this attempt while
+         the grant was in flight — the winner then publishes before we
+         wake, so sampling now would mix pre- and post-publish values
+         across this attempt's reads. Re-check in the same simulation
+         slice as the sample (no suspension in between), so a doomed
+         attempt never records a granted read it could not have taken
+         under opacity. *)
+      (try check_doomed ctx
+       with Abort_exn _ as e ->
+         if trace_on ctx then
+           emit ctx
+             (Event.Tx_read { core = ctx.core; addr; granted = false; value = 0 });
+         raise e);
       let v = Shmem.read ctx.env.System.shmem ~core:ctx.core addr in
       (* Emitted after the sample so the event timestamp is the
          instant the value was actually observed — the oracle's

@@ -13,6 +13,7 @@ let () =
       ("export", Test_export.suite);
       ("profile", Test_profile.suite);
       ("check", Test_check.suite);
+      ("stream", Test_stream.suite);
       ("fault", Test_fault.suite);
       ("failover", Test_failover.suite);
       ("sketch", Test_sketch.suite);

@@ -51,7 +51,7 @@ let collect_counter ?(per_core = 50) () =
 
 let test_clean_run_passes () =
   let events = collect_counter () in
-  let r = Check.run events in
+  let r = Check.run_list events in
   check "clean counter run passes all checkers" true (Check.passed r);
   check_int "no failures" 0 (Check.n_failures r);
   check "some transactions checked" true
@@ -65,7 +65,7 @@ let test_histlog_roundtrip () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Histlog.save path events;
+      Histlog.save path (Check.iter_of_list events);
       let loaded = Histlog.load path in
       check_int "same event count" (List.length events) (List.length loaded);
       (* Hex-float timestamps make the round-trip exact, so plain
@@ -192,7 +192,7 @@ let test_mutation_nonatomic_writeback_caught () =
     ]
     |> List.map e
   in
-  let r = Check.run events in
+  let r = Check.run_list events in
   check "history itself is well-formed" true
     (r.Check.history.History.anomalies = []);
   check "lock discipline is clean (the bug is not a lock bug)" true
@@ -245,7 +245,7 @@ let test_atomic_writeback_passes () =
       (15.0, Event.Tx_committed { core = 1; attempt = 1; duration_ns = 13.0 });
     ]
   in
-  let r = Check.run events in
+  let r = Check.run_list events in
   check "atomic write-back passes" true (Check.passed r)
 
 let contains s sub =
@@ -262,7 +262,7 @@ let contains s sub =
 let test_mutation_double_wlock_grant_caught () =
   let events = collect_counter ~per_core:10 () in
   check "unmutated stream is clean" true
-    (Lockset.ok (Lockset.analyze events));
+    (Lockset.ok (Lockset.analyze (Check.iter_of_list events)));
   let mutated =
     List.concat_map
       (fun (time, ev) ->
@@ -273,7 +273,7 @@ let test_mutation_double_wlock_grant_caught () =
         | _ -> [ (time, ev) ])
       events
   in
-  let r = Lockset.analyze mutated in
+  let r = Lockset.analyze (Check.iter_of_list mutated) in
   check "double grant rejected" false (Lockset.ok r);
   check "witness names the exclusivity breach" true
     (List.exists
@@ -298,7 +298,7 @@ let test_mutation_early_read_release_caught () =
       events
   in
   check "mutation applied" true !injected;
-  let r = Lockset.analyze mutated in
+  let r = Lockset.analyze (Check.iter_of_list mutated) in
   check "early release rejected" false (Lockset.ok r);
   check "witness names the two-phase violation" true
     (List.exists
@@ -326,7 +326,7 @@ let test_histlog_fault_events_roundtrip () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Histlog.save path events;
+      Histlog.save path (Check.iter_of_list events);
       check "fault events round-trip exactly" true (Histlog.load path = events))
 
 (* Pre-fault-layer v1 logs stay loadable: only the header differs when
@@ -337,7 +337,7 @@ let test_histlog_v1_header_accepted () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Histlog.save path events;
+      Histlog.save path (Check.iter_of_list events);
       let contents = In_channel.with_open_text path In_channel.input_all in
       let body =
         match String.index_opt contents '\n' with
@@ -363,10 +363,10 @@ let test_liveness_budget () =
              );
            ]))
   in
-  let r = Check.run ~liveness_budget:5 (mk 5) in
+  let r = Check.run_list ~liveness_budget:5 (mk 5) in
   check "budget-length chain trips the monitor" false
     (Liveness.ok r.Check.liveness);
-  let r = Check.run ~liveness_budget:5 (mk 4) in
+  let r = Check.run_list ~liveness_budget:5 (mk 4) in
   check "shorter chain is clean" true (Liveness.ok r.Check.liveness)
 
 let test_status_label () =

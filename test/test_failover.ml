@@ -96,12 +96,12 @@ let test_scrash_wedges_without_replicas () =
          | _ -> false)
        events);
   (* The liveness monitor's stuck detection names the wedged cores. *)
-  let res = Check.run ~stuck_after_ns events in
+  let res = Check.run_list ~stuck_after_ns events in
   check "stuck cores flagged" true (res.Check.liveness.Liveness.stuck <> []);
   check "a wedge is a liveness failure" true (Check.n_failures res > 0);
   (* ... but only when armed: without [stuck_after_ns] the truncated
      attempts read as ordinary horizon cut-off. *)
-  let res' = Check.run events in
+  let res' = Check.run_list events in
   check "safety checkers stay green on the wedged run" true
     (Lockset.ok res'.Check.lockset && res'.Check.liveness.Liveness.stuck = [])
 
@@ -137,7 +137,7 @@ let test_failover_restores_progress () =
              i > d && match ev with Event.Tx_committed _ -> true | _ -> false)
            (List.mapi (fun i e -> (i, e)) events))
   | None -> ());
-  let res = Check.run ~stuck_after_ns events in
+  let res = Check.run_list ~stuck_after_ns events in
   check "all checkers green across the failover" true (Check.passed res)
 
 (* ---- mid-run crash: the replica is warm, the merge runs ---- *)
@@ -159,7 +159,7 @@ let test_midrun_failover_merges_replica () =
   check "an epoch bump was recorded" true (c.Fault.failovers > 0);
   check "progress across the mid-run failover" true
     (r.Tm2c_apps.Workload.commits > 0);
-  let res = Check.run ~stuck_after_ns events in
+  let res = Check.run_list ~stuck_after_ns events in
   check "all checkers green" true (Check.passed res)
 
 (* ---- zombie fencing: a healed primary is refused by epoch ---- *)
@@ -187,7 +187,7 @@ let test_zombie_stale_epoch_rejected () =
          | _ -> false)
        events);
   check "progress" true (r.Tm2c_apps.Workload.commits > 0);
-  let res = Check.run ~stuck_after_ns events in
+  let res = Check.run_list ~stuck_after_ns events in
   check "no conflicting grant escaped the fence" true (Check.passed res)
 
 (* ---- lockset mutation: stale-epoch double grant rejected ---- *)
@@ -200,7 +200,7 @@ let test_zombie_stale_epoch_rejected () =
    so the checker must produce the epoch-boundary witness. *)
 let test_mutation_stale_epoch_grant_caught () =
   let _, _, events = run_counter () in
-  check "unmutated stream is clean" true (Lockset.ok (Lockset.analyze events));
+  check "unmutated stream is clean" true (Lockset.ok (Lockset.analyze (Check.iter_of_list events)));
   let injected = ref false in
   let mutated =
     List.concat_map
@@ -219,7 +219,7 @@ let test_mutation_stale_epoch_grant_caught () =
       events
   in
   check "mutation applied" true !injected;
-  let r = Lockset.analyze mutated in
+  let r = Lockset.analyze (Check.iter_of_list mutated) in
   check "stale-epoch grant rejected" false (Lockset.ok r);
   let contains s sub =
     let n = String.length s and m = String.length sub in
@@ -259,7 +259,7 @@ let test_response_cache_bounded () =
   check "cache bounded by app-core count (long run)" true (size_long <= n_app);
   check "cache does not grow with run length" true (size_long <= size_short + 1);
   check "progress" true (r.Tm2c_apps.Workload.commits > 0);
-  check "checkers pass" true (Check.passed (Check.run events))
+  check "checkers pass" true (Check.passed (Check.run_list events))
 
 let suite =
   [

@@ -128,7 +128,7 @@ let test_duplicate_absorption () =
     (List.exists
        (fun (_, ev) -> match ev with Event.Msg_duplicated _ -> true | _ -> false)
        events);
-  let res = Check.run events in
+  let res = Check.run_list events in
   check "checkers pass under full duplication" true (Check.passed res)
 
 (* ---- drops, timeouts, resends ---- *)
@@ -150,7 +150,7 @@ let test_drop_resend () =
   in
   check "Req_resent events traced" true (resent <> []);
   check "nth counts from 1" true (List.mem 1 resent);
-  let res = Check.run events in
+  let res = Check.run_list events in
   check "checkers pass under drops" true (Check.passed res)
 
 (* Timeout shorter than the request round trip: every request is
@@ -164,7 +164,7 @@ let test_timeout_below_rtt () =
   check "duplicates absorbed at the server" true (c.Fault.absorbed > 0);
   check "progress despite the resend storm" true
     (r.Tm2c_apps.Workload.commits > 0);
-  let res = Check.run events in
+  let res = Check.run_list events in
   check "checkers pass with timeout < RTT" true (Check.passed res)
 
 (* ---- DS-server stall windows ---- *)
@@ -186,7 +186,7 @@ let test_stall_window () =
   let c = Fault.counters (Runtime.faults t) in
   check "stall provoked resends" true (c.Fault.resends > 0);
   check "progress after the stall" true (r.Tm2c_apps.Workload.commits > 0);
-  let res = Check.run events in
+  let res = Check.run_list events in
   check "checkers pass across the stall" true (Check.passed res)
 
 (* A resend that lands while the original still sits in the stalled
@@ -239,7 +239,7 @@ let test_stall_resend_absorbed_once () =
   check "a resent request was serviced exactly once" true
     (List.exists (fun k -> Hashtbl.find_opt served k = Some 1) resent);
   check "progress after the stall" true (r.Tm2c_apps.Workload.commits > 0);
-  check "checkers pass" true (Check.passed (Check.run events))
+  check "checkers pass" true (Check.passed (Check.run_list events))
 
 (* ---- crash + lease reclamation ---- *)
 
@@ -277,7 +277,7 @@ let test_crash_wedges_without_leases () =
        events);
   (* The crashed core's open attempt is not a violation: it closes as
      Unfinished, exactly like run-horizon truncation. *)
-  let res = Check.run events in
+  let res = Check.run_list events in
   check "no safety violation from the crash" true
     (Lockset.ok res.Check.lockset && res.Check.history.History.anomalies = []);
   check "crashed core's attempt is Unfinished" true
@@ -323,7 +323,7 @@ let test_lease_reclaim_unblocks () =
       in
       check "a commit follows the reclaim" true commit_after
   | None -> ());
-  let res = Check.run events in
+  let res = Check.run_list events in
   check "checkers pass with leases on" true (Check.passed res)
 
 let suite =
