@@ -1,0 +1,238 @@
+(* Open-loop overload benchmark (the @overload alias): the capacity
+   curve — goodput, shed rate and end-to-end tail latency across
+   offered-load multiples of measured saturation, with and without
+   admission control — written to BENCH_overload.json.
+
+   Unlike the @engine/@baseline host-speed gates, every figure here is
+   virtual-time and therefore deterministic: the baseline comparison
+   is exact across machines (a committed cell changes only when the
+   code changes its behavior). Gates:
+   - absolute: with admission control and a bounded retry budget,
+     goodput at 2x saturation must hold >= 70% of the protected
+     sweep's peak, and its p999 end-to-end latency must stay within
+     4x the 1x-protected p999 (bounded tail); the unprotected 2x cell
+     must document collapse (goodput below half the protected one);
+   - relative (--baseline FILE --gate-pct P): any cell's goodput_ms
+     more than P percent below the same-named committed cell fails;
+   - checked leg: an overload x fault-plan run replayed through the
+     streaming checker stack must end green with nonzero goodput —
+     load shedding degrades throughput, never consistency. *)
+
+open Tm2c_core
+open Tm2c_apps
+module Json = Tm2c_harness.Json
+module Exp = Tm2c_harness.Exp
+module F = Tm2c_harness.Fig_overload
+
+let scale = { Exp.quick with Exp.label = "overload-bench"; window_ns = 4e6 }
+
+type measured = { name : string; multiple : float; protected : bool; cell : F.cell }
+
+let measured_json m =
+  let o = m.cell.F.env.System.overload in
+  Json.Obj
+    [
+      ("name", Json.String m.name);
+      ("multiple", Json.Float m.multiple);
+      ("protected", Json.Bool m.protected);
+      ("goodput_ms", Json.Float m.cell.F.goodput_ms);
+      ("shed_pct", Json.Float m.cell.F.shed_pct);
+      ("p99_us", Json.Float m.cell.F.p99_us);
+      ("p999_us", Json.Float m.cell.F.p999_us);
+      ("horizon_hit", Json.Bool m.cell.F.horizon);
+      ("offered", Json.Int o.System.ol_offered);
+      ("admitted", Json.Int o.System.ol_admitted);
+      ("shed", Json.Int o.System.ol_shed);
+      ("executed", Json.Int o.System.ol_executed);
+      ("goodput", Json.Int o.System.ol_goodput);
+      ("wasted", Json.Int o.System.ol_wasted);
+      ("retries", Json.Int o.System.ol_retries);
+    ]
+
+let load_runs path =
+  let j = Json.of_file path in
+  match Json.member "runs" j with
+  | Some (Json.List runs) ->
+      List.filter_map
+        (fun r ->
+          match
+            ( Option.bind (Json.member "name" r) Json.to_string_opt,
+              Option.bind (Json.member "goodput_ms" r) Json.to_float_opt )
+          with
+          | Some n, Some g -> Some (n, g)
+          | _ -> None)
+        runs
+  | _ -> failwith (Printf.sprintf "%s: no \"runs\" array" path)
+
+(* Overload under faults: a lossy, jittery interconnect with hardening
+   on, full admission control, the streaming checker riding the trace.
+   Consistency must survive what the load shedder sheds around. *)
+let checked_leg ~sat =
+  let t = Runtime.create (Exp.config ~total:F.total ()) in
+  (match Tm2c_noc.Fault.of_spec "drop=0.005,dup=0.01,delay=0.02@1500" with
+  | Ok p -> Runtime.set_fault_plan t p
+  | Error m -> failwith m);
+  Runtime.set_hardening t ~timeout_ns:60_000.0 ~lease_ns:250_000.0 ();
+  let s = Tm2c_check.Stream.create () in
+  Tm2c_check.Stream.attach s (Runtime.trace t);
+  let deadline_ms = Openloop.default.Openloop.client_deadline_ns /. 1e6 in
+  let capacity = max 2 (int_of_float (sat *. deadline_ms /. 2.0)) in
+  let ol =
+    {
+      Openloop.default with
+      Openloop.arrival = Openloop.Poisson { rate_per_ms = 2.0 *. sat };
+      window_ns = scale.Exp.window_ns /. 2.0;
+      drain_ns = scale.Exp.window_ns /. 8.0;
+      policy =
+        Admission.Token_bucket
+          { capacity; rate_per_ms = 0.8 *. sat; burst = float_of_int capacity };
+      retry_budget = 3;
+    }
+  in
+  let _ = Openloop.drive t ol in
+  Tm2c_check.Collector.detach (Runtime.trace t);
+  let v = Tm2c_check.Stream.finish s in
+  let failures = Tm2c_check.Stream.n_failures v in
+  if failures > 0 then
+    Printf.eprintf "overload checked leg FAILED:\n%s%!"
+      (Tm2c_check.Stream.report_string s);
+  let o = (Runtime.env t).System.overload in
+  let goodput_ms = float_of_int o.System.ol_goodput /. (ol.Openloop.window_ns /. 1e6) in
+  (failures, goodput_ms)
+
+let () =
+  let out = ref "BENCH_overload.json" in
+  let baseline = ref None in
+  let gate_pct = ref 10.0 in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--baseline" :: v :: rest ->
+        baseline := Some v;
+        parse rest
+    | "--gate-pct" :: v :: rest ->
+        gate_pct := float_of_string v;
+        parse rest
+    | a :: _ -> failwith (Printf.sprintf "overload: unknown argument %s" a)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let sat = F.probe_saturation scale in
+  Printf.printf "measured saturation: %.1f arrivals/ms/core\n%!" sat;
+  let sweep =
+    List.concat_map
+      (fun m ->
+        let arrival = Openloop.Poisson { rate_per_ms = m *. sat } in
+        List.map
+          (fun protected ->
+            {
+              name = Printf.sprintf "x%g_%s" m (if protected then "adm" else "raw");
+              multiple = m;
+              protected;
+              cell = F.run_cell scale ~sat ~protected ~arrival;
+            })
+          [ false; true ])
+      [ 0.5; 1.0; 1.5; 2.0 ]
+  in
+  let burst =
+    Openloop.Bursty
+      {
+        base_per_ms = 0.8 *. sat;
+        burst_per_ms = 3.0 *. sat;
+        burst_start_ns = scale.Exp.window_ns /. 4.0;
+        burst_end_ns = scale.Exp.window_ns /. 2.0;
+      }
+  in
+  let results =
+    sweep
+    @ List.map
+        (fun protected ->
+          {
+            name = (if protected then "burst_adm" else "burst_raw");
+            multiple = 3.0;
+            protected;
+            cell = F.run_cell scale ~sat ~protected ~arrival:burst;
+          })
+        [ false; true ]
+  in
+  List.iter
+    (fun m ->
+      Printf.printf
+        "%-10s %-5s  %7.1f good/ms  %5.1f%% shed  p99 %7.1fus  p999 %7.1fus%s\n%!"
+        m.name
+        (if m.protected then "adm" else "raw")
+        m.cell.F.goodput_ms m.cell.F.shed_pct m.cell.F.p99_us m.cell.F.p999_us
+        (if m.cell.F.horizon then "  [backlog at horizon]" else ""))
+    results;
+  let find n = List.find (fun m -> m.name = n) results in
+  let protected_peak =
+    List.fold_left
+      (fun acc m -> if m.protected then Float.max acc m.cell.F.goodput_ms else acc)
+      0.0 results
+  in
+  let adm2 = find "x2_adm" and raw2 = find "x2_raw" and adm1 = find "x1_adm" in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let ratio_2x =
+    if protected_peak > 0.0 then adm2.cell.F.goodput_ms /. protected_peak else 0.0
+  in
+  if ratio_2x < 0.7 then
+    fail "protected goodput at 2x is %.0f%% of peak (need >= 70%%)"
+      (100.0 *. ratio_2x);
+  if adm2.cell.F.p999_us > 4.0 *. adm1.cell.F.p999_us then
+    fail "protected p999 at 2x (%.0fus) blew past 4x the 1x tail (%.0fus)"
+      adm2.cell.F.p999_us adm1.cell.F.p999_us;
+  if raw2.cell.F.goodput_ms >= 0.5 *. adm2.cell.F.goodput_ms then
+    fail
+      "unprotected 2x goodput (%.1f/ms) did not collapse vs protected (%.1f/ms) \
+       — the ablation lost its teeth"
+      raw2.cell.F.goodput_ms adm2.cell.F.goodput_ms;
+  let check_failures, checked_goodput = checked_leg ~sat in
+  if check_failures > 0 then fail "checked overload x fault leg: %d checker failure(s)" check_failures;
+  if checked_goodput <= 0.0 then fail "checked overload x fault leg made no goodput";
+  (* Exact-by-determinism regression gate against the committed file. *)
+  (match !baseline with
+  | None -> ()
+  | Some path ->
+      let committed = load_runs path in
+      List.iter
+        (fun m ->
+          match List.assoc_opt m.name committed with
+          | Some g when g > 0.0 ->
+              let drop = (g -. m.cell.F.goodput_ms) /. g *. 100.0 in
+              if drop > !gate_pct then
+                fail "%s: %.1f good/ms is %.1f%% below baseline %.1f" m.name
+                  m.cell.F.goodput_ms drop g
+          | _ -> ())
+        results);
+  Json.to_file !out
+    (Json.Obj
+       [
+         ("schema_version", Json.Int 1);
+         ( "workload",
+           Json.String
+             "open-loop Poisson/bursty arrivals, Zipf(0.9) keys over a 256-bucket \
+              hash table, 10% elastic scans; 16-core SCC dedicated, FairCM, lazy; \
+              protected = token-bucket admission at 0.8x measured saturation + \
+              3-retry budget with deadline propagation, raw = unbounded queues + \
+              unbounded retries" );
+         ("saturation_per_ms_core", Json.Float sat);
+         ("window_ms", Json.Float (scale.Exp.window_ns /. 1e6));
+         ("runs", Json.List (List.map measured_json results));
+         ("protected_peak_goodput_ms", Json.Float protected_peak);
+         ("goodput_2x_over_peak", Json.Float ratio_2x);
+         ( "checked",
+           Json.Obj
+             [
+               ("failures", Json.Int check_failures);
+               ("goodput_ms", Json.Float checked_goodput);
+               ("plan", Json.String "drop=0.005,dup=0.01,delay=0.02@1500");
+             ] );
+       ]);
+  Printf.printf "wrote %s\n" !out;
+  match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "overload gate FAILED: %s\n" f) fs;
+      exit 1

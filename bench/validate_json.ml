@@ -109,8 +109,8 @@ let () =
            faults rules below only run on runs that carry the section,
            which v3 made mandatory and v4 extended. *)
         (match Json.member "schema_version" v with
-        | Some (Json.Int (2 | 3 | 4 | 5)) -> ()
-        | Some (Json.Int n) -> fail "schema_version %d, expected 2..5" n
+        | Some (Json.Int (2 | 3 | 4 | 5 | 6)) -> ()
+        | Some (Json.Int n) -> fail "schema_version %d, expected 2..6" n
         | _ -> fail "missing schema_version");
         List.concat_map
           (fun e ->
@@ -166,7 +166,7 @@ let () =
         ]
   | _ -> ());
   (match Json.member "schema_version" v with
-  | Some (Json.Int (4 | 5)) ->
+  | Some (Json.Int (4 | 5 | 6)) ->
       List.iter (require first_run)
         [
           [ "faults"; "replicas" ];
@@ -181,7 +181,7 @@ let () =
      carries the checker sink's high-water mark, and every run gains a
      "metrics" section — the flight recorder's final snapshot. *)
   (match Json.member "schema_version" v with
-  | Some (Json.Int 5) | None ->
+  | Some (Json.Int (5 | 6)) | None ->
       List.iter (require first_run)
         [
           [ "network"; "latency_ns"; "p999" ];
@@ -196,6 +196,59 @@ let () =
           [ "metrics"; "host_profile"; "wheel"; "seconds" ];
         ]
   | _ -> ());
+  (* v6: the open-loop section (admission / shedding / goodput) and the
+     horizon flag. *)
+  (match Json.member "schema_version" v with
+  | Some (Json.Int 6) | None ->
+      List.iter (require first_run)
+        [
+          [ "result"; "horizon_hit" ];
+          [ "openloop"; "policy" ];
+          [ "openloop"; "offered" ];
+          [ "openloop"; "e2e_latency_ns"; "p999" ];
+        ]
+  | _ -> ());
+  (* Open-loop accounting invariants, on every run carrying the
+     section: every offered arrival is either admitted or shed (none
+     vanish), admitted work is either executed or expired on the queue
+     (the remainder is the drain backlog), and goodput <= completed <=
+     executed (a request completes at most once, counted good only
+     within its deadline). *)
+  List.iteri
+    (fun ri run ->
+      match Json.member "openloop" run with
+      | None -> ()
+      | Some o ->
+          let count k =
+            match Option.bind (Json.member k o) Json.to_int_opt with
+            | Some n when n >= 0 -> n
+            | Some n -> fail "run %d: openloop.%s negative (%d)" ri k n
+            | None -> fail "run %d: openloop.%s missing or not an integer" ri k
+          in
+          let offered = count "offered"
+          and admitted = count "admitted"
+          and shed = count "shed"
+          and expired = count "expired"
+          and executed = count "executed"
+          and completed = count "completed"
+          and goodput = count "goodput" in
+          if offered <> admitted + shed then
+            fail "run %d: openloop.offered %d <> %d admitted + %d shed" ri
+              offered admitted shed;
+          if executed + expired > admitted then
+            fail "run %d: openloop %d executed + %d expired > %d admitted" ri
+              executed expired admitted;
+          if goodput > completed then
+            fail "run %d: openloop.goodput %d > completed %d" ri goodput
+              completed;
+          if completed > executed then
+            fail "run %d: openloop.completed %d > executed %d" ri completed
+              executed;
+          ignore (count "wasted");
+          ignore (count "retries");
+          ignore (count "retry_exhausted");
+          ignore (count "queue_peak"))
+    runs;
   List.iteri
     (fun ri run ->
       match Json.member "faults" run with

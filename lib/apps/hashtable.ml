@@ -86,6 +86,21 @@ let free_node t node = Alloc.free (Runtime.alloc t.runtime) node ~words:2
 let tx_contains ?elastic ctx t k =
   Tx.atomic ?elastic ctx (fun () -> contains_op (Access.of_tx ctx) t k)
 
+(* Multi-key membership scan in one transaction: how many of the [len]
+   consecutive keys starting at [k] are present. Under [Elastic_read]
+   this is the long read-only scan tenant of the open-loop overload
+   model: each key's bucket walk extends the elastic window instead of
+   pinning every read lock to commit. *)
+let tx_scan ?elastic ctx t ~k ~len =
+  if len < 1 then invalid_arg "Hashtable.tx_scan: need len >= 1";
+  Tx.atomic ?elastic ctx (fun () ->
+      let a = Access.of_tx ctx in
+      let hits = ref 0 in
+      for i = 0 to len - 1 do
+        if contains_op a t (k + i) then incr hits
+      done;
+      !hits)
+
 let tx_add ?elastic ctx t k =
   Tx.compute ctx alloc_cycles;
   let node = new_node t in

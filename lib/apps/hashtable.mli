@@ -33,6 +33,13 @@ val tx_remove :
     if [k1] is absent or [k2] present). *)
 val tx_move : Tm2c_core.Tx.ctx -> t -> int -> int -> bool
 
+(** [tx_scan ctx t ~k ~len] — one read-only transaction testing the
+    [len] consecutive keys starting at [k]; returns the number
+    present. With [~elastic:Elastic_read] it is a long elastic scan
+    (the multi-tenant mix's second tenant). *)
+val tx_scan :
+  ?elastic:Tm2c_core.Tx.elastic -> Tm2c_core.Tx.ctx -> t -> k:int -> len:int -> int
+
 (** Sequential baselines: direct, non-transactional access. *)
 val seq_contains : Tm2c_core.System.env -> core:int -> t -> int -> bool
 

@@ -12,6 +12,7 @@ type result = {
   worst_attempts : int;
   messages : int;
   events : int;
+  horizon_hit : bool;
 }
 
 (* Export hook: called with every collected result while the runtime
@@ -27,7 +28,7 @@ let preflight : (Runtime.t -> unit) option ref = ref None
 
 let run_preflight t = match !preflight with Some f -> f t | None -> ()
 
-let collect t ~events ~duration_ns =
+let collect t ?(horizon_hit = false) ~events ~duration_ns () =
   (* Close out the flight recorder (final partial window + eof) before
      reading any totals; a no-op when none is installed. *)
   Runtime.finish_recorder t;
@@ -46,6 +47,7 @@ let collect t ~events ~duration_ns =
       worst_attempts = Stats.worst_attempts stats;
       messages = Network.sent (Runtime.env t).System.net;
       events;
+      horizon_hit;
     }
   in
   (match !observer with Some f -> f t r | None -> ());
@@ -70,7 +72,16 @@ let drive t ~duration_ns make_op =
           done))
     (Runtime.app_cores t);
   let events = Runtime.run t ~until:duration_ns () in
-  collect t ~events ~duration_ns
+  (* A core that completed zero operations over the whole window was
+     terminated by the horizon without ever making progress (blocked
+     forever or livelocked) — flag it instead of letting the near-zero
+     throughput masquerade as a healthy measurement. *)
+  let horizon_hit =
+    Array.exists
+      (fun core -> (Stats.core stats core).Stats.ops = 0)
+      (Runtime.app_cores t)
+  in
+  collect t ~horizon_hit ~events ~duration_ns ()
 
 let drive_seq t ~duration_ns make_op =
   run_preflight t;
@@ -90,13 +101,17 @@ let drive_seq t ~duration_ns make_op =
      this terminates right away): an operation split by the horizon
      would leave e.g. a half-applied transfer. *)
   let events = events + Runtime.run t () in
-  collect t ~events ~duration_ns
+  collect t ~events ~duration_ns ()
 
 let run_to_completion t ?(horizon_ns = 1e13) work =
   run_preflight t;
   Runtime.start_services t;
   let sim = Runtime.sim t in
   let stats = Runtime.stats t in
+  (* Explicit completion count: the simulator's spawned/finished tally
+     also covers service fibers (which block forever by design), so
+     only the work functions' own returns witness completion. *)
+  let done_workers = ref 0 in
   Array.iter
     (fun core ->
       let ctx = Runtime.app_ctx t core in
@@ -105,7 +120,12 @@ let run_to_completion t ?(horizon_ns = 1e13) work =
           work core ctx prng;
           let cstats = Stats.core stats core in
           cstats.Stats.ops <- cstats.Stats.ops + 1;
+          incr done_workers;
           Runtime.poll_service t ~core))
     (Runtime.app_cores t);
   let events = Runtime.run t ~until:horizon_ns () in
-  collect t ~events ~duration_ns:(Sim.now sim)
+  (* Work left unfinished means the safety horizon (or the watchdog)
+     cut the run short: the reported duration is the horizon, not a
+     completion time, and must not be read as one. *)
+  let horizon_hit = !done_workers < Array.length (Runtime.app_cores t) in
+  collect t ~horizon_hit ~events ~duration_ns:(Sim.now sim) ()

@@ -13,6 +13,15 @@ type result = {
   worst_attempts : int;  (** empirical starvation witness *)
   messages : int;  (** total messages on the interconnect *)
   events : int;  (** simulator events processed *)
+  horizon_hit : bool;
+      (** the hard safety horizon terminated the run with work still
+          incomplete: in {!run_to_completion}, some worker never
+          finished; in {!drive}, some core completed zero operations
+          over the whole window (blocked forever or livelocked); in
+          the open-loop driver, admitted requests were still
+          unresolved at the drain horizon. A flagged result's
+          duration/throughput must not be read as a healthy
+          measurement. *)
 }
 
 (** Export hook: when set, every collected result is also passed to
@@ -25,6 +34,18 @@ val observer : (Tm2c_core.Runtime.t -> result -> unit) option ref
     before spawning any process — the harness uses it to enable
     profiling and time-series sampling on every run it drives. *)
 val preflight : (Tm2c_core.Runtime.t -> unit) option ref
+
+(** Assemble a {!result} from the runtime's totals (closing out the
+    flight recorder first) and fire the {!observer}. Custom drivers —
+    the open-loop population model — end with this so every export and
+    checker hook fires exactly as for the built-in drivers. *)
+val collect :
+  Tm2c_core.Runtime.t ->
+  ?horizon_hit:bool ->
+  events:int ->
+  duration_ns:float ->
+  unit ->
+  result
 
 (** [drive t ~duration_ns make_op] — starts the DTM services, gives
     every application core an operation generator, and simulates

@@ -18,12 +18,14 @@
 open Tm2c_core
 open Types
 
-(* v4 added the streaming event-count footer (a reader-side
-   truncation check; the record grammar is unchanged); v3 added the
-   failover records (SCR EPB RPA FOD SER); v2 added the
-   fault/hardening records (DRP DUP RSN CRS LSR). All older versions
-   are still accepted on read. *)
-let header = "# tm2c-history v4"
+(* v5 added the admission records (ADM SHD EXP RBX); v4 added the
+   streaming event-count footer (a reader-side truncation check; the
+   record grammar is unchanged); v3 added the failover records (SCR
+   EPB RPA FOD SER); v2 added the fault/hardening records (DRP DUP RSN
+   CRS LSR). All older versions are still accepted on read. *)
+let header = "# tm2c-history v5"
+
+let header_v4 = "# tm2c-history v4"
 
 let header_v3 = "# tm2c-history v3"
 
@@ -94,7 +96,15 @@ let write_event oc time ev =
   | Event.Failover_done { server; part; epoch; merged } ->
       p "FOD %d %d %d %d" server part epoch merged
   | Event.Stale_epoch_rejected { server; core; req_epoch; cur_epoch } ->
-      p "SER %d %d %d %d" server core req_epoch cur_epoch);
+      p "SER %d %d %d %d" server core req_epoch cur_epoch
+  | Event.Req_admitted { core; tenant; queue_depth } ->
+      p "ADM %d %d %d" core tenant queue_depth
+  | Event.Req_shed { core; tenant; reason; retry_after_ns } ->
+      p "SHD %d %d %s %h" core tenant (shed_reason_to_string reason) retry_after_ns
+  | Event.Req_expired { core; tenant; waited_ns } ->
+      p "EXP %d %d %h" core tenant waited_ns
+  | Event.Retry_budget_exhausted { core; tenant; retries } ->
+      p "RBX %d %d %d" core tenant retries);
   p "\n"
 
 (* Streaming writer: header up front, one line per event, count
@@ -283,6 +293,37 @@ let parse_line lineno line =
                 req_epoch = int req_epoch;
                 cur_epoch = int cur_epoch;
               }
+        | "ADM", [ core; tenant; queue_depth ] ->
+            Event.Req_admitted
+              { core = int core; tenant = int tenant; queue_depth = int queue_depth }
+        | "SHD", [ core; tenant; reason; retry_after ] ->
+            let reason =
+              match shed_reason_of_string reason with
+              | Some r -> r
+              | None ->
+                  parse_error lineno
+                    (Printf.sprintf "unknown shed reason %S" reason)
+            in
+            let retry_after_ns =
+              match float_of_string_opt retry_after with
+              | Some v -> v
+              | None ->
+                  parse_error lineno
+                    (Printf.sprintf "bad retry-after %S" retry_after)
+            in
+            Event.Req_shed
+              { core = int core; tenant = int tenant; reason; retry_after_ns }
+        | "EXP", [ core; tenant; waited ] ->
+            let waited_ns =
+              match float_of_string_opt waited with
+              | Some v -> v
+              | None ->
+                  parse_error lineno (Printf.sprintf "bad wait %S" waited)
+            in
+            Event.Req_expired { core = int core; tenant = int tenant; waited_ns }
+        | "RBX", [ core; tenant; retries ] ->
+            Event.Retry_budget_exhausted
+              { core = int core; tenant = int tenant; retries = int retries }
         | _ ->
             parse_error lineno
               (Printf.sprintf "unrecognized record %S" (String.concat " " (tag :: fields)))
@@ -296,7 +337,9 @@ let is_prefix pre s =
 
 let iter_channel ic f =
   (match input_line ic with
-  | h when h = header || h = header_v3 || h = header_v2 || h = header_v1 -> ()
+  | h
+    when h = header || h = header_v4 || h = header_v3 || h = header_v2
+         || h = header_v1 -> ()
   | h -> failwith (Printf.sprintf "unknown history log header %S" h)
   | exception End_of_file ->
       failwith (Printf.sprintf "empty history log: expected %S header" header));

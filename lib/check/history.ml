@@ -248,10 +248,14 @@ let feed b time ev =
   | Event.Service_done _ | Event.Barrier _ | Event.Msg_dropped _
   | Event.Msg_duplicated _ | Event.Req_resent _ | Event.Lease_reclaimed _
   | Event.Server_crashed _ | Event.Epoch_bumped _ | Event.Replica_applied _
-  | Event.Failover_done _ | Event.Stale_epoch_rejected _ ->
+  | Event.Failover_done _ | Event.Stale_epoch_rejected _
+  | Event.Req_admitted _ | Event.Req_shed _ | Event.Req_expired _
+  | Event.Retry_budget_exhausted _ ->
       (* Failover events carry no per-attempt information: a
          server crash ends no application attempt (clients ride it
-         out through resend + failover). *)
+         out through resend + failover). Admission events precede any
+         attempt (shed/expired requests never start a transaction), so
+         they carry none either. *)
       ()
 
 (* Attempts still open when the stream ends stay [Unfinished]; their

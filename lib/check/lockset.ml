@@ -340,7 +340,11 @@ let feed t time ev =
       ()
   | Event.Tx_commit_begin _ | Event.Host_write _ | Event.Lock_conflict _
   | Event.Req_sent _ | Event.Service _ | Event.Service_done _ | Event.Barrier _
-  | Event.Msg_dropped _ | Event.Msg_duplicated _ | Event.Req_resent _ ->
+  | Event.Msg_dropped _ | Event.Msg_duplicated _ | Event.Req_resent _
+  | Event.Req_admitted _ | Event.Req_shed _ | Event.Req_expired _
+  | Event.Retry_budget_exhausted _ ->
+      (* Admission happens strictly before Tx_start: shed and expired
+         requests never touched the lock service. *)
       ()
 
 let finish t = { violations = List.rev t.violations; n_grants = t.n_grants }

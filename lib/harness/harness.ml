@@ -23,6 +23,7 @@ let all =
     { id = "fig8c"; description = "Linked list: many-core vs multi-core"; run = Fig8.fig8c };
     { id = "fig8d"; description = "Hash table: many-core vs multi-core"; run = Fig8.fig8d };
     { id = "ablations"; description = "Design-choice ablations: batching, clock skew, deployment"; run = Ablations.run };
+    { id = "fig_overload"; description = "Open-loop overload: goodput vs offered load, admission control on/off"; run = Fig_overload.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
@@ -182,8 +183,12 @@ let run_ids ?json ?(check = false) ?(streaming = true) ids scale =
                replace histograms (p999 + rel_error keys), the trace
                section gained "sink_high_water", and runs gained a
                "metrics" section (the flight recorder's final
-               snapshot, including the host self-profile). *)
-            ("schema_version", Json.Int 5);
+               snapshot, including the host self-profile). v6: runs
+               gained an "openloop" section (admission / shedding /
+               goodput counters and the end-to-end latency sketch,
+               present and all-zero with policy "none" on closed-loop
+               runs) and the result gained "horizon_hit". *)
+            ("schema_version", Json.Int 6);
             ("scale", Json.String scale.Exp.label);
             ( "experiments",
               Json.List

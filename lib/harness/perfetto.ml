@@ -80,7 +80,8 @@ let export ?(app = [||]) ?(dtm = [||]) trace =
       | Event.Msg_dropped _ | Event.Msg_duplicated _ | Event.Req_resent _
       | Event.Core_crashed _ | Event.Lease_reclaimed _ | Event.Server_crashed _
       | Event.Epoch_bumped _ | Event.Replica_applied _ | Event.Failover_done _
-      | Event.Stale_epoch_rejected _ -> ());
+      | Event.Stale_epoch_rejected _ | Event.Req_admitted _ | Event.Req_shed _
+      | Event.Req_expired _ | Event.Retry_budget_exhausted _ -> ());
   let paired id = Hashtbl.mem sent id && Hashtbl.mem picked id in
   (* Pass 2: build (ts, event) pairs; attempt and service slices close
      at their end event and carry the begin timestamp. *)
@@ -336,6 +337,41 @@ let export ?(app = [||]) ?(dtm = [||]) trace =
                    ("req_epoch", Json.Int req_epoch);
                    ("cur_epoch", Json.Int cur_epoch);
                  ]
+               ())
+      | Event.Req_admitted { core; tenant; queue_depth } ->
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:"admitted"
+               ~args:
+                 [ ("tenant", Json.Int tenant); ("queue", Json.Int queue_depth) ]
+               ())
+      | Event.Req_shed { core; tenant; reason; retry_after_ns } ->
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:"shed"
+               ~args:
+                 [
+                   ("tenant", Json.Int tenant);
+                   ("cause", str (Types.shed_reason_to_string reason));
+                   ("retry_after_us", Json.Float (us retry_after_ns));
+                 ]
+               ())
+      | Event.Req_expired { core; tenant; waited_ns } ->
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:"expired"
+               ~args:
+                 [
+                   ("tenant", Json.Int tenant);
+                   ("waited_us", Json.Float (us waited_ns));
+                 ]
+               ())
+      | Event.Retry_budget_exhausted { core; tenant; retries } ->
+          touch core;
+          push ts
+            (instant ~ts ~tid:core ~name:"retry-budget-exhausted"
+               ~args:
+                 [ ("tenant", Json.Int tenant); ("retries", Json.Int retries) ]
                ()));
   (* Stable sort by begin timestamp: per-track timestamps come out
      monotone because same-track slices never overlap. *)

@@ -41,6 +41,11 @@ let result_json (r : Tm2c_apps.Workload.result) =
       ("worst_attempts", Json.Int r.worst_attempts);
       ("messages", Json.Int r.messages);
       ("sim_events", Json.Int r.events);
+      (* The run was cut off with work still incomplete (v6): a
+         horizon-terminated completion run, a window where some core
+         never progressed, or an open-loop drain that left admitted
+         requests unresolved. *)
+      ("horizon_hit", Json.Bool r.horizon_hit);
     ]
 
 let cores_json stats ~n =
@@ -344,6 +349,36 @@ let faults_json t =
           |> List.map (fun core -> Json.Int core)) );
     ]
 
+(* Open-loop overload accounting (schema v6): always present and
+   all-zero (policy "none") on closed-loop runs, mirroring the faults
+   section, so consumers can diff open- and closed-loop runs without a
+   shape change. Invariants re-checked by bench/validate_json:
+   offered = admitted + shed; executed + expired <= admitted;
+   goodput <= completed <= executed. *)
+let openloop_json t =
+  let env = Runtime.env t in
+  let o = env.System.overload in
+  Json.Obj
+    [
+      ( "policy",
+        Json.String
+          (match Runtime.admission t with
+          | Some a -> Admission.policy_name (Admission.policy a)
+          | None -> "none") );
+      ("offered", Json.Int o.System.ol_offered);
+      ("admitted", Json.Int o.System.ol_admitted);
+      ("shed", Json.Int o.System.ol_shed);
+      ("expired", Json.Int o.System.ol_expired);
+      ("executed", Json.Int o.System.ol_executed);
+      ("completed", Json.Int o.System.ol_completed);
+      ("goodput", Json.Int o.System.ol_goodput);
+      ("wasted", Json.Int o.System.ol_wasted);
+      ("retries", Json.Int o.System.ol_retries);
+      ("retry_exhausted", Json.Int o.System.ol_retry_exhausted);
+      ("queue_peak", Json.Int o.System.ol_queue_peak);
+      ("e2e_latency_ns", sketch_json env.System.e2e_lat);
+    ]
+
 let run_json t (r : Tm2c_apps.Workload.result) =
   let cfg = Runtime.config t in
   let env = Runtime.env t in
@@ -365,6 +400,7 @@ let run_json t (r : Tm2c_apps.Workload.result) =
          aborts_json ~policy:cfg.Runtime.policy ~status:!status
            (Runtime.obs t) );
        ("faults", faults_json t);
+       ("openloop", openloop_json t);
        (* The watchdog cut this run short of its horizon (v4). *)
        ("wedged", Json.Bool (Runtime.wedged t));
        ("phases", phases_json t);

@@ -139,6 +139,23 @@ type t =
           owns the partition): refused without touching the lock
           table, so a zombie primary can never grant a conflicting
           lock *)
+  | Req_admitted of { core : core_id; tenant : int; queue_depth : int }
+      (** an open-loop arrival passed admission control onto [core]'s
+          bounded queue; [queue_depth] is the depth after enqueue *)
+  | Req_shed of {
+      core : core_id;
+      tenant : int;
+      reason : shed_reason;
+      retry_after_ns : float;
+    }
+      (** admission control refused the arrival ([retry_after_ns] is
+          the backoff hint returned to the client) *)
+  | Req_expired of { core : core_id; tenant : int; waited_ns : float }
+      (** a queued request exceeded the queue deadline and was dropped
+          at dequeue, before any transaction ran for it *)
+  | Retry_budget_exhausted of { core : core_id; tenant : int; retries : int }
+      (** the client's bounded retry budget ran out: the request fails
+          permanently instead of feeding a retry storm *)
 
 (* [None] is the status-CAS abort path (see [Tx_aborted] above): the
    label must match the JSON export's by_conflict key and the stats
@@ -220,5 +237,17 @@ let pp fmt = function
   | Stale_epoch_rejected { server; core; req_epoch; cur_epoch } ->
       Format.fprintf fmt "dtm  %2d  stale-epoch  core %d req_epoch=%d cur=%d"
         server core req_epoch cur_epoch
+  | Req_admitted { core; tenant; queue_depth } ->
+      Format.fprintf fmt "core %2d  req-admitted tenant=%d queue=%d" core tenant
+        queue_depth
+  | Req_shed { core; tenant; reason; retry_after_ns } ->
+      Format.fprintf fmt "core %2d  req-shed     tenant=%d cause=%s retry_after=%.0fns"
+        core tenant (shed_reason_to_string reason) retry_after_ns
+  | Req_expired { core; tenant; waited_ns } ->
+      Format.fprintf fmt "core %2d  req-expired  tenant=%d waited=%.0fns" core tenant
+        waited_ns
+  | Retry_budget_exhausted { core; tenant; retries } ->
+      Format.fprintf fmt "core %2d  retry-budget tenant=%d retries=%d" core tenant
+        retries
 
 let to_string ev = Format.asprintf "%a" pp ev

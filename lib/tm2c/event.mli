@@ -149,6 +149,28 @@ type t =
           table, so a zombie primary — stalled or partitioned through
           a failover, then healed — can never grant a conflicting
           lock *)
+  | Req_admitted of { core : core_id; tenant : int; queue_depth : int }
+      (** an open-loop arrival passed admission control onto [core]'s
+          bounded queue (see {!Admission}); [queue_depth] is the depth
+          after enqueue. Admission events carry no per-attempt
+          information: the transaction, if any, starts only when the
+          core's worker later dequeues the request. *)
+  | Req_shed of {
+      core : core_id;
+      tenant : int;
+      reason : shed_reason;
+      retry_after_ns : float;
+    }
+      (** admission control refused the arrival; [retry_after_ns] is
+          the backoff hint handed back to the client (0 when the
+          policy has none) *)
+  | Req_expired of { core : core_id; tenant : int; waited_ns : float }
+      (** a queued request sat longer than the queue deadline and was
+          dropped at dequeue — shed late, before any transaction ran *)
+  | Retry_budget_exhausted of { core : core_id; tenant : int; retries : int }
+      (** the client's bounded retry budget ran out after [retries]
+          resubmissions: the request fails permanently instead of
+          re-amplifying into a retry storm *)
 
 (** Conflict label of an abort cause; [None] (the status-CAS abort
     path documented on {!Tx_aborted}) renders as ["STATUS"] — the same

@@ -74,7 +74,8 @@ let event_names =
     "tx_aborted"; "lock_conflict"; "enemy_aborted"; "req_sent"; "service";
     "service_done"; "barrier"; "msg_dropped"; "msg_duplicated"; "req_resent";
     "core_crashed"; "lease_reclaimed"; "server_crashed"; "epoch_bumped";
-    "replica_applied"; "failover_done"; "stale_epoch_rejected";
+    "replica_applied"; "failover_done"; "stale_epoch_rejected"; "req_admitted";
+    "req_shed"; "req_expired"; "retry_budget_exhausted";
   |]
 
 (* Deliberately exhaustive (no wildcard): adding an Event constructor
@@ -109,6 +110,10 @@ let event_index (ev : Event.t) =
   | Event.Replica_applied _ -> 23
   | Event.Failover_done _ -> 24
   | Event.Stale_epoch_rejected _ -> 25
+  | Event.Req_admitted _ -> 26
+  | Event.Req_shed _ -> 27
+  | Event.Req_expired _ -> 28
+  | Event.Retry_budget_exhausted _ -> 29
 
 let record_event t ev = t.ev_counts.(event_index ev) <- t.ev_counts.(event_index ev) + 1
 
@@ -140,6 +145,13 @@ let create ~env ~window_ns ?out ?(top_k = 8) ~servers () =
       mk "failovers" (fun () -> fi fc.Fault.failovers);
       mk "stale_rejections" (fun () -> fi fc.Fault.stale_rejections);
       mk "replicated" (fun () -> fi fc.Fault.replicated);
+      mk "reqs_offered" (fun () -> fi env.System.overload.System.ol_offered);
+      mk "reqs_admitted" (fun () -> fi env.System.overload.System.ol_admitted);
+      mk "reqs_shed" (fun () -> fi env.System.overload.System.ol_shed);
+      mk "reqs_expired" (fun () -> fi env.System.overload.System.ol_expired);
+      mk "reqs_completed" (fun () -> fi env.System.overload.System.ol_completed);
+      mk "reqs_goodput" (fun () -> fi env.System.overload.System.ol_goodput);
+      mk "client_retries" (fun () -> fi env.System.overload.System.ol_retries);
     ]
   in
   let sketches =
@@ -153,6 +165,11 @@ let create ~env ~window_ns ?out ?(top_k = 8) ~servers () =
         s_name = "msg_latency_ns";
         s_sketch = (Network.metrics net).Network.latency;
         s_window = Sketch.window_of (Network.metrics net).Network.latency;
+      };
+      {
+        s_name = "e2e_latency_ns";
+        s_sketch = env.System.e2e_lat;
+        s_window = Sketch.window_of env.System.e2e_lat;
       };
     ]
   in

@@ -47,6 +47,7 @@ type t = {
   mutable sink_high_water : (unit -> int) option;
   mutable replicas : int;
   mutable wedged : bool;
+  mutable admission : Admission.t option;
 }
 
 (* Raised by the watchdog's scheduled check (propagates out of
@@ -151,6 +152,8 @@ let create cfg =
       unsafe_skip_doom_check = false;
       failover;
       commit_lat = Sketch.create ();
+      e2e_lat = Sketch.create ();
+      overload = System.overload_create ();
     }
   in
   (* Drops and duplications happen inside the network layer, which
@@ -180,6 +183,7 @@ let create cfg =
     sink_high_water = None;
     replicas = 0;
     wedged = false;
+    admission = None;
   }
 
 let config t = t.cfg
@@ -246,6 +250,18 @@ let enable_replication t ~replicas =
   | _ -> invalid_arg "Runtime.enable_replication: replicas must be 0 or 1"
 
 let replicas t = t.replicas
+
+(* Admission control for open-loop traffic (see Admission). Lazy
+   per-core queues, so enabling it perturbs nothing until the open-loop
+   driver actually offers arrivals. Call before [run]; at most once. *)
+let enable_admission t ~policy ?retry_after_ns () =
+  if t.admission <> None then
+    invalid_arg "Runtime.enable_admission: already enabled";
+  let a = Admission.create t.env ~policy ?retry_after_ns () in
+  t.admission <- Some a;
+  a
+
+let admission t = t.admission
 
 let wedged t = t.wedged
 
@@ -408,6 +424,13 @@ let app_cores t = t.app_cores
 let dtm_cores t = t.dtm_cores
 
 let fork_prng t = Prng.split t.root_prng
+
+(* Labelled (non-mutating) split of the root stream: derives the same
+   child for the same label no matter when it is called, and draws
+   nothing from the root — so subsystems created on demand (open-loop
+   arrival streams) never perturb the fork sequence closed-loop
+   baselines consume. *)
+let labeled_prng t ~label = Prng.split_label t.root_prng ~label
 
 let spare_reg t =
   if t.next_spare_reg >= t.max_reg then

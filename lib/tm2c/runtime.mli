@@ -106,6 +106,17 @@ val enable_replication : t -> replicas:int -> unit
 (** Replication degree in effect (0 or 1). *)
 val replicas : t -> int
 
+(** Install admission control for open-loop traffic (see {!Admission}):
+    bounded per-core queues under the given overload policy. Queues are
+    materialized lazily, so enabling this perturbs nothing until a
+    driver offers arrivals. Returns the admission state (the open-loop
+    driver holds onto it). Call before {!run}; at most once. *)
+val enable_admission :
+  t -> policy:Admission.policy -> ?retry_after_ns:float -> unit -> Admission.t
+
+(** The admission state, once {!enable_admission} has run. *)
+val admission : t -> Admission.t option
+
 (** Host-side store with a trace record ([Event.Host_write]):
     benchmark setup and weak-atomicity private-node initialization
     must go through here (not bare [Shmem.poke]) so the checkers see
@@ -182,6 +193,12 @@ val dtm_cores : t -> Types.core_id array
 
 (** Fresh PRNG stream derived from the config seed (deterministic). *)
 val fork_prng : t -> Tm2c_engine.Prng.t
+
+(** Labelled (non-mutating) split of the root stream: same label, same
+    stream, and the root is never advanced — use for subsystems (e.g.
+    open-loop arrival generators) whose existence must not perturb the
+    {!fork_prng} sequence closed-loop baselines consume. *)
+val labeled_prng : t -> label:string -> Tm2c_engine.Prng.t
 
 (** Hand out one of the spare atomic registers (beyond the per-core
     status words) — e.g. the bank baseline's global test-and-set

@@ -53,6 +53,41 @@ type failover = {
          promoted backup merges its replica *)
 }
 
+(* Admission-layer accounting, always present (all-zero on closed-loop
+   runs, like the fault counters). Mutated only by Admission/open-loop
+   drivers; read by the recorder and the JSON export. The invariant the
+   validator re-checks: ol_offered = ol_admitted + ol_shed, and every
+   admitted entry is eventually executed, expired, or still queued when
+   the run ends (ol_executed + ol_expired <= ol_admitted). *)
+type overload = {
+  mutable ol_offered : int;  (* arrivals presented to admission, retries included *)
+  mutable ol_admitted : int;
+  mutable ol_shed : int;  (* refused at enqueue *)
+  mutable ol_expired : int;  (* dropped at dequeue by the queue deadline *)
+  mutable ol_executed : int;  (* queue entries that ran a transaction *)
+  mutable ol_completed : int;  (* logical requests completed (first execution) *)
+  mutable ol_goodput : int;  (* completed within the client deadline *)
+  mutable ol_wasted : int;  (* executions of already-completed requests *)
+  mutable ol_retries : int;  (* client resubmissions (timeout or shed) *)
+  mutable ol_retry_exhausted : int;
+  mutable ol_queue_peak : int;
+}
+
+let overload_create () =
+  {
+    ol_offered = 0;
+    ol_admitted = 0;
+    ol_shed = 0;
+    ol_expired = 0;
+    ol_executed = 0;
+    ol_completed = 0;
+    ol_goodput = 0;
+    ol_wasted = 0;
+    ol_retries = 0;
+    ol_retry_exhausted = 0;
+    ol_queue_peak = 0;
+  }
+
 type env = {
   sim : Tm2c_engine.Sim.t;
   net : msg Tm2c_noc.Network.t;
@@ -89,6 +124,11 @@ type env = {
      same elapsed value Tx_committed events carry: one O(1) Sketch.add
      per commit, so it never needs tracing enabled. *)
   commit_lat : Tm2c_engine.Sketch.t;
+  (* End-to-end latency sketch (client arrival -> commit, including
+     admission queueing and every retry round trip): fed by the
+     open-loop driver, empty on closed-loop runs. *)
+  e2e_lat : Tm2c_engine.Sketch.t;
+  overload : overload;
 }
 
 let local_now env ~core = Tm2c_engine.Sim.now env.sim +. env.skew.(core)

@@ -76,6 +76,32 @@ type failover = {
           serves for the partition *)
 }
 
+(** Admission-layer accounting, always present and all-zero on
+    closed-loop runs (like the fault counters). Mutated by
+    {!Admission} and the open-loop driver; read by the flight recorder
+    and the JSON export, whose validator re-checks the sum invariants:
+    [ol_offered = ol_admitted + ol_shed] and
+    [ol_executed + ol_expired <= ol_admitted]. *)
+type overload = {
+  mutable ol_offered : int;
+      (** arrivals presented to admission, client retries included *)
+  mutable ol_admitted : int;
+  mutable ol_shed : int;  (** refused at enqueue *)
+  mutable ol_expired : int;  (** dropped at dequeue by the queue deadline *)
+  mutable ol_executed : int;  (** queue entries that ran a transaction *)
+  mutable ol_completed : int;
+      (** logical requests completed (first execution only) *)
+  mutable ol_goodput : int;  (** completed within the client deadline *)
+  mutable ol_wasted : int;
+      (** executions whose logical request had already completed — the
+          duplicated work a retry storm manufactures *)
+  mutable ol_retries : int;  (** client resubmissions (timeout or shed) *)
+  mutable ol_retry_exhausted : int;
+  mutable ol_queue_peak : int;
+}
+
+val overload_create : unit -> overload
+
 type env = {
   sim : Tm2c_engine.Sim.t;
   net : msg Tm2c_noc.Network.t;
@@ -143,6 +169,11 @@ type env = {
       (** always-on commit-latency sketch (attempt start -> publish
           done, ns) — the same elapsed value [Tx_committed] events
           carry, but recorded unconditionally at O(1) per commit *)
+  e2e_lat : Tm2c_engine.Sketch.t;
+      (** end-to-end latency sketch (client arrival -> commit, ns),
+          including admission queueing and retries; fed by the
+          open-loop driver, empty on closed-loop runs *)
+  overload : overload;  (** admission-layer accounting (always on) *)
 }
 
 (** A core's local clock reading ([Sim.now] plus its skew). *)

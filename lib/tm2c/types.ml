@@ -6,6 +6,19 @@ type conflict = Raw | Waw | War
 
 let conflict_to_string = function Raw -> "RAW" | Waw -> "WAW" | War -> "WAR"
 
+type shed_reason = Shed_queue_full | Shed_no_tokens | Shed_deadline
+
+let shed_reason_to_string = function
+  | Shed_queue_full -> "QUEUE"
+  | Shed_no_tokens -> "TOKENS"
+  | Shed_deadline -> "DEADLINE"
+
+let shed_reason_of_string = function
+  | "QUEUE" -> Some Shed_queue_full
+  | "TOKENS" -> Some Shed_no_tokens
+  | "DEADLINE" -> Some Shed_deadline
+  | _ -> None
+
 module Status = struct
   type state = Pending | Committing | Aborted
 

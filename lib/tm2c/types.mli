@@ -12,6 +12,18 @@ type conflict =
 
 val conflict_to_string : conflict -> string
 
+(** Why the admission layer refused (or dropped) a request — see
+    {!Admission}. The string forms round-trip through the history log
+    ([shed_reason_of_string] inverts [shed_reason_to_string]). *)
+type shed_reason =
+  | Shed_queue_full  (** bounded admission queue at capacity *)
+  | Shed_no_tokens  (** token/credit bucket empty *)
+  | Shed_deadline  (** queued longer than the queue deadline: dropped at dequeue *)
+
+val shed_reason_to_string : shed_reason -> string
+
+val shed_reason_of_string : string -> shed_reason option
+
 (** Transaction status words.
 
     Each application core owns one globally accessible status register

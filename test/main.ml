@@ -19,4 +19,5 @@ let () =
       ("sketch", Test_sketch.suite);
       ("recorder", Test_recorder.suite);
       ("lint", Test_lint.suite);
+      ("openloop", Test_openloop.suite);
     ]

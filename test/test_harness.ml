@@ -58,14 +58,14 @@ let test_experiment id () =
 
 let test_registry () =
   let ids = List.map (fun e -> e.Harness.id) Harness.all in
-  Alcotest.(check int) "17 experiments registered" 17 (List.length ids);
+  Alcotest.(check int) "18 experiments registered" 18 (List.length ids);
   List.iter
     (fun required ->
       Alcotest.(check bool) (required ^ " present") true (List.mem required ids))
     [
       "settings"; "fig4a"; "fig4b"; "fig4c"; "fig5a"; "fig5b"; "fig5c"; "fig5d";
       "fig6a"; "fig6b"; "fig7a"; "fig7b"; "fig8a"; "fig8b"; "fig8c"; "fig8d";
-      "ablations";
+      "ablations"; "fig_overload";
     ]
 
 let test_unknown_rejected () =
